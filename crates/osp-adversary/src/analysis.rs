@@ -1,0 +1,158 @@
+//! Construction audits: machine-checkable versions of the Lemma 9 claims.
+//!
+//! [`audit_gadget_lower_bound`] inspects a sampled [`GadgetLowerBound`]
+//! and verifies, exhaustively, every structural invariant the proof of
+//! Lemma 9 relies on. The `fig1` experiment and the `adversarial_gadget`
+//! example print these audits; the test-suite asserts them for every
+//! prime power in range.
+
+use osp_core::stats::InstanceStats;
+use osp_core::SetId;
+
+use crate::gadget_lb::GadgetLowerBound;
+
+/// The outcome of auditing one sampled construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstructionAudit {
+    /// ℓ of the audited construction.
+    pub ell: u64,
+    /// Whether all sets have the common size `2ℓ²+ℓ+1`.
+    pub uniform_size_ok: bool,
+    /// Whether `σ_max = ℓ²`.
+    pub sigma_max_ok: bool,
+    /// Whether the planted family has exactly `ℓ³` sets.
+    pub planted_count_ok: bool,
+    /// Whether no element contains two planted sets (disjointness, hence
+    /// feasibility of the planted optimum under unit capacities).
+    pub planted_disjoint_ok: bool,
+    /// Whether the per-stage element counts match the formulas
+    /// `[ℓ⁴, ℓ⁵, ℓ⁴ + ℓ² − ℓ, ℓ³(ℓ²+1)]`.
+    pub stage_counts_ok: bool,
+    /// Whether stage loads match Lemma 9: `ℓ` in stages I–II, `ℓ²−ℓ` or
+    /// `ℓ²` in stage III, `1` in stage IV.
+    pub stage_loads_ok: bool,
+    /// Normalized mean load `σ̄/ℓ` (a Θ(1) constant per Lemma 9).
+    pub sigma_mean_over_ell: f64,
+    /// Normalized mean squared load `σ²/ℓ³` (a Θ(1) constant).
+    pub sigma_sq_over_ell3: f64,
+}
+
+impl ConstructionAudit {
+    /// Whether every boolean invariant holds.
+    pub fn all_ok(&self) -> bool {
+        self.uniform_size_ok
+            && self.sigma_max_ok
+            && self.planted_count_ok
+            && self.planted_disjoint_ok
+            && self.stage_counts_ok
+            && self.stage_loads_ok
+    }
+}
+
+/// Audits a sampled construction against every Lemma 9 invariant.
+pub fn audit_gadget_lower_bound(g: &GadgetLowerBound) -> ConstructionAudit {
+    let st = InstanceStats::compute(&g.instance);
+    let l = g.ell;
+    let lu = l as usize;
+    let l2 = lu * lu;
+
+    let uniform_size_ok = st.uniform_size == Some(g.set_size() as u32);
+    let sigma_max_ok = u64::from(st.sigma_max) == l * l;
+    let planted_count_ok = g.planted.len() == lu.pow(3);
+
+    let mut planted = vec![false; g.instance.num_sets()];
+    for &s in &g.planted {
+        planted[s.index()] = true;
+    }
+    let planted_disjoint_ok = g.instance.arrivals().iter().all(|a| {
+        a.members()
+            .iter()
+            .filter(|s: &&SetId| planted[s.index()])
+            .count()
+            <= 1
+    });
+
+    let expected_stages = [
+        lu.pow(4),
+        lu.pow(5),
+        lu.pow(4) + l2 - lu,
+        lu.pow(3) * (l2 + 1),
+    ];
+    let stage_counts_ok = (0..4).all(|i| g.stage_len(i) == expected_stages[i]);
+
+    let arrivals = g.instance.arrivals();
+    let stage_loads_ok = {
+        let stage_i_ii = arrivals[..g.stage_ends[1]]
+            .iter()
+            .all(|a| a.load() as usize == lu);
+        let stage_iii = arrivals[g.stage_ends[1]..g.stage_ends[2]]
+            .iter()
+            .all(|a| a.load() as usize == l2 - lu || a.load() as usize == l2);
+        let stage_iv = arrivals[g.stage_ends[2]..].iter().all(|a| a.load() == 1);
+        stage_i_ii && stage_iii && stage_iv
+    };
+
+    ConstructionAudit {
+        ell: l,
+        uniform_size_ok,
+        sigma_max_ok,
+        planted_count_ok,
+        planted_disjoint_ok,
+        stage_counts_ok,
+        stage_loads_ok,
+        sigma_mean_over_ell: st.sigma_mean / l as f64,
+        sigma_sq_over_ell3: st.sigma_sq_mean / (l as f64).powi(3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gadget_lb::gadget_lower_bound;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn audits_pass_for_all_small_prime_powers() {
+        for ell in [2u64, 3, 4, 5] {
+            for seed in 0..3 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let g = gadget_lower_bound(ell, &mut rng).unwrap();
+                let audit = audit_gadget_lower_bound(&g);
+                assert!(audit.all_ok(), "ℓ={ell} seed={seed}: {audit:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_constants_are_theta_1() {
+        // Across ℓ, the normalized load moments stay inside fixed bands —
+        // the executable meaning of the Θ(ℓ) / Θ(ℓ³) claims.
+        let mut c1s = Vec::new();
+        let mut c2s = Vec::new();
+        for ell in [3u64, 4, 5, 7] {
+            let mut rng = StdRng::seed_from_u64(1);
+            let g = gadget_lower_bound(ell, &mut rng).unwrap();
+            let audit = audit_gadget_lower_bound(&g);
+            c1s.push(audit.sigma_mean_over_ell);
+            c2s.push(audit.sigma_sq_over_ell3);
+        }
+        for &c in &c1s {
+            assert!((0.5..2.0).contains(&c), "σ̄/ℓ constants {c1s:?}");
+        }
+        for &c in &c2s {
+            assert!((0.2..1.0).contains(&c), "σ²/ℓ³ constants {c2s:?}");
+        }
+    }
+
+    #[test]
+    fn audit_detects_a_tampered_construction() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut g = gadget_lower_bound(3, &mut rng).unwrap();
+        // Claim a wrong planted family: drop half the sets.
+        g.planted.truncate(10);
+        let audit = audit_gadget_lower_bound(&g);
+        assert!(!audit.planted_count_ok);
+        assert!(!audit.all_ok());
+    }
+}

@@ -1,0 +1,322 @@
+//! The Lemma 9 / Figure 1 four-stage distribution behind Theorem 2.
+//!
+//! For a prime power `ℓ`, the construction samples an unweighted
+//! unit-capacity instance with `ℓ⁴` sets, all of size `k = 2ℓ² + ℓ + 1`,
+//! such that a planted family `S` of `ℓ³` pairwise-disjoint sets is
+//! completable by the optimum, while every deterministic online algorithm
+//! completes only `O((log ℓ / log log ℓ)²)` sets in expectation:
+//!
+//! * **Stage I** — partition the sets into `ℓ²` subcollections of `ℓ²`;
+//!   apply an `(ℓ,ℓ)`-gadget to each under a *uniformly random* bijection,
+//!   **without rows**. (`ℓ⁴` elements of load `ℓ`.)
+//! * **Stage II** — group the Stage I subcollections `ℓ` at a time into
+//!   `ℓ` collections of `ℓ³` sets; place each by concatenating its Stage I
+//!   matrices with *randomly permuted rows*; apply an `(ℓ,ℓ²)`-gadget,
+//!   without rows. (`ℓ⁵` elements of load `ℓ`.)
+//! * **Stage III** — pick a uniformly random row `u_t` of each Stage II
+//!   matrix; the union of those rows is the planted family `S` (`ℓ³`
+//!   sets). Apply an `(ℓ²−ℓ, ℓ²)`-gadget (with rows) to everything *not*
+//!   in `S`. (`Θ(ℓ⁴)` elements of load `Θ(ℓ²)`.)
+//! * **Stage IV** — complete each set in `S` with private load-1 elements.
+//!
+//! Two textual corrections relative to the paper (documented in
+//! DESIGN.md): the Stage II column offset is `ℓ·(z′−1)` (the printed
+//! `(ℓ−1)·z′` would overlap columns), and sets in `S` receive `ℓ²+1`
+//! completion elements so that *every* set has the common size
+//! `k = 2ℓ²+ℓ+1` (Stage III hands the non-planted sets `ℓ²+1` elements,
+//! `N+1` per Lemma 8).
+
+use rand::Rng;
+
+use osp_core::{Instance, InstanceBuilder, SetId};
+use osp_design::{apply_gadget, Bijection, Gadget};
+use osp_gf::prime::is_prime_power;
+
+use crate::AdvError;
+
+/// The sampled Lemma 9 instance with its certificates.
+#[derive(Debug, Clone)]
+pub struct GadgetLowerBound {
+    /// The OSP instance.
+    pub instance: Instance,
+    /// The planted family `S`: `ℓ³` pairwise-disjoint completable sets.
+    pub planted: Vec<SetId>,
+    /// The parameter `ℓ`.
+    pub ell: u64,
+    /// Element index (exclusive) at which each stage ends, for the
+    /// Figure 1 reproduction: `[end_I, end_II, end_III, end_IV]`.
+    pub stage_ends: [usize; 4],
+}
+
+impl GadgetLowerBound {
+    /// The common set size `k = 2ℓ² + ℓ + 1`.
+    pub fn set_size(&self) -> u64 {
+        2 * self.ell * self.ell + self.ell + 1
+    }
+
+    /// Number of elements contributed by stage `i` (0-based).
+    pub fn stage_len(&self, stage: usize) -> usize {
+        let start = if stage == 0 { 0 } else { self.stage_ends[stage - 1] };
+        self.stage_ends[stage] - start
+    }
+}
+
+/// Samples the four-stage construction for a prime power `ℓ ≥ 2`.
+///
+/// Sizes grow steeply: the instance has `ℓ⁴` sets and `Θ(ℓ⁵)` elements
+/// with `Θ(ℓ⁶)` incidences — `ℓ ≤ 9` stays comfortably in memory; `ℓ = 13`
+/// is around 10M incidences.
+///
+/// # Errors
+///
+/// * [`AdvError::NotPrimePower`] if `ℓ` is not a prime power.
+/// * [`AdvError::BadParameters`] if `ℓ < 2` or `ℓ > 16`.
+pub fn gadget_lower_bound<R: Rng + ?Sized>(
+    ell: u64,
+    rng: &mut R,
+) -> Result<GadgetLowerBound, AdvError> {
+    if !(2..=16).contains(&ell) {
+        return Err(AdvError::BadParameters(format!(
+            "ℓ must be in 2..=16, got {ell}"
+        )));
+    }
+    if !is_prime_power(ell) {
+        return Err(AdvError::NotPrimePower(ell));
+    }
+    let l = ell as usize;
+    let l2 = l * l;
+    let l3 = l2 * l;
+    let l4 = l2 * l2;
+    let k = (2 * l2 + l + 1) as u32;
+
+    let mut b = InstanceBuilder::new();
+    for _ in 0..l4 {
+        b.add_set(1.0, k);
+    }
+
+    // ---- Stage I ----------------------------------------------------
+    // Subcollection z (0-based) holds global sets [z·ℓ², (z+1)·ℓ²).
+    let gadget_i = Gadget::new(ell, ell).map_err(|e| AdvError::BadParameters(e.to_string()))?;
+    let mut stage_i_bijections: Vec<Bijection> = Vec::with_capacity(l2);
+    for z in 0..l2 {
+        let mu = Bijection::random(ell, ell, rng);
+        for line in apply_gadget(&gadget_i, &mu, false) {
+            let members: Vec<SetId> = line
+                .members
+                .iter()
+                .map(|&local| SetId((z * l2 + local) as u32))
+                .collect();
+            b.add_element(1, &members);
+        }
+        stage_i_bijections.push(mu);
+    }
+    let end_i = b.num_elements();
+
+    // ---- Stage II ---------------------------------------------------
+    // Collection t (0-based) = subcollections z ∈ [t·ℓ, (t+1)·ℓ), i.e.
+    // global sets [t·ℓ³, (t+1)·ℓ³). Concatenate their ℓ×ℓ matrices with
+    // fresh random row permutations into an ℓ×ℓ² matrix.
+    let gadget_ii =
+        Gadget::new(ell, (l2) as u64).map_err(|e| AdvError::BadParameters(e.to_string()))?;
+    let mut stage_ii_bijections: Vec<Bijection> = Vec::with_capacity(l);
+    for t in 0..l {
+        let blocks: Vec<&Bijection> = (0..l).map(|z| &stage_i_bijections[t * l + z]).collect();
+        let offsets: Vec<usize> = (0..l).map(|z| z * l2).collect();
+        let mu = Bijection::concat_with_row_perms(&blocks, &offsets, rng);
+        for line in apply_gadget(&gadget_ii, &mu, false) {
+            let members: Vec<SetId> = line
+                .members
+                .iter()
+                .map(|&local| SetId((t * l3 + local) as u32))
+                .collect();
+            b.add_element(1, &members);
+        }
+        stage_ii_bijections.push(mu);
+    }
+    let end_ii = b.num_elements();
+
+    // ---- Stage III --------------------------------------------------
+    // Planted family S: a uniformly random row of each Stage II matrix.
+    let mut in_s = vec![false; l4];
+    let mut planted: Vec<SetId> = Vec::with_capacity(l3);
+    for (t, mu) in stage_ii_bijections.iter().enumerate() {
+        let u_t = rng.gen_range(0..l as u64);
+        for local in mu.row_sets(u_t) {
+            let global = t * l3 + local;
+            in_s[global] = true;
+            planted.push(SetId(global as u32));
+        }
+    }
+    // Apply an (ℓ²−ℓ, ℓ²)-gadget, with rows, to C \ S under an arbitrary
+    // (identity-ordered) bijection.
+    let rest: Vec<usize> = (0..l4).filter(|&s| !in_s[s]).collect();
+    debug_assert_eq!(rest.len(), l4 - l3);
+    let gadget_iii = Gadget::new((l2 - l) as u64, l2 as u64)
+        .map_err(|e| AdvError::BadParameters(e.to_string()))?;
+    let mu_iii = Bijection::identity((l2 - l) as u64, l2 as u64);
+    for line in apply_gadget(&gadget_iii, &mu_iii, true) {
+        let members: Vec<SetId> = line
+            .members
+            .iter()
+            .map(|&local| SetId(rest[local] as u32))
+            .collect();
+        b.add_element(1, &members);
+    }
+    let end_iii = b.num_elements();
+
+    // ---- Stage IV ---------------------------------------------------
+    // Sets in S have ℓ + ℓ² elements so far; top up to k with private
+    // load-1 elements.
+    let completion = (k as usize) - l - l2;
+    debug_assert_eq!(completion, l2 + 1);
+    for &s in &planted {
+        for _ in 0..completion {
+            b.add_element(1, &[s]);
+        }
+    }
+    let end_iv = b.num_elements();
+
+    let instance = b
+        .build()
+        .map_err(|e| AdvError::BadParameters(format!("internal construction error: {e}")))?;
+    planted.sort_unstable();
+    Ok(GadgetLowerBound {
+        instance,
+        planted,
+        ell,
+        stage_ends: [end_i, end_ii, end_iii, end_iv],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osp_core::algorithms::{GreedyOnline, RandPr, TieBreak};
+    use osp_core::run;
+    use osp_core::stats::InstanceStats;
+    use osp_opt::conflict::is_feasible;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(ell: u64, seed: u64) -> GadgetLowerBound {
+        let mut rng = StdRng::seed_from_u64(seed);
+        gadget_lower_bound(ell, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn lemma_9_shape_ell_3() {
+        let g = sample(3, 0);
+        let st = InstanceStats::compute(&g.instance);
+        let l = 3usize;
+        assert_eq!(st.m, l.pow(4));
+        assert_eq!(st.uniform_size, Some((2 * l * l + l + 1) as u32));
+        assert_eq!(g.planted.len(), l.pow(3));
+        assert!(st.unweighted);
+        assert!(st.unit_capacity);
+        // Element counts per stage: ℓ⁴, ℓ⁵, ℓ⁴ + (ℓ²−ℓ), ℓ³·(ℓ²+1).
+        assert_eq!(g.stage_len(0), l.pow(4));
+        assert_eq!(g.stage_len(1), l.pow(5));
+        assert_eq!(g.stage_len(2), l.pow(4) + l * l - l);
+        assert_eq!(g.stage_len(3), l.pow(3) * (l * l + 1));
+    }
+
+    #[test]
+    fn load_profile_matches_lemma_9() {
+        let g = sample(3, 1);
+        let l = 3u32;
+        let arrivals = g.instance.arrivals();
+        // Stage I and II: load ℓ.
+        for a in &arrivals[..g.stage_ends[1]] {
+            assert_eq!(a.load(), l);
+        }
+        // Stage III: affine lines load ℓ²−ℓ, rows load ℓ².
+        let stage_iii = &arrivals[g.stage_ends[1]..g.stage_ends[2]];
+        let affine_count = stage_iii.iter().filter(|a| a.load() == l * l - l).count();
+        let row_count = stage_iii.iter().filter(|a| a.load() == l * l).count();
+        assert_eq!(affine_count, (l * l * l * l) as usize);
+        assert_eq!(row_count, (l * l - l) as usize);
+        // Stage IV: load 1.
+        for a in &arrivals[g.stage_ends[2]..] {
+            assert_eq!(a.load(), 1);
+        }
+        // σ_max = ℓ².
+        let st = InstanceStats::compute(&g.instance);
+        assert_eq!(st.sigma_max, l * l);
+    }
+
+    #[test]
+    fn planted_family_is_feasible_and_disjoint() {
+        for ell in [2u64, 3, 4] {
+            let g = sample(ell, 2);
+            assert!(is_feasible(&g.instance, &g.planted), "ℓ={ell}");
+            // Disjointness: no element contains two planted sets.
+            let mut planted = vec![false; g.instance.num_sets()];
+            for &s in &g.planted {
+                planted[s.index()] = true;
+            }
+            for a in g.instance.arrivals() {
+                let hits = a.members().iter().filter(|s| planted[s.index()]).count();
+                assert!(hits <= 1, "ℓ={ell}: element carries {hits} planted sets");
+            }
+        }
+    }
+
+    #[test]
+    fn theta_bounds_on_averages() {
+        // σ̄ = Θ(ℓ) and σ² = Θ(ℓ³) per Lemma 9 — check the ratio stays
+        // within fixed constants across ℓ.
+        for ell in [3u64, 4, 5] {
+            let g = sample(ell, 3);
+            let st = InstanceStats::compute(&g.instance);
+            let l = ell as f64;
+            let c1 = st.sigma_mean / l;
+            let c2 = st.sigma_sq_mean / (l * l * l);
+            assert!((0.2..5.0).contains(&c1), "ℓ={ell}: σ̄/ℓ = {c1}");
+            assert!((0.2..5.0).contains(&c2), "ℓ={ell}: σ²/ℓ³ = {c2}");
+        }
+    }
+
+    #[test]
+    fn deterministic_algorithms_complete_few_sets() {
+        // opt ≥ ℓ³ = 125; deterministic baselines should complete a
+        // polylog number. Generous threshold: ℓ³ / 4.
+        let g = sample(5, 4);
+        for policy in [TieBreak::ByIndex, TieBreak::ByWeight, TieBreak::ByFewestRemaining] {
+            let out = run(&g.instance, &mut GreedyOnline::new(policy)).unwrap();
+            assert!(
+                out.completed().len() < 125 / 4,
+                "{policy:?} completed {}",
+                out.completed().len()
+            );
+        }
+    }
+
+    #[test]
+    fn rand_pr_also_bounded_on_this_distribution() {
+        // Theorem 2 applies to randomized algorithms too (in expectation
+        // over the construction); on a single sample randPr should still
+        // complete far fewer than ℓ³ sets.
+        let g = sample(4, 5);
+        let out = run(&g.instance, &mut RandPr::from_seed(0)).unwrap();
+        assert!((out.completed().len() as u64) < 4u64.pow(3) / 2);
+    }
+
+    #[test]
+    fn parameters_validated() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            gadget_lower_bound(6, &mut rng),
+            Err(AdvError::NotPrimePower(6))
+        ));
+        assert!(gadget_lower_bound(1, &mut rng).is_err());
+        assert!(gadget_lower_bound(17, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = sample(3, 9);
+        let b = sample(3, 9);
+        assert_eq!(a.instance, b.instance);
+        assert_eq!(a.planted, b.planted);
+    }
+}

@@ -1,0 +1,57 @@
+//! # osp-adversary — the paper's lower-bound constructions, executable
+//!
+//! Section 4 of *Emek et al., PODC 2010* proves two lower bounds on the
+//! competitive ratio of online set packing. This crate turns both proofs
+//! into runnable machinery:
+//!
+//! * [`deterministic`] — the **Theorem 3 adversary**: an *adaptive*
+//!   construction that plays against any live deterministic algorithm
+//!   through the engine's [`Session`](osp_core::Session) API and leaves it
+//!   with at most one completed set while a certified optimum completes
+//!   `σ^(k−1)`.
+//! * [`weak`] — the **warm-up construction** of §4.2: `t²` sets, `t` row
+//!   elements, `t²` random permutation elements; yields the `Ω(σ/log σ)`
+//!   bound.
+//! * [`gadget_lb`] — the **Lemma 9 / Figure 1 distribution**: the four-stage
+//!   construction over `(M,N)`-gadgets with `ℓ⁴` sets of uniform size
+//!   `k = 2ℓ² + ℓ + 1`, planted optimum of `ℓ³` disjoint sets, and
+//!   `E[alg] = O((log ℓ / log log ℓ)²)` for every deterministic algorithm —
+//!   the engine behind Theorem 2.
+//!
+//! Every construction returns a normal [`Instance`](osp_core::Instance)
+//! plus its certificates (the planted optimum, stage metadata), so the
+//! experiment harness can replay them against any algorithm and verify the
+//! claimed invariants directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod deterministic;
+pub mod gadget_lb;
+pub mod weak;
+
+use std::fmt;
+
+/// Errors constructing adversarial instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdvError {
+    /// Parameters out of the supported range (too small or too large).
+    BadParameters(String),
+    /// The gadget construction requires `ℓ` to be a prime power.
+    NotPrimePower(u64),
+    /// The driven algorithm emitted an invalid decision.
+    Algorithm(String),
+}
+
+impl fmt::Display for AdvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdvError::BadParameters(msg) => write!(f, "bad adversary parameters: {msg}"),
+            AdvError::NotPrimePower(l) => write!(f, "ℓ = {l} is not a prime power"),
+            AdvError::Algorithm(msg) => write!(f, "algorithm error during adversary run: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AdvError {}

@@ -1,0 +1,177 @@
+//! The warm-up randomized lower bound of §4.2 (`Ω(σ/log σ)`).
+//!
+//! The input has `t²` sets `S_{ij}`, `i, j ∈ [t]`. First the adversary
+//! presents `t` *row elements* `u_i ∈ S_{ij}` for all `j`. Then it presents
+//! `t²` random *permutation elements* `v_ℓ`: each contains exactly one set
+//! per row, with all column indices distinct (`v_ℓ = {S_{i,ρ_ℓ(i)}}` for a
+//! uniformly random permutation `ρ_ℓ`), so any two sets it contains differ
+//! in both row and column — the condition stated in the paper. Any pair of
+//! sets the online algorithm keeps after the row elements collides in some
+//! `v_ℓ` with constant probability, so only `O(log t)` of them survive; the
+//! optimum completes a full column (`t` pairwise-disjoint sets).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use osp_core::{Instance, InstanceBuilder, SetId};
+
+use crate::AdvError;
+
+/// The sampled weak-lower-bound instance with its certificates.
+#[derive(Debug, Clone)]
+pub struct WeakLowerBound {
+    /// The OSP instance (unweighted, unit capacity).
+    pub instance: Instance,
+    /// The planted optimum: the sets of one (hidden) column — pairwise
+    /// disjoint by construction.
+    pub planted: Vec<SetId>,
+    /// The side length `t`.
+    pub t: usize,
+    /// The hidden grid: `grid[i*t + j]` is the set placed at `(i, j)`.
+    /// Set ids are a uniformly random relabeling of the grid positions, so
+    /// the column structure is invisible to the online algorithm (this is
+    /// essential: with identity labels, first-fit would reconstruct a
+    /// column and beat the bound).
+    pub grid: Vec<SetId>,
+}
+
+impl WeakLowerBound {
+    /// The set at grid position `(i, j)`.
+    pub fn set_at(&self, i: usize, j: usize) -> SetId {
+        self.grid[i * self.t + j]
+    }
+}
+
+/// Samples the §4.2 warm-up construction with side `t ≥ 2`.
+///
+/// # Errors
+///
+/// Returns [`AdvError::BadParameters`] if `t < 2` or `t² > 2^20`.
+pub fn weak_lower_bound<R: Rng + ?Sized>(
+    t: usize,
+    rng: &mut R,
+) -> Result<WeakLowerBound, AdvError> {
+    if t < 2 {
+        return Err(AdvError::BadParameters(format!("need t ≥ 2, got {t}")));
+    }
+    if t * t > 1 << 20 {
+        return Err(AdvError::BadParameters(format!(
+            "t² = {} exceeds the 2^20 set budget",
+            t * t
+        )));
+    }
+
+    let mut b = InstanceBuilder::new();
+    // Sizes are data-dependent, so infer them. Ids are a random relabeling
+    // of grid positions: the algorithm must not be able to read columns
+    // off the identifiers.
+    let mut grid: Vec<SetId> = (0..t * t).map(|_| b.add_set_unsized(1.0)).collect();
+    grid.shuffle(rng);
+    let set_at = |i: usize, j: usize| grid[i * t + j];
+
+    // Row elements u_i = {S_{ij} : j}.
+    for i in 0..t {
+        let members: Vec<SetId> = (0..t).map(|j| set_at(i, j)).collect();
+        b.add_element(1, &members);
+    }
+
+    // Permutation elements v_ℓ = {S_{i, ρ_ℓ(i)} : i}.
+    let mut perm: Vec<usize> = (0..t).collect();
+    for _ in 0..t * t {
+        perm.shuffle(rng);
+        let members: Vec<SetId> = (0..t).map(|i| set_at(i, perm[i])).collect();
+        b.add_element(1, &members);
+    }
+
+    // Some set may have appeared only in its row element; that is fine —
+    // sizes are inferred, and every set saw its row element, so none is
+    // empty.
+    let instance = b.build().expect("construction produces a valid instance");
+    let mut planted: Vec<SetId> = (0..t).map(|i| set_at(i, 0)).collect();
+    planted.sort_unstable();
+    Ok(WeakLowerBound {
+        instance,
+        planted,
+        t,
+        grid,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osp_core::algorithms::{GreedyOnline, TieBreak};
+    use osp_core::run;
+    use osp_core::stats::InstanceStats;
+    use osp_opt::conflict::is_feasible;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_is_as_stated() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = weak_lower_bound(6, &mut rng).unwrap();
+        let st = InstanceStats::compute(&w.instance);
+        assert_eq!(st.m, 36);
+        assert_eq!(st.n, 6 + 36);
+        // Every element has load exactly t.
+        assert_eq!(st.uniform_load, Some(6));
+        assert!(st.unweighted);
+        assert!(st.unit_capacity);
+    }
+
+    #[test]
+    fn planted_column_is_feasible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for t in [2, 3, 5, 8] {
+            let w = weak_lower_bound(t, &mut rng).unwrap();
+            assert_eq!(w.planted.len(), t);
+            assert!(is_feasible(&w.instance, &w.planted), "t={t}");
+        }
+    }
+
+    #[test]
+    fn permutation_elements_hit_each_row_once() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = 5;
+        let w = weak_lower_bound(t, &mut rng).unwrap();
+        // Invert the hidden grid: position of each set.
+        let mut pos = vec![(0usize, 0usize); t * t];
+        for i in 0..t {
+            for j in 0..t {
+                pos[w.set_at(i, j).index()] = (i, j);
+            }
+        }
+        for a in w.instance.arrivals().iter().skip(t) {
+            let mut rows: Vec<usize> = a.members().iter().map(|s| pos[s.index()].0).collect();
+            rows.sort_unstable();
+            rows.dedup();
+            assert_eq!(rows.len(), t, "an element repeats a row");
+            let mut cols: Vec<usize> = a.members().iter().map(|s| pos[s.index()].1).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            assert_eq!(cols.len(), t, "an element repeats a column");
+        }
+    }
+
+    #[test]
+    fn greedy_survives_far_fewer_than_opt() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = 16;
+        let w = weak_lower_bound(t, &mut rng).unwrap();
+        let out = run(&w.instance, &mut GreedyOnline::new(TieBreak::ByIndex)).unwrap();
+        // Theory: O(log t) survivors vs opt = t. Allow slack but require a gap.
+        assert!(
+            (out.completed().len() as f64) < t as f64 / 2.0,
+            "greedy completed {} of {t}",
+            out.completed().len()
+        );
+    }
+
+    #[test]
+    fn parameters_validated() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(weak_lower_bound(1, &mut rng).is_err());
+        assert!(weak_lower_bound(2000, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Criterion bench: adversarial construction and generator costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osp_adversary::gadget_lb::gadget_lower_bound;
+use osp_adversary::weak::weak_lower_bound;
+use osp_core::gen::{biregular_instance, random_instance, RandomInstanceConfig};
+use osp_net::trace::{video_trace, VideoTraceConfig};
+use osp_net::trace_to_instance;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_constructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+
+    for ell in [3u64, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("gadget_lb", ell), &ell, |b, &ell| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = StdRng::seed_from_u64(seed);
+                gadget_lower_bound(ell, &mut rng).unwrap().instance.num_elements()
+            })
+        });
+    }
+
+    for t in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("weak_lb", t), &t, |b, &t| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut rng = StdRng::seed_from_u64(seed);
+                weak_lower_bound(t, &mut rng).unwrap().instance.num_elements()
+            })
+        });
+    }
+
+    group.bench_function("biregular_m60_k5_s4", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            biregular_instance(60, 5, 4, &mut rng).unwrap().num_elements()
+        })
+    });
+
+    group.bench_function("random_instance_m200_n2000_s8", |b| {
+        let cfg = RandomInstanceConfig::unweighted(200, 2000, 8);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            random_instance(&cfg, &mut rng).unwrap().num_elements()
+        })
+    });
+
+    group.bench_function("video_trace_and_mapping", |b| {
+        let cfg = VideoTraceConfig {
+            sources: 8,
+            frames_per_source: 60,
+            gop: osp_net::GopConfig::standard(),
+            frame_interval: 8,
+            capacity: 4,
+            jitter: 0,
+        };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let trace = video_trace(&cfg, &mut rng);
+            trace_to_instance(&trace).instance.num_elements()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_constructions
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: priority machinery — the per-packet hot path of the
+//! distributed implementation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use osp_core::priority::Rw;
+use osp_gf::hash::PolyHash;
+use osp_gf::Gf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_priority(c: &mut Criterion) {
+    let mut group = c.benchmark_group("priority");
+
+    group.bench_function("rw_sample_w3.5", |b| {
+        let rw = Rw::new(3.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        b.iter(|| rw.sample(&mut rng))
+    });
+
+    for independence in [2usize, 8, 64] {
+        group.bench_function(format!("poly_hash_eval_{independence}wise"), |b| {
+            let h = PolyHash::new(independence, 1);
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                h.eval(black_box(x))
+            })
+        });
+    }
+
+    group.bench_function("hash_priority_pipeline", |b| {
+        // hash -> unit interval -> R_w quantile: one distributed priority.
+        let h = PolyHash::new(8, 2);
+        let rw = Rw::new(2.0).unwrap();
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            rw.from_uniform(h.unit(black_box(x)))
+        })
+    });
+
+    group.bench_function("gf_mul_gf256", |b| {
+        let f = Gf::new(256).unwrap();
+        let mut x = 1u64;
+        b.iter(|| {
+            x = (x % 255) + 1;
+            f.mul(black_box(x), black_box(193))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_priority
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: offline solver ladder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osp_core::gen::{random_instance, RandomInstanceConfig};
+use osp_core::Instance;
+use osp_opt::dual::density_dual_bound;
+use osp_opt::greedy::{greedy_offline, GreedyOrder};
+use osp_opt::mwu::fractional_packing;
+use osp_opt::{branch_and_bound, BnbConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload(m: usize, n: usize, sigma: u32, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_instance(&RandomInstanceConfig::unweighted(m, n, sigma), &mut rng)
+        .expect("feasible bench workload")
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers");
+
+    for (m, n) in [(20usize, 40usize), (30, 60), (40, 80)] {
+        let inst = workload(m, n, 3, 7);
+        group.bench_with_input(
+            BenchmarkId::new("branch_and_bound", format!("m{m}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| branch_and_bound(inst, &BnbConfig::default()).value)
+            },
+        );
+    }
+
+    let big = workload(400, 1200, 6, 11);
+    group.bench_function("greedy_offline_m400", |b| {
+        b.iter(|| greedy_offline(&big, GreedyOrder::ByDensity).0)
+    });
+    group.bench_function("density_dual_m400", |b| {
+        b.iter(|| density_dual_bound(&big))
+    });
+    group.bench_function("mwu_eps0.1_m400", |b| {
+        b.iter(|| fractional_packing(&big, 0.1).dual)
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_solvers
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! The experiment runner binary.
+//!
+//! ```text
+//! experiments [--quick] [--seed N] [--json DIR] [ids... | all]
+//! ```
+//!
+//! Prints each experiment's report as markdown (the tables recorded in
+//! EXPERIMENTS.md) and optionally dumps the reports as JSON artifacts.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use osp_bench::{experiments, Scale};
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Full;
+    let mut seed = 20_100_217u64; // the paper's date, for flavor
+    let mut json_dir: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage("--seed needs an integer"),
+            },
+            "--json" => match args.next() {
+                Some(dir) => json_dir = Some(dir),
+                None => return usage("--json needs a directory"),
+            },
+            "--help" | "-h" => return usage(""),
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag {other}"));
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = experiments::ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    if let Some(dir) = &json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut failures = 0u32;
+    for id in &ids {
+        let started = std::time::Instant::now();
+        match experiments::run(id, scale, seed) {
+            Some(report) => {
+                println!("{}", report.to_markdown());
+                println!(
+                    "_[{id}] completed in {:.1}s_\n",
+                    started.elapsed().as_secs_f64()
+                );
+                if let Some(dir) = &json_dir {
+                    let path = format!("{dir}/{id}.json");
+                    match std::fs::File::create(&path).map(|mut f| {
+                        serde_json::to_string_pretty(&report)
+                            .map(|s| f.write_all(s.as_bytes()))
+                    }) {
+                        Ok(Ok(Ok(()))) => {}
+                        _ => eprintln!("warning: failed to write {path}"),
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (known: {:?})", experiments::ALL);
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: experiments [--quick] [--seed N] [--json DIR] [ids... | all]\n\
+         known ids: {:?}",
+        experiments::ALL
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,106 @@
+//! `thm5` — uniform set size: Theorem 5 and Corollary 7.
+//!
+//! Theorem 5 (uniform size `k`): ratio ≤ `k·σ²/σ̄²`. Corollary 7 (uniform
+//! size *and* uniform load): ratio ≤ `k`, the paper's only bound
+//! independent of the load. Bi-regular instances exercise Corollary 7;
+//! skewed fixed-size instances exercise Theorem 5 where `σ² ≫ σ̄²`.
+
+use osp_core::algorithms::RandPr;
+use osp_core::bounds;
+use osp_core::gen::{biregular_instance, fixed_size_instance};
+use osp_core::stats::InstanceStats;
+use osp_stats::SeedSequence;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::ratio::{conservative_ratio, measure, opt_bracket};
+use crate::report::{NamedTable, Report};
+use crate::Scale;
+
+/// Runs the experiment.
+pub fn run(scale: Scale, seed: u64) -> Report {
+    let trials: u32 = scale.pick(100, 400);
+    let mut seeds = SeedSequence::new(seed).child("thm5");
+
+    let mut report = Report::new(
+        "thm5",
+        "Theorem 5 / Corollary 7: uniform set size",
+        "Uniform size k: ratio ≤ k·σ²/σ̄² (Thm 5); adding uniform load drops it to k \
+         (Cor 7) — independent of σ. The bi-regular rows must sit below k even as σ \
+         grows; the skewed rows must sit below the dispersion-corrected bound.",
+    );
+
+    // Corollary 7: bi-regular sweep with growing load.
+    let biregular_params: &[(usize, u32, u32)] = scale.pick(
+        &[(24usize, 3u32, 2u32), (24, 3, 6)][..],
+        &[(24, 3, 2), (24, 3, 6), (24, 3, 12), (40, 5, 4), (40, 5, 10), (40, 5, 20)][..],
+    );
+    let mut cor7 = NamedTable::new(
+        "Corollary 7 — bi-regular (uniform k and σ): ratio ≤ k regardless of σ",
+        &["m", "k", "σ", "opt bracket", "E[randPr]", "measured ≤", "Cor7 bound k", "holds"],
+    );
+    let mut all_hold = true;
+    for &(m, k, sigma) in biregular_params {
+        let mut rng = StdRng::seed_from_u64(seeds.next_seed());
+        let inst = biregular_instance(m, k, sigma, &mut rng).expect("feasible bi-regular");
+        let st = InstanceStats::compute(&inst);
+        let bracket = opt_bracket(&inst);
+        let meas = measure(&inst, |s| Box::new(RandPr::from_seed(s)), trials, &mut seeds);
+        let measured = conservative_ratio(&bracket, &meas);
+        let bound = bounds::corollary_7(&st).expect("bi-regular is doubly uniform");
+        let holds = measured <= bound + 1e-9;
+        all_hold &= holds;
+        cor7.row(vec![
+            m.to_string(),
+            k.to_string(),
+            sigma.to_string(),
+            format!(
+                "[{:.1}, {:.1}]{}",
+                bracket.lower,
+                bracket.upper,
+                if bracket.exact { " exact" } else { "" }
+            ),
+            format!("{:.2} ± {:.2}", meas.mean, meas.ci.width() / 2.0),
+            format!("{measured:.2}"),
+            format!("{bound:.0}"),
+            holds.to_string(),
+        ]);
+    }
+    report.table(cor7);
+
+    // Theorem 5: fixed size, skewed loads.
+    let skews: &[f64] = scale.pick(&[0.0, 1.2][..], &[0.0, 0.6, 1.2, 1.8][..]);
+    let mut t5 = NamedTable::new(
+        "Theorem 5 — fixed size k=4 (m=50, n=120), skewed loads: ratio ≤ k·σ²/σ̄²",
+        &["skew", "σ̄", "σ²/σ̄²", "measured ≤", "Thm5 bound", "Cor7-style k", "holds"],
+    );
+    for &skew in skews {
+        let mut rng = StdRng::seed_from_u64(seeds.next_seed());
+        let inst = fixed_size_instance(50, 4, 120, skew, &mut rng).expect("feasible");
+        let st = InstanceStats::compute(&inst);
+        let bracket = opt_bracket(&inst);
+        let meas = measure(&inst, |s| Box::new(RandPr::from_seed(s)), trials, &mut seeds);
+        let measured = conservative_ratio(&bracket, &meas);
+        let bound = bounds::theorem_5(&st).expect("uniform size by construction");
+        let holds = measured <= bound + 1e-9;
+        all_hold &= holds;
+        t5.row(vec![
+            format!("{skew:.1}"),
+            format!("{:.2}", st.sigma_mean),
+            format!("{:.2}", st.sigma_sq_mean / (st.sigma_mean * st.sigma_mean)),
+            format!("{measured:.2}"),
+            format!("{bound:.2}"),
+            format!("{}", st.k_max),
+            holds.to_string(),
+        ]);
+    }
+    report.table(t5);
+    report.note(if all_hold {
+        "Verdict: all bi-regular ratios stay below k across the σ sweep (the bound is \
+         load-independent, as Corollary 7 claims), and the dispersion-corrected Theorem 5 \
+         bound absorbs the skewed-load cases."
+    } else {
+        "Verdict: a bound was violated — inspect the table."
+    });
+    report
+}

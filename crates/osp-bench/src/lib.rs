@@ -1,0 +1,42 @@
+//! # osp-bench — the experiment harness
+//!
+//! Regenerates every experiment of the reproduction (see DESIGN.md §5 for
+//! the experiment index): one module per paper result under
+//! [`experiments`], shared measurement machinery in [`ratio`], and
+//! serializable reports in [`report`].
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run -p osp-bench --release --bin experiments -- all
+//! cargo run -p osp-bench --release --bin experiments -- --quick thm1 fig1
+//! ```
+//!
+//! Each experiment prints markdown tables (recorded in EXPERIMENTS.md) and
+//! can additionally dump JSON artifacts with `--json <dir>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod ratio;
+pub mod report;
+
+/// How big an experiment should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small parameters for smoke tests and CI (seconds).
+    Quick,
+    /// The full parameter sweeps recorded in EXPERIMENTS.md (minutes).
+    Full,
+}
+
+impl Scale {
+    /// Picks `q` under [`Scale::Quick`] and `f` under [`Scale::Full`].
+    pub fn pick<T>(self, q: T, f: T) -> T {
+        match self {
+            Scale::Quick => q,
+            Scale::Full => f,
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Online algorithms for OSP: the paper's `randPr` (centralized and
+//! distributed) and the baselines it is compared against.
+//!
+//! | Algorithm | Source | Character |
+//! |-----------|--------|-----------|
+//! | [`RandPr`] | §3.1 | one random priority per set from `R_w`; provably `k_max√σ_max`-competitive |
+//! | [`HashRandPr`] | §3.1 | same, but priorities from a shared limited-independence hash — runs identically on every distributed server |
+//! | [`GreedyOnline`] | folklore | deterministic; keeps the best *active* sets under a [`TieBreak`] policy; Theorem 3 victim |
+//! | [`RandomAssign`] | ablation | a fresh coin per element; shows why randPr's *consistent* priorities matter |
+
+mod greedy;
+mod hash_pr;
+mod oracle;
+mod rand_pr;
+mod random_assign;
+
+pub use greedy::{GreedyOnline, TieBreak};
+pub use hash_pr::HashRandPr;
+pub use oracle::OracleOnline;
+pub use rand_pr::RandPr;
+pub use random_assign::RandomAssign;
+
+use crate::SetId;
+
+/// Picks the (up to) `b` member sets with the largest keys, deterministically
+/// (keys must be totally ordered and unique, which all callers guarantee via
+/// tiebreak tokens).
+pub(crate) fn top_b_by_key<K: Ord + Copy>(
+    members: &[SetId],
+    b: usize,
+    mut key: impl FnMut(SetId) -> K,
+) -> Vec<SetId> {
+    if members.len() <= b {
+        return members.to_vec();
+    }
+    let mut keyed: Vec<(K, SetId)> = members.iter().map(|&s| (key(s), s)).collect();
+    // Highest keys first; select the top b in O(σ) average time.
+    keyed.select_nth_unstable_by(b - 1, |x, y| y.0.cmp(&x.0));
+    keyed.truncate(b);
+    keyed.into_iter().map(|(_, s)| s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_b_selects_largest() {
+        let members: Vec<SetId> = (0..6).map(SetId).collect();
+        let keys = [3u64, 9, 1, 7, 5, 2];
+        let mut picked = top_b_by_key(&members, 2, |s| keys[s.index()]);
+        picked.sort_unstable();
+        assert_eq!(picked, vec![SetId(1), SetId(3)]);
+    }
+
+    #[test]
+    fn top_b_with_fewer_members_returns_all() {
+        let members = vec![SetId(4), SetId(2)];
+        let picked = top_b_by_key(&members, 5, |s| s.0);
+        assert_eq!(picked, members);
+    }
+
+    #[test]
+    fn top_b_exact_size() {
+        let members = vec![SetId(0), SetId(1)];
+        let picked = top_b_by_key(&members, 2, |s| s.0);
+        assert_eq!(picked.len(), 2);
+    }
+}

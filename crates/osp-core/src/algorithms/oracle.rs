@@ -1,0 +1,126 @@
+//! Oracle replay: an "algorithm" that plays a predetermined packing.
+//!
+//! Given a target family of sets (typically a certified offline optimum),
+//! [`OracleOnline`] assigns every element to its target members and
+//! nothing else. Running it through the engine proves, end to end, that
+//! the target family really is completable under the online rules — this
+//! is how integration tests validate solver outputs and adversary
+//! certificates without trusting any feasibility checker.
+
+use crate::algorithm::{EngineView, OnlineAlgorithm};
+use crate::instance::{Arrival, SetMeta};
+use crate::SetId;
+
+/// Replays a fixed target packing.
+///
+/// # Examples
+///
+/// ```
+/// use osp_core::prelude::*;
+/// use osp_core::algorithms::OracleOnline;
+///
+/// let mut b = InstanceBuilder::new();
+/// let s0 = b.add_set(1.0, 1);
+/// let s1 = b.add_set(9.0, 1);
+/// b.add_element(1, &[s0, s1]);
+/// let inst = b.build()?;
+/// // Force the low-weight choice — oracles play *their* plan, not the best one.
+/// let out = run(&inst, &mut OracleOnline::new(vec![s0]))?;
+/// assert_eq!(out.completed(), &[s0]);
+/// # Ok::<(), osp_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OracleOnline {
+    target: Vec<SetId>,
+    chosen: Vec<bool>,
+}
+
+impl OracleOnline {
+    /// Creates the oracle for a target family (order irrelevant).
+    pub fn new(target: Vec<SetId>) -> Self {
+        OracleOnline {
+            target,
+            chosen: Vec::new(),
+        }
+    }
+
+    /// The target family, sorted.
+    pub fn target(&self) -> Vec<SetId> {
+        let mut t = self.target.clone();
+        t.sort_unstable();
+        t
+    }
+}
+
+impl OnlineAlgorithm for OracleOnline {
+    fn name(&self) -> String {
+        format!("oracle[{} sets]", self.target.len())
+    }
+
+    fn begin(&mut self, sets: &[SetMeta]) {
+        self.chosen = vec![false; sets.len()];
+        for s in &self.target {
+            self.chosen[s.index()] = true;
+        }
+    }
+
+    fn decide(&mut self, arrival: &Arrival, _view: &EngineView<'_>) -> Vec<SetId> {
+        // Assign to target members only; if the plan is infeasible the
+        // engine rejects the over-capacity decision, which is exactly the
+        // verdict callers want.
+        arrival
+            .members()
+            .iter()
+            .copied()
+            .filter(|s| self.chosen[s.index()])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+    use crate::instance::InstanceBuilder;
+    use crate::Error;
+
+    fn conflict_instance() -> (crate::Instance, [SetId; 3]) {
+        let mut b = InstanceBuilder::new();
+        let s0 = b.add_set(1.0, 1);
+        let s1 = b.add_set(2.0, 2);
+        let s2 = b.add_set(3.0, 1);
+        b.add_element(1, &[s0, s1]);
+        b.add_element(1, &[s1, s2]);
+        (b.build().unwrap(), [s0, s1, s2])
+    }
+
+    #[test]
+    fn feasible_plans_complete_exactly_the_target() {
+        let (inst, [s0, _, s2]) = conflict_instance();
+        let out = run(&inst, &mut OracleOnline::new(vec![s2, s0])).unwrap();
+        assert_eq!(out.completed(), &[s0, s2]);
+        assert_eq!(out.benefit(), 4.0);
+    }
+
+    #[test]
+    fn middle_set_alone_works() {
+        let (inst, [_, s1, _]) = conflict_instance();
+        let out = run(&inst, &mut OracleOnline::new(vec![s1])).unwrap();
+        assert_eq!(out.completed(), &[s1]);
+    }
+
+    #[test]
+    fn infeasible_plans_are_rejected_by_the_engine() {
+        let (inst, [s0, s1, _]) = conflict_instance();
+        // s0 and s1 share the capacity-1 first element.
+        let err = run(&inst, &mut OracleOnline::new(vec![s0, s1])).unwrap_err();
+        assert!(matches!(err, Error::DecisionOverCapacity { .. }));
+    }
+
+    #[test]
+    fn empty_target_completes_nothing() {
+        let (inst, _) = conflict_instance();
+        let out = run(&inst, &mut OracleOnline::new(vec![])).unwrap();
+        assert!(out.completed().is_empty());
+    }
+}

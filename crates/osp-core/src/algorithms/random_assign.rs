@@ -1,0 +1,126 @@
+//! Naive randomized baseline: a fresh coin for every element.
+//!
+//! `randPr`'s power comes from drawing *one* priority per set and using it
+//! consistently at every element — so a set that wins once keeps winning.
+//! [`RandomAssign`] deliberately breaks that property by choosing uniformly
+//! at random among the (active) member sets independently at each element.
+//! On a set of size `k` facing load `σ` everywhere it survives with
+//! probability about `σ^{-k}` instead of `randPr`'s `1/(kσ)`-ish rate; the
+//! `A2` ablation experiment shows the resulting collapse.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::algorithm::{EngineView, OnlineAlgorithm};
+use crate::instance::{Arrival, SetMeta};
+use crate::SetId;
+
+/// Per-element uniform random assignment (active-set aware).
+///
+/// # Examples
+///
+/// ```
+/// use osp_core::prelude::*;
+///
+/// let mut b = InstanceBuilder::new();
+/// let s = b.add_set(1.0, 1);
+/// b.add_element(1, &[s]);
+/// let inst = b.build()?;
+/// let out = run(&inst, &mut RandomAssign::from_seed(3))?;
+/// assert_eq!(out.completed(), &[s]);
+/// # Ok::<(), osp_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomAssign {
+    rng: StdRng,
+}
+
+impl RandomAssign {
+    /// Creates the baseline with a seeded RNG.
+    pub fn from_seed(seed: u64) -> Self {
+        RandomAssign {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl OnlineAlgorithm for RandomAssign {
+    fn name(&self) -> String {
+        "random-assign".into()
+    }
+
+    fn begin(&mut self, _sets: &[SetMeta]) {}
+
+    fn decide(&mut self, arrival: &Arrival, view: &EngineView<'_>) -> Vec<SetId> {
+        let active: Vec<SetId> = arrival
+            .members()
+            .iter()
+            .copied()
+            .filter(|&s| view.is_active(s))
+            .collect();
+        let b = (arrival.capacity() as usize).min(active.len());
+        active.choose_multiple(&mut self.rng, b).copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+    use crate::instance::InstanceBuilder;
+
+    #[test]
+    fn uncontended_elements_always_assigned() {
+        let mut b = InstanceBuilder::new();
+        let s = b.add_set(1.0, 3);
+        for _ in 0..3 {
+            b.add_element(1, &[s]);
+        }
+        let inst = b.build().unwrap();
+        let out = run(&inst, &mut RandomAssign::from_seed(0)).unwrap();
+        assert_eq!(out.completed(), &[s]);
+    }
+
+    #[test]
+    fn consistency_failure_shows_up_against_fresh_competitors() {
+        // One frame of k=3 elements, each contested by 3 fresh singletons
+        // (load σ=4 everywhere it appears). randPr survives w.p.
+        // 1/(1 + 3·3) = 0.1 (Lemma 1); an independent coin per element
+        // survives only w.p. (1/4)^3 ≈ 0.016.
+        let mut b = InstanceBuilder::new();
+        let frame = b.add_set(1.0, 3);
+        for _ in 0..3 {
+            let rivals: Vec<SetId> = (0..3).map(|_| b.add_set(1.0, 1)).collect();
+            let mut members = vec![frame];
+            members.extend(rivals);
+            b.add_element(1, &members);
+        }
+        let inst = b.build().unwrap();
+        let trials = 20_000;
+        let mut naive = 0u32;
+        let mut consistent = 0u32;
+        for seed in 0..trials {
+            let out = run(&inst, &mut RandomAssign::from_seed(seed as u64)).unwrap();
+            naive += u32::from(out.is_completed(frame));
+            let out = run(&inst, &mut crate::algorithms::RandPr::from_seed(seed as u64))
+                .unwrap();
+            consistent += u32::from(out.is_completed(frame));
+        }
+        let naive_rate = naive as f64 / trials as f64;
+        let consistent_rate = consistent as f64 / trials as f64;
+        assert!((naive_rate - 1.0 / 64.0).abs() < 0.01, "naive {naive_rate}");
+        assert!((consistent_rate - 0.1).abs() < 0.015, "randPr {consistent_rate}");
+        assert!(consistent_rate > 3.0 * naive_rate);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut b = InstanceBuilder::new();
+        let ids: Vec<SetId> = (0..5).map(|_| b.add_set(1.0, 1)).collect();
+        b.add_element(2, &ids);
+        let inst = b.build().unwrap();
+        let out = run(&inst, &mut RandomAssign::from_seed(1)).unwrap();
+        assert_eq!(out.completed().len(), 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! The theoretical bounds of every theorem, as executable formulas.
+//!
+//! Each function takes the [`InstanceStats`] of an instance and returns the
+//! corresponding bound on the competitive ratio (or on the completion-count
+//! ratio for the unweighted specializations). The experiment harness
+//! evaluates these next to measured ratios; the measured value must never
+//! exceed the bound (up to sampling noise), and the trends must track.
+
+use crate::stats::InstanceStats;
+
+/// Theorem 1: competitive ratio of `randPr` is at most
+/// `k_max · sqrt(σ·σ$ / σ$)` on unit-capacity instances.
+///
+/// Returns `f64::INFINITY` when `σ$̄ = 0` (all weights zero), where the
+/// ratio is vacuous.
+pub fn theorem_1(stats: &InstanceStats) -> f64 {
+    if stats.sigma_w_mean <= 0.0 {
+        return f64::INFINITY;
+    }
+    f64::from(stats.k_max) * (stats.sigma_sigma_w_mean / stats.sigma_w_mean).sqrt()
+}
+
+/// Corollary 6: competitive ratio of `randPr` is at most
+/// `k_max · sqrt(σ_max)` — the headline bound.
+pub fn corollary_6(stats: &InstanceStats) -> f64 {
+    f64::from(stats.k_max) * f64::from(stats.sigma_max).sqrt()
+}
+
+/// Theorem 4: with variable capacities, the competitive ratio of `randPr`
+/// is at most `16e · k_max · sqrt(ν·σ$ / σ$)` (adjusted load `ν = σ/b`).
+pub fn theorem_4(stats: &InstanceStats) -> f64 {
+    if stats.sigma_w_mean <= 0.0 {
+        return f64::INFINITY;
+    }
+    16.0 * std::f64::consts::E
+        * f64::from(stats.k_max)
+        * (stats.nu_sigma_w_mean / stats.sigma_w_mean).sqrt()
+}
+
+/// Theorem 5 (uniform set size `k`, unweighted):
+/// `E[|alg|] ≥ |opt| · σ̄²/(k·σ²)`, i.e. the ratio `|opt|/E[|alg|]` is at
+/// most `k · σ² / σ̄²`. Returns `None` unless all sets share one size.
+pub fn theorem_5(stats: &InstanceStats) -> Option<f64> {
+    let k = stats.uniform_size?;
+    if stats.sigma_mean <= 0.0 {
+        return Some(f64::INFINITY);
+    }
+    Some(f64::from(k) * stats.sigma_sq_mean / (stats.sigma_mean * stats.sigma_mean))
+}
+
+/// Corollary 7 (uniform size *and* uniform load, unweighted): ratio at most
+/// `k` — the paper's only load-independent bound. Returns `None` unless
+/// both uniformities hold.
+pub fn corollary_7(stats: &InstanceStats) -> Option<f64> {
+    let k = stats.uniform_size?;
+    stats.uniform_load?;
+    Some(f64::from(k))
+}
+
+/// Theorem 6 (uniform load `σ`, unweighted): ratio at most `k̄ · sqrt(σ)`.
+/// Returns `None` unless all elements share one load.
+pub fn theorem_6(stats: &InstanceStats) -> Option<f64> {
+    let sigma = stats.uniform_load?;
+    Some(stats.k_mean * f64::from(sigma).sqrt())
+}
+
+/// Theorem 3: every *deterministic* online algorithm has competitive ratio
+/// at least `σ_max^(k_max − 1)` (on the adversarial instance family with
+/// parameters `σ`, `k`). Computed directly from the parameters.
+pub fn theorem_3_lower(sigma: u32, k: u32) -> f64 {
+    f64::from(sigma).powi(k as i32 - 1)
+}
+
+/// Theorem 2: every randomized online algorithm has competitive ratio
+/// `Ω(k_max · (log log k_max / log k_max)² · sqrt(σ_max))`. This evaluates
+/// the expression inside the Ω (constant 1) for trend comparison.
+pub fn theorem_2_lower(k_max: u32, sigma_max: u32) -> f64 {
+    if k_max < 3 {
+        // log log k is degenerate below e^e; the bound is vacuous there.
+        return 0.0;
+    }
+    let k = f64::from(k_max);
+    let polylog = (k.ln().ln() / k.ln()).powi(2);
+    k * polylog * f64::from(sigma_max).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::stats::InstanceStats;
+
+    fn uniform_instance(k: u32, sigma: u32) -> InstanceStats {
+        // σ sets of size k, all clashing at every element: k elements,
+        // each containing all σ sets.
+        let mut b = InstanceBuilder::new();
+        let ids: Vec<_> = (0..sigma).map(|_| b.add_set(1.0, k)).collect();
+        for _ in 0..k {
+            b.add_element(1, &ids);
+        }
+        InstanceStats::compute(&b.build().unwrap())
+    }
+
+    #[test]
+    fn corollary_6_dominates_theorem_1() {
+        // Theorem 1's refined bound is never larger than Corollary 6.
+        for (k, sigma) in [(2, 3), (4, 4), (3, 7)] {
+            let st = uniform_instance(k, sigma);
+            assert!(
+                theorem_1(&st) <= corollary_6(&st) + 1e-9,
+                "k={k} sigma={sigma}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_case_theorem_1_equals_k_sqrt_sigma() {
+        // With uniform load σ and unit weights: σ$ = σ, σ·σ$ = σ², so
+        // Theorem 1 gives exactly k·sqrt(σ).
+        let st = uniform_instance(3, 4);
+        assert!((theorem_1(&st) - 3.0 * 2.0).abs() < 1e-9);
+        assert_eq!(corollary_6(&st), 6.0);
+    }
+
+    #[test]
+    fn specializations_require_uniformity() {
+        let st = uniform_instance(2, 3);
+        assert_eq!(theorem_5(&st), Some(2.0 * 9.0 / 9.0));
+        assert_eq!(corollary_7(&st), Some(2.0));
+        assert!((theorem_6(&st).unwrap() - 2.0 * 3f64.sqrt()).abs() < 1e-12);
+
+        // Mixed sizes: Theorem 5 / Corollary 7 unavailable.
+        let mut b = InstanceBuilder::new();
+        let s0 = b.add_set(1.0, 1);
+        let s1 = b.add_set(1.0, 2);
+        b.add_element(1, &[s0, s1]);
+        b.add_element(1, &[s1]);
+        let st = InstanceStats::compute(&b.build().unwrap());
+        assert_eq!(theorem_5(&st), None);
+        assert_eq!(corollary_7(&st), None);
+        assert_eq!(theorem_6(&st), None); // loads 2 and 1
+    }
+
+    #[test]
+    fn theorem_4_reduces_toward_unit_capacity() {
+        // On unit capacity, ν = σ, so Theorem 4 = 16e · Theorem 1.
+        let st = uniform_instance(3, 5);
+        let ratio = theorem_4(&st) / theorem_1(&st);
+        assert!((ratio - 16.0 * std::f64::consts::E).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_lower_bound_values() {
+        assert_eq!(theorem_3_lower(2, 2), 2.0);
+        assert_eq!(theorem_3_lower(3, 4), 27.0);
+        assert_eq!(theorem_3_lower(4, 1), 1.0);
+    }
+
+    #[test]
+    fn theorem_2_trend_grows() {
+        // The Ω-expression should grow along the paper's k ~ sqrt(m),
+        // σ_max ~ k scaling.
+        let small = theorem_2_lower(16, 16);
+        let large = theorem_2_lower(256, 256);
+        assert!(large > small);
+        assert_eq!(theorem_2_lower(2, 100), 0.0);
+    }
+
+    #[test]
+    fn degenerate_weights_give_infinity() {
+        let mut b = InstanceBuilder::new();
+        let s = b.add_set(0.0, 1);
+        b.add_element(1, &[s]);
+        let st = InstanceStats::compute(&b.build().unwrap());
+        assert_eq!(theorem_1(&st), f64::INFINITY);
+        assert_eq!(theorem_4(&st), f64::INFINITY);
+    }
+}

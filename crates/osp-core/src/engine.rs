@@ -1,0 +1,468 @@
+//! The online execution engine.
+//!
+//! Two entry points:
+//!
+//! * [`run`] replays a frozen [`Instance`]'s arrival sequence against an
+//!   [`OnlineAlgorithm`] — the standard evaluation path.
+//! * [`Session`] drives an algorithm *one arrival at a time* without a
+//!   pre-built instance, which is what adaptive adversaries (Theorem 3)
+//!   need: they decide the next element only after seeing the algorithm's
+//!   previous choice.
+//!
+//! Both enforce the model's rules (§2): each decision must pick at most
+//! `b(u)` distinct sets from `C(u)`. A set is **completed** iff it was
+//! chosen for every one of its elements; the [`Outcome`] records the
+//! completed sets, the benefit, every decision, and when each
+//! non-surviving set died.
+
+use crate::algorithm::{EngineView, OnlineAlgorithm};
+use crate::error::Error;
+use crate::ids::{ElementId, SetId};
+use crate::instance::{Arrival, Instance, SetMeta};
+
+/// The result of one online run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    completed: Vec<SetId>,
+    benefit: f64,
+    decisions: Vec<Vec<SetId>>,
+    died_at: Vec<Option<ElementId>>,
+}
+
+impl Outcome {
+    /// The sets the algorithm completed, ascending by id.
+    pub fn completed(&self) -> &[SetId] {
+        &self.completed
+    }
+
+    /// Total weight of completed sets — `w(alg)` in the paper.
+    pub fn benefit(&self) -> f64 {
+        self.benefit
+    }
+
+    /// The decision taken for each arrival, in arrival order.
+    pub fn decisions(&self) -> &[Vec<SetId>] {
+        &self.decisions
+    }
+
+    /// For each set, the element at which it died (its first element *not*
+    /// assigned to it), or `None` if it never missed an element.
+    pub fn died_at(&self, set: SetId) -> Option<ElementId> {
+        self.died_at[set.index()]
+    }
+
+    /// Whether the given set was completed.
+    pub fn is_completed(&self, set: SetId) -> bool {
+        self.completed.binary_search(&set).is_ok()
+    }
+}
+
+/// An incremental online run: feed arrivals one at a time, inspect the
+/// algorithm's choices between them.
+///
+/// # Examples
+///
+/// ```
+/// use osp_core::prelude::*;
+/// use osp_core::engine::Session;
+///
+/// let sets = vec![];
+/// let mut alg = RandPr::from_seed(0);
+/// let session = Session::new(&sets, &mut alg);
+/// let outcome = session.finish();
+/// assert_eq!(outcome.benefit(), 0.0);
+/// ```
+#[derive(Debug)]
+pub struct Session<'a> {
+    sets: &'a [SetMeta],
+    assigned: Vec<u32>,
+    alive: Vec<bool>,
+    died_at: Vec<Option<ElementId>>,
+    decisions: Vec<Vec<SetId>>,
+}
+
+impl<'a> Session<'a> {
+    /// Starts a session over the declared sets and announces them to the
+    /// algorithm (calls [`OnlineAlgorithm::begin`]).
+    pub fn new<A: OnlineAlgorithm + ?Sized>(sets: &'a [SetMeta], algorithm: &mut A) -> Self {
+        algorithm.begin(sets);
+        let m = sets.len();
+        Session {
+            sets,
+            assigned: vec![0; m],
+            alive: vec![true; m],
+            died_at: vec![None; m],
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Number of arrivals processed so far.
+    pub fn arrivals_seen(&self) -> usize {
+        self.decisions.len()
+    }
+
+    /// Whether `set` is still completable (chosen for every element so far).
+    pub fn is_active(&self, set: SetId) -> bool {
+        self.alive[set.index()]
+    }
+
+    /// How many elements have been assigned to `set`.
+    pub fn assigned(&self, set: SetId) -> u32 {
+        self.assigned[set.index()]
+    }
+
+    /// The ids of all currently active sets, ascending.
+    pub fn active_sets(&self) -> Vec<SetId> {
+        (0..self.sets.len())
+            .filter(|&i| self.alive[i])
+            .map(|i| SetId(i as u32))
+            .collect()
+    }
+
+    /// A read-only [`EngineView`] of the current session state — what an
+    /// algorithm would see if asked to decide right now. Useful when the
+    /// decision is computed outside [`offer`](Self::offer) (e.g. by a
+    /// remote replica in a distributed setup) and applied via
+    /// [`apply_external`](Self::apply_external).
+    pub fn view(&self) -> EngineView<'_> {
+        EngineView::new(self.sets, &self.assigned, &self.alive)
+    }
+
+    /// Offers the next arrival to the algorithm, validates its decision,
+    /// applies it, and returns the decision.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the decision violates the model: a set not
+    /// containing the element, a duplicated set, or more than `b(u)` sets.
+    /// The session state is unchanged on error.
+    pub fn offer<A: OnlineAlgorithm + ?Sized>(
+        &mut self,
+        arrival: &Arrival,
+        algorithm: &mut A,
+    ) -> Result<Vec<SetId>, Error> {
+        let decision = {
+            let view = EngineView::new(self.sets, &self.assigned, &self.alive);
+            algorithm.decide(arrival, &view)
+        };
+        self.apply_external(arrival, decision)
+    }
+
+    /// Validates and applies a decision computed outside this session
+    /// (e.g. by a per-hop replica in the distributed implementation).
+    /// Returns the decision back on success.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`offer`](Self::offer); the session state is
+    /// unchanged on error.
+    pub fn apply_external(
+        &mut self,
+        arrival: &Arrival,
+        decision: Vec<SetId>,
+    ) -> Result<Vec<SetId>, Error> {
+        if decision.len() > arrival.capacity() as usize {
+            return Err(Error::DecisionOverCapacity {
+                element: arrival.element(),
+                capacity: arrival.capacity(),
+                chosen: decision.len(),
+            });
+        }
+        let mut sorted = decision.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                return Err(Error::DecisionDuplicate {
+                    element: arrival.element(),
+                    set: w[0],
+                });
+            }
+        }
+        for &s in &sorted {
+            if !arrival.contains(s) {
+                return Err(Error::DecisionNotMember {
+                    element: arrival.element(),
+                    set: s,
+                });
+            }
+        }
+
+        // Apply: chosen member sets advance; unchosen member sets die.
+        for &s in arrival.members() {
+            if sorted.binary_search(&s).is_ok() {
+                self.assigned[s.index()] += 1;
+            } else if self.alive[s.index()] {
+                self.alive[s.index()] = false;
+                self.died_at[s.index()] = Some(arrival.element());
+            }
+        }
+        self.decisions.push(decision.clone());
+        Ok(decision)
+    }
+
+    /// Ends the session: a set is completed iff it is alive *and* has
+    /// received its full declared size.
+    pub fn finish(self) -> Outcome {
+        let completed: Vec<SetId> = (0..self.sets.len())
+            .filter(|&i| self.alive[i] && self.assigned[i] == self.sets[i].size())
+            .map(|i| SetId(i as u32))
+            .collect();
+        let benefit = completed
+            .iter()
+            .map(|&s| self.sets[s.index()].weight())
+            .sum();
+        Outcome {
+            completed,
+            benefit,
+            decisions: self.decisions,
+            died_at: self.died_at,
+        }
+    }
+}
+
+/// Runs `algorithm` over `instance` and returns the [`Outcome`].
+///
+/// # Errors
+///
+/// Returns an error if the algorithm emits an invalid decision: a set not
+/// containing the element, a duplicated set, or more than `b(u)` sets.
+///
+/// # Examples
+///
+/// ```
+/// use osp_core::prelude::*;
+///
+/// let mut b = InstanceBuilder::new();
+/// let s = b.add_set(1.0, 1);
+/// b.add_element(1, &[s]);
+/// let inst = b.build()?;
+/// let outcome = run(&inst, &mut GreedyOnline::new(TieBreak::ByWeight))?;
+/// assert_eq!(outcome.benefit(), 1.0);
+/// # Ok::<(), osp_core::Error>(())
+/// ```
+pub fn run<A: OnlineAlgorithm + ?Sized>(
+    instance: &Instance,
+    algorithm: &mut A,
+) -> Result<Outcome, Error> {
+    let mut session = Session::new(instance.sets(), algorithm);
+    for arrival in instance.arrivals() {
+        session.offer(arrival, algorithm)?;
+    }
+    Ok(session.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{Arrival, InstanceBuilder, SetMeta};
+
+    /// Scripted algorithm replaying canned decisions (tests only).
+    struct Scripted {
+        script: Vec<Vec<SetId>>,
+        step: usize,
+    }
+
+    impl Scripted {
+        fn new(script: Vec<Vec<SetId>>) -> Self {
+            Scripted { script, step: 0 }
+        }
+    }
+
+    impl OnlineAlgorithm for Scripted {
+        fn name(&self) -> String {
+            "scripted".into()
+        }
+
+        fn begin(&mut self, _sets: &[SetMeta]) {
+            self.step = 0;
+        }
+
+        fn decide(&mut self, _arrival: &Arrival, _view: &EngineView<'_>) -> Vec<SetId> {
+            let d = self.script[self.step].clone();
+            self.step += 1;
+            d
+        }
+    }
+
+    fn three_set_instance() -> (crate::Instance, [SetId; 3]) {
+        // s0 = {e0, e1}, s1 = {e0, e2}, s2 = {e2}
+        let mut b = InstanceBuilder::new();
+        let s0 = b.add_set(1.0, 2);
+        let s1 = b.add_set(5.0, 2);
+        let s2 = b.add_set(2.0, 1);
+        b.add_element(1, &[s0, s1]);
+        b.add_element(1, &[s0]);
+        b.add_element(1, &[s1, s2]);
+        (b.build().unwrap(), [s0, s1, s2])
+    }
+
+    #[test]
+    fn completion_requires_every_element() {
+        let (inst, [s0, s1, s2]) = three_set_instance();
+        // Give e0 to s0, e1 to s0, e2 to s2: s0 and s2 complete.
+        let mut alg = Scripted::new(vec![vec![s0], vec![s0], vec![s2]]);
+        let out = run(&inst, &mut alg).unwrap();
+        assert_eq!(out.completed(), &[s0, s2]);
+        assert_eq!(out.benefit(), 3.0);
+        assert!(out.is_completed(s0));
+        assert!(!out.is_completed(s1));
+        assert_eq!(out.died_at(s1), Some(ElementId(0)));
+        assert_eq!(out.died_at(s0), None);
+    }
+
+    #[test]
+    fn losing_any_element_kills_the_set() {
+        let (inst, [s0, s1, _s2]) = three_set_instance();
+        // Give e0 to s1, then abandon it at e2.
+        let mut alg = Scripted::new(vec![vec![s1], vec![s0], vec![]]);
+        let out = run(&inst, &mut alg).unwrap();
+        // s0 lost e0, s1 lost e2, s2 lost e2: nothing completes.
+        assert!(out.completed().is_empty());
+        assert_eq!(out.benefit(), 0.0);
+        assert_eq!(out.died_at(s1), Some(ElementId(2)));
+    }
+
+    #[test]
+    fn empty_decision_is_legal() {
+        let (inst, _) = three_set_instance();
+        let mut alg = Scripted::new(vec![vec![], vec![], vec![]]);
+        let out = run(&inst, &mut alg).unwrap();
+        assert!(out.completed().is_empty());
+        assert_eq!(out.decisions().len(), 3);
+    }
+
+    #[test]
+    fn capacity_two_allows_two_assignments() {
+        let mut b = InstanceBuilder::new();
+        let s0 = b.add_set(1.0, 1);
+        let s1 = b.add_set(1.0, 1);
+        b.add_element(2, &[s0, s1]);
+        let inst = b.build().unwrap();
+        let mut alg = Scripted::new(vec![vec![s0, s1]]);
+        let out = run(&inst, &mut alg).unwrap();
+        assert_eq!(out.completed(), &[s0, s1]);
+        assert_eq!(out.benefit(), 2.0);
+    }
+
+    #[test]
+    fn over_capacity_rejected() {
+        let mut b = InstanceBuilder::new();
+        let s0 = b.add_set(1.0, 1);
+        let s1 = b.add_set(1.0, 1);
+        b.add_element(1, &[s0, s1]);
+        let inst = b.build().unwrap();
+        let mut alg = Scripted::new(vec![vec![s0, s1]]);
+        assert!(matches!(
+            run(&inst, &mut alg).unwrap_err(),
+            Error::DecisionOverCapacity { .. }
+        ));
+    }
+
+    #[test]
+    fn non_member_choice_rejected() {
+        let (inst, [_, _, s2]) = three_set_instance();
+        let mut alg = Scripted::new(vec![vec![s2], vec![], vec![]]);
+        assert!(matches!(
+            run(&inst, &mut alg).unwrap_err(),
+            Error::DecisionNotMember { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_choice_rejected() {
+        let mut b = InstanceBuilder::new();
+        let s0 = b.add_set(1.0, 1);
+        let s1 = b.add_set(1.0, 1);
+        b.add_element(2, &[s0, s1]);
+        let inst = b.build().unwrap();
+        let mut alg = Scripted::new(vec![vec![s0, s0]]);
+        assert!(matches!(
+            run(&inst, &mut alg).unwrap_err(),
+            Error::DecisionDuplicate { .. }
+        ));
+    }
+
+    #[test]
+    fn view_reports_progress_and_death() {
+        struct Checker {
+            seen: Vec<(u32, bool)>,
+        }
+        impl OnlineAlgorithm for Checker {
+            fn name(&self) -> String {
+                "checker".into()
+            }
+            fn begin(&mut self, _s: &[SetMeta]) {}
+            fn decide(&mut self, a: &Arrival, v: &EngineView<'_>) -> Vec<SetId> {
+                let s0 = SetId(0);
+                self.seen.push((v.assigned(s0), v.is_active(s0)));
+                // Always refuse everything.
+                let _ = a;
+                vec![]
+            }
+        }
+        let mut b = InstanceBuilder::new();
+        let s0 = b.add_set(1.0, 2);
+        b.add_element(1, &[s0]);
+        b.add_element(1, &[s0]);
+        let inst = b.build().unwrap();
+        let mut alg = Checker { seen: vec![] };
+        let _ = run(&inst, &mut alg).unwrap();
+        // Before e0: 0 assigned, active. Before e1: still 0 assigned, dead.
+        assert_eq!(alg.seen, vec![(0, true), (0, false)]);
+    }
+
+    #[test]
+    fn outcome_on_empty_instance() {
+        let inst = InstanceBuilder::new().build().unwrap();
+        let mut alg = Scripted::new(vec![]);
+        let out = run(&inst, &mut alg).unwrap();
+        assert!(out.completed().is_empty());
+        assert_eq!(out.benefit(), 0.0);
+    }
+
+    #[test]
+    fn session_supports_adaptive_use() {
+        // Adversary watches the first decision and reacts.
+        let metas: Vec<SetMeta> = {
+            let mut b = InstanceBuilder::new();
+            let s0 = b.add_set(1.0, 1);
+            let s1 = b.add_set(1.0, 2);
+            b.add_element(1, &[s0, s1]);
+            b.add_element(1, &[s1]);
+            b.build().unwrap().sets().to_vec()
+        };
+        let mut alg = Scripted::new(vec![vec![SetId(1)], vec![SetId(1)]]);
+        let mut session = Session::new(&metas, &mut alg);
+        let a0 = Arrival::new(ElementId(0), 1, &[SetId(0), SetId(1)]);
+        let d0 = session.offer(&a0, &mut alg).unwrap();
+        assert_eq!(d0, vec![SetId(1)]);
+        assert!(!session.is_active(SetId(0)));
+        assert_eq!(session.active_sets(), vec![SetId(1)]);
+        let a1 = Arrival::new(ElementId(1), 1, &[SetId(1)]);
+        session.offer(&a1, &mut alg).unwrap();
+        assert_eq!(session.assigned(SetId(1)), 2);
+        let out = session.finish();
+        assert_eq!(out.completed(), &[SetId(1)]);
+        assert_eq!(out.benefit(), 1.0);
+    }
+
+    #[test]
+    fn session_incomplete_sets_do_not_count() {
+        // A set that stays alive but never receives all elements must not
+        // be counted as completed by finish().
+        let metas: Vec<SetMeta> = {
+            let mut b = InstanceBuilder::new();
+            let s = b.add_set(1.0, 2);
+            b.add_element(1, &[s]);
+            b.add_element(1, &[s]);
+            b.build().unwrap().sets().to_vec()
+        };
+        let mut alg = Scripted::new(vec![vec![SetId(0)]]);
+        let mut session = Session::new(&metas, &mut alg);
+        let a0 = Arrival::new(ElementId(0), 1, &[SetId(0)]);
+        session.offer(&a0, &mut alg).unwrap();
+        // Stop early: only 1 of 2 elements delivered.
+        let out = session.finish();
+        assert!(out.completed().is_empty());
+    }
+}

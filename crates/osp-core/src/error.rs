@@ -1,0 +1,113 @@
+//! Error type shared across the crate.
+
+use std::fmt;
+
+use crate::{ElementId, SetId};
+
+/// Errors raised while building instances or running the online engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A set weight was negative, NaN or infinite.
+    BadWeight {
+        /// The offending set.
+        set: SetId,
+        /// The rejected weight value.
+        weight: f64,
+    },
+    /// A declared set size was zero.
+    EmptySet(SetId),
+    /// An element referenced a set id that was never declared.
+    UnknownSet {
+        /// The element whose member list is invalid.
+        element: ElementId,
+        /// The undeclared set id.
+        set: SetId,
+    },
+    /// An element listed the same set twice.
+    DuplicateMember {
+        /// The element whose member list is invalid.
+        element: ElementId,
+        /// The repeated set id.
+        set: SetId,
+    },
+    /// An element arrived with capacity zero.
+    ZeroCapacity(ElementId),
+    /// A set's declared size disagrees with the number of elements that
+    /// actually listed it.
+    SizeMismatch {
+        /// The inconsistent set.
+        set: SetId,
+        /// Size given to [`InstanceBuilder::add_set`](crate::InstanceBuilder::add_set).
+        declared: u32,
+        /// Number of arrivals listing the set.
+        realized: u32,
+    },
+    /// An algorithm decision included a set that does not contain the
+    /// current element.
+    DecisionNotMember {
+        /// The element being decided.
+        element: ElementId,
+        /// The invalid set choice.
+        set: SetId,
+    },
+    /// An algorithm decision repeated a set.
+    DecisionDuplicate {
+        /// The element being decided.
+        element: ElementId,
+        /// The repeated set choice.
+        set: SetId,
+    },
+    /// An algorithm decision exceeded the element's capacity.
+    DecisionOverCapacity {
+        /// The element being decided.
+        element: ElementId,
+        /// The element's capacity `b(u)`.
+        capacity: u32,
+        /// How many sets the algorithm tried to assign.
+        chosen: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadWeight { set, weight } => {
+                write!(f, "set {set} has invalid weight {weight}")
+            }
+            Error::EmptySet(set) => write!(f, "set {set} has size zero"),
+            Error::UnknownSet { element, set } => {
+                write!(f, "element {element} references undeclared set {set}")
+            }
+            Error::DuplicateMember { element, set } => {
+                write!(f, "element {element} lists set {set} twice")
+            }
+            Error::ZeroCapacity(element) => {
+                write!(f, "element {element} has capacity zero")
+            }
+            Error::SizeMismatch {
+                set,
+                declared,
+                realized,
+            } => write!(
+                f,
+                "set {set} declared size {declared} but {realized} elements list it"
+            ),
+            Error::DecisionNotMember { element, set } => {
+                write!(f, "decision for {element} includes non-member set {set}")
+            }
+            Error::DecisionDuplicate { element, set } => {
+                write!(f, "decision for {element} repeats set {set}")
+            }
+            Error::DecisionOverCapacity {
+                element,
+                capacity,
+                chosen,
+            } => write!(
+                f,
+                "decision for {element} assigns {chosen} sets, capacity is {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,136 @@
+//! Uniform-set-size instances with *skewed* element loads.
+//!
+//! Theorem 5 bounds the ratio by `k·σ²/σ̄²` when all sets have size `k`
+//! but loads vary — the interesting regime is precisely `σ² ≫ σ̄²`, which
+//! the bi-regular generator cannot produce. Here every set picks `k`
+//! distinct elements with popularity ∝ `(j+1)^(−skew)`, so a few hot
+//! elements absorb most of the load.
+
+use rand::Rng;
+
+use crate::instance::{Instance, InstanceBuilder};
+use crate::SetId;
+
+use super::GenError;
+
+/// Generates an unweighted unit-capacity instance with `m` sets of size
+/// exactly `k` over at most `n` elements whose popularity follows a Zipf
+/// law with exponent `skew ≥ 0` (`skew = 0` is uniform). Elements that end
+/// up in no set are dropped.
+///
+/// # Errors
+///
+/// Returns [`GenError::Infeasible`] if `k > n` or any parameter is zero
+/// or `skew` is negative/non-finite.
+pub fn fixed_size_instance<R: Rng + ?Sized>(
+    m: usize,
+    k: u32,
+    n: usize,
+    skew: f64,
+    rng: &mut R,
+) -> Result<Instance, GenError> {
+    if m == 0 || k == 0 || n == 0 {
+        return Err(GenError::Infeasible("m, k, n must be positive".into()));
+    }
+    if k as usize > n {
+        return Err(GenError::Infeasible(format!(
+            "set size {k} exceeds element count {n}"
+        )));
+    }
+    if !skew.is_finite() || skew < 0.0 {
+        return Err(GenError::Infeasible("skew must be finite and ≥ 0".into()));
+    }
+
+    // Cumulative popularity for weighted sampling by binary search.
+    let mut cumulative = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for j in 0..n {
+        total += ((j + 1) as f64).powf(-skew);
+        cumulative.push(total);
+    }
+
+    // memberships[e] = sets containing element e.
+    let mut memberships: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for set in 0..m {
+        let mut picked: Vec<usize> = Vec::with_capacity(k as usize);
+        while picked.len() < k as usize {
+            let x = rng.gen::<f64>() * total;
+            let j = cumulative.partition_point(|&c| c < x).min(n - 1);
+            if !picked.contains(&j) {
+                picked.push(j);
+            }
+        }
+        for &j in &picked {
+            memberships[j].push(set);
+        }
+    }
+
+    let mut b = InstanceBuilder::new();
+    for _ in 0..m {
+        b.add_set(1.0, k);
+    }
+    for sets in memberships.iter().filter(|s| !s.is_empty()) {
+        let members: Vec<SetId> = sets.iter().map(|&s| SetId(s as u32)).collect();
+        b.add_element(1, &members);
+    }
+    Ok(b.build().expect("membership bookkeeping is consistent"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::InstanceStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sizes_exact_loads_vary() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let inst = fixed_size_instance(50, 4, 100, 1.2, &mut rng).unwrap();
+        let st = InstanceStats::compute(&inst);
+        assert_eq!(st.m, 50);
+        assert_eq!(st.uniform_size, Some(4));
+        // Strong skew should produce non-uniform loads.
+        assert_eq!(st.uniform_load, None);
+        // And a second moment strictly above the squared mean.
+        assert!(st.sigma_sq_mean > st.sigma_mean * st.sigma_mean * 1.05);
+    }
+
+    #[test]
+    fn skew_zero_is_roughly_balanced() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = fixed_size_instance(100, 3, 60, 0.0, &mut rng).unwrap();
+        let st = InstanceStats::compute(&inst);
+        assert_eq!(st.uniform_size, Some(3));
+        // Variance exists but stays moderate for uniform popularity.
+        let ratio = st.sigma_sq_mean / (st.sigma_mean * st.sigma_mean);
+        assert!(ratio < 1.6, "dispersion ratio {ratio}");
+    }
+
+    #[test]
+    fn higher_skew_means_higher_dispersion() {
+        let flat = fixed_size_instance(80, 4, 100, 0.0, &mut StdRng::seed_from_u64(2)).unwrap();
+        let skewed = fixed_size_instance(80, 4, 100, 1.5, &mut StdRng::seed_from_u64(2)).unwrap();
+        let d = |i: &Instance| {
+            let st = InstanceStats::compute(i);
+            st.sigma_sq_mean / (st.sigma_mean * st.sigma_mean)
+        };
+        assert!(d(&skewed) > d(&flat));
+    }
+
+    #[test]
+    fn parameters_validated() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(fixed_size_instance(0, 1, 1, 0.0, &mut rng).is_err());
+        assert!(fixed_size_instance(1, 5, 3, 0.0, &mut rng).is_err());
+        assert!(fixed_size_instance(1, 1, 1, -1.0, &mut rng).is_err());
+        assert!(fixed_size_instance(1, 1, 1, f64::NAN, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = fixed_size_instance(20, 3, 40, 1.0, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = fixed_size_instance(20, 3, 40, 1.0, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+}

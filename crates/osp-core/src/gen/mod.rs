@@ -1,0 +1,47 @@
+//! Seeded random instance generators for the upper-bound experiments.
+//!
+//! Two families:
+//!
+//! * [`random_instance`] — every element independently draws a load
+//!   `σ(u)` and picks that many distinct sets; set sizes emerge from the
+//!   draws. Knobs for weights and capacities cover the weighted
+//!   (Theorem 1) and variable-capacity (Theorem 4) experiments.
+//! * [`biregular_instance`] — *exactly* size-`k` sets and *exactly*
+//!   load-`σ` elements via a configuration model with conflict repair;
+//!   this is the instance class of Theorem 5 / Corollary 7, where the
+//!   competitive ratio drops to `k`.
+
+mod biregular;
+mod fixed_size;
+mod models;
+mod uniform;
+
+pub use biregular::biregular_instance;
+pub use fixed_size::fixed_size_instance;
+pub use models::{CapacityModel, LoadModel, WeightModel};
+pub use uniform::{random_instance, RandomInstanceConfig};
+
+use std::fmt;
+
+/// Errors from instance generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// Requested parameters are structurally impossible
+    /// (e.g. `m·k` not divisible by `σ`, or load exceeding the set count).
+    Infeasible(String),
+    /// The configuration-model repair loop failed to produce a simple
+    /// incidence structure within its retry budget (raise `m`/`n` or lower
+    /// `σ`; near-complete bipartite graphs cannot be repaired).
+    RepairFailed,
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::Infeasible(msg) => write!(f, "infeasible generator parameters: {msg}"),
+            GenError::RepairFailed => write!(f, "conflict repair failed; parameters too dense"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}

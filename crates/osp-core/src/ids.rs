@@ -1,0 +1,70 @@
+//! Typed identifiers for sets and elements.
+
+use std::fmt;
+
+/// Identifier of a set (a data frame / multi-part task) within an
+/// [`Instance`](crate::Instance); dense indices `0..m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct SetId(pub u32);
+
+impl SetId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl From<SetId> for usize {
+    fn from(id: SetId) -> usize {
+        id.index()
+    }
+}
+
+/// Identifier of an element (a time slot / served unit) within an
+/// [`Instance`](crate::Instance); dense indices `0..n` in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ElementId(pub u32);
+
+impl ElementId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl From<ElementId> for usize {
+    fn from(id: ElementId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(SetId(3).to_string(), "S3");
+        assert_eq!(ElementId(7).to_string(), "u7");
+        assert_eq!(SetId(3).index(), 3);
+        assert_eq!(usize::from(ElementId(9)), 9);
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(SetId(1) < SetId(2));
+        assert!(ElementId(0) < ElementId(10));
+    }
+}

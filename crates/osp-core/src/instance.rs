@@ -1,0 +1,520 @@
+//! The OSP instance model: declared sets plus an online arrival sequence.
+//!
+//! Per §2 of the paper, the algorithm initially knows each set's *weight and
+//! size* only. Elements then arrive one by one; element `u` brings its
+//! capacity `b(u)` and the list `C(u)` of sets containing it. An
+//! [`Instance`] freezes exactly that information, validated so that every
+//! set's declared size matches the number of arrivals that list it — which
+//! is what makes "the set received all its elements" a well-defined event.
+
+use crate::error::Error;
+use crate::ids::{ElementId, SetId};
+
+/// What the algorithm knows about a set up front: weight and size (§2).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SetMeta {
+    weight: f64,
+    size: u32,
+}
+
+impl SetMeta {
+    /// Creates standalone set metadata for incremental use with
+    /// [`Session`](crate::engine::Session) (adaptive adversaries declare
+    /// sets before any [`Instance`] exists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or non-finite, or if `size == 0` —
+    /// the same invariants [`InstanceBuilder::build`] enforces.
+    pub fn new(weight: f64, size: u32) -> Self {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "set weight must be finite and non-negative, got {weight}"
+        );
+        assert!(size >= 1, "set size must be at least 1");
+        SetMeta { weight, size }
+    }
+
+    /// The set's weight `w(S)`.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The set's size `|S|` (number of elements it contains).
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+}
+
+/// One online arrival: element identity, capacity `b(u)` and the member
+/// list `C(u)` (sorted by set id).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Arrival {
+    element: ElementId,
+    capacity: u32,
+    members: Vec<SetId>,
+}
+
+impl Arrival {
+    /// Creates a standalone arrival for incremental use with
+    /// [`Session`](crate::engine::Session) (adaptive adversaries build
+    /// arrivals on the fly, before any [`Instance`] exists). The member
+    /// list is sorted internally.
+    pub fn new(element: ElementId, capacity: u32, members: &[SetId]) -> Self {
+        let mut members = members.to_vec();
+        members.sort_unstable();
+        Arrival {
+            element,
+            capacity,
+            members,
+        }
+    }
+
+    /// The arriving element's id (also its position in arrival order).
+    pub fn element(&self) -> ElementId {
+        self.element
+    }
+
+    /// The element's capacity `b(u)`: how many sets it may be assigned to.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// The sets containing this element, `C(u)`, sorted by id.
+    pub fn members(&self) -> &[SetId] {
+        &self.members
+    }
+
+    /// The element's load `σ(u) = |C(u)|`.
+    pub fn load(&self) -> u32 {
+        self.members.len() as u32
+    }
+
+    /// Whether `set` contains this element (binary search on the sorted
+    /// member list).
+    pub fn contains(&self, set: SetId) -> bool {
+        self.members.binary_search(&set).is_ok()
+    }
+}
+
+/// A complete, validated OSP instance.
+///
+/// Construct via [`InstanceBuilder`]. Invariants guaranteed after
+/// construction:
+///
+/// * every weight is finite and non-negative;
+/// * every set has size ≥ 1 and its declared size equals the number of
+///   arrivals listing it;
+/// * every arrival has capacity ≥ 1 and a duplicate-free, sorted member
+///   list referencing declared sets only.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Instance {
+    sets: Vec<SetMeta>,
+    arrivals: Vec<Arrival>,
+}
+
+impl Instance {
+    /// Number of sets `m`.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Number of elements `n`.
+    pub fn num_elements(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Metadata of one set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set(&self, id: SetId) -> &SetMeta {
+        &self.sets[id.index()]
+    }
+
+    /// All set metadata, indexed by [`SetId`].
+    pub fn sets(&self) -> &[SetMeta] {
+        &self.sets
+    }
+
+    /// The arrival sequence in online order.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Total weight `w(C)` of all sets.
+    pub fn total_weight(&self) -> f64 {
+        self.sets.iter().map(|s| s.weight).sum()
+    }
+
+    /// Sum of the weights of the given sets.
+    pub fn weight_of<I: IntoIterator<Item = SetId>>(&self, ids: I) -> f64 {
+        ids.into_iter().map(|id| self.set(id).weight).sum()
+    }
+
+    /// Whether all elements have capacity 1 (the paper's *unit capacity*
+    /// special case).
+    pub fn is_unit_capacity(&self) -> bool {
+        self.arrivals.iter().all(|a| a.capacity == 1)
+    }
+
+    /// Whether all sets have weight 1 (the paper's *unweighted* case).
+    pub fn is_unweighted(&self) -> bool {
+        self.sets.iter().all(|s| s.weight == 1.0)
+    }
+
+    /// For each set, the elements it contains, in arrival order. Computed on
+    /// demand (`O(Σ|S|)`); offline solvers and statistics use this view.
+    pub fn members_by_set(&self) -> Vec<Vec<ElementId>> {
+        let mut by_set = vec![Vec::new(); self.sets.len()];
+        for a in &self.arrivals {
+            for s in &a.members {
+                by_set[s.index()].push(a.element);
+            }
+        }
+        by_set
+    }
+
+    /// Returns a copy of this instance with the arrival order permuted
+    /// uniformly at random (elements are renumbered to match their new
+    /// positions).
+    ///
+    /// Arrival order matters to *stateful* algorithms (greedy variants see
+    /// different activity histories), but `randPr`'s outcome for a fixed
+    /// priority draw is order-invariant: a set completes iff its priority
+    /// is in the top `b(u)` of every one of its elements, a condition with
+    /// no notion of time. The `arrival_order` property tests exploit this.
+    pub fn shuffle_arrivals<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Instance {
+        use rand::seq::SliceRandom;
+        let mut order: Vec<usize> = (0..self.arrivals.len()).collect();
+        order.shuffle(rng);
+        let arrivals = order
+            .iter()
+            .enumerate()
+            .map(|(new_idx, &old_idx)| {
+                let a = &self.arrivals[old_idx];
+                Arrival {
+                    element: ElementId(new_idx as u32),
+                    capacity: a.capacity,
+                    members: a.members.clone(),
+                }
+            })
+            .collect();
+        Instance {
+            sets: self.sets.clone(),
+            arrivals,
+        }
+    }
+}
+
+/// Incremental builder for [`Instance`].
+///
+/// Sets may be declared with a known size ([`add_set`](Self::add_set)) or
+/// with the size inferred at build time
+/// ([`add_set_unsized`](Self::add_set_unsized)) — the latter is convenient
+/// for generators that decide membership element-by-element.
+///
+/// # Examples
+///
+/// ```
+/// use osp_core::InstanceBuilder;
+///
+/// let mut b = InstanceBuilder::new();
+/// let s = b.add_set(2.5, 1);
+/// b.add_element(1, &[s]);
+/// let inst = b.build()?;
+/// assert_eq!(inst.num_sets(), 1);
+/// assert_eq!(inst.set(s).weight(), 2.5);
+/// # Ok::<(), osp_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InstanceBuilder {
+    weights: Vec<f64>,
+    declared: Vec<Option<u32>>,
+    arrivals: Vec<Arrival>,
+}
+
+impl InstanceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a set with known `weight` and `size`, returning its id.
+    pub fn add_set(&mut self, weight: f64, size: u32) -> SetId {
+        self.weights.push(weight);
+        self.declared.push(Some(size));
+        SetId((self.weights.len() - 1) as u32)
+    }
+
+    /// Declares a set whose size will be inferred from the elements added
+    /// later (it must end up ≥ 1).
+    pub fn add_set_unsized(&mut self, weight: f64) -> SetId {
+        self.weights.push(weight);
+        self.declared.push(None);
+        SetId((self.weights.len() - 1) as u32)
+    }
+
+    /// Number of sets declared so far.
+    pub fn num_sets(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of elements added so far.
+    pub fn num_elements(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Appends the next arriving element with capacity `b(u)` and member
+    /// list `C(u)`; returns the element's id. The member list is sorted
+    /// internally; order does not matter.
+    pub fn add_element(&mut self, capacity: u32, members: &[SetId]) -> ElementId {
+        let element = ElementId(self.arrivals.len() as u32);
+        let mut members = members.to_vec();
+        members.sort_unstable();
+        self.arrivals.push(Arrival {
+            element,
+            capacity,
+            members,
+        });
+        element
+    }
+
+    /// Validates and freezes the instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found: invalid weight, zero capacity,
+    /// duplicate/unknown members, or declared-vs-realized size mismatch
+    /// (unsized sets must receive at least one element).
+    pub fn build(self) -> Result<Instance, Error> {
+        let m = self.weights.len();
+        for (i, &w) in self.weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(Error::BadWeight {
+                    set: SetId(i as u32),
+                    weight: w,
+                });
+            }
+        }
+        let mut realized = vec![0u32; m];
+        for a in &self.arrivals {
+            if a.capacity == 0 {
+                return Err(Error::ZeroCapacity(a.element));
+            }
+            for w in a.members.windows(2) {
+                if w[0] == w[1] {
+                    return Err(Error::DuplicateMember {
+                        element: a.element,
+                        set: w[0],
+                    });
+                }
+            }
+            for &s in &a.members {
+                if s.index() >= m {
+                    return Err(Error::UnknownSet {
+                        element: a.element,
+                        set: s,
+                    });
+                }
+                realized[s.index()] += 1;
+            }
+        }
+        let mut sets = Vec::with_capacity(m);
+        for (i, (&w, &d)) in self.weights.iter().zip(&self.declared).enumerate() {
+            let id = SetId(i as u32);
+            let size = match d {
+                Some(declared) => {
+                    if declared == 0 {
+                        return Err(Error::EmptySet(id));
+                    }
+                    if declared != realized[i] {
+                        return Err(Error::SizeMismatch {
+                            set: id,
+                            declared,
+                            realized: realized[i],
+                        });
+                    }
+                    declared
+                }
+                None => {
+                    if realized[i] == 0 {
+                        return Err(Error::EmptySet(id));
+                    }
+                    realized[i]
+                }
+            };
+            sets.push(SetMeta { weight: w, size });
+        }
+        Ok(Instance {
+            sets,
+            arrivals: self.arrivals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_set_builder() -> (InstanceBuilder, SetId, SetId) {
+        let mut b = InstanceBuilder::new();
+        let s0 = b.add_set(1.0, 2);
+        let s1 = b.add_set(2.0, 1);
+        (b, s0, s1)
+    }
+
+    #[test]
+    fn happy_path() {
+        let (mut b, s0, s1) = two_set_builder();
+        b.add_element(1, &[s0, s1]);
+        b.add_element(1, &[s0]);
+        let inst = b.build().unwrap();
+        assert_eq!(inst.num_sets(), 2);
+        assert_eq!(inst.num_elements(), 2);
+        assert_eq!(inst.set(s0).size(), 2);
+        assert_eq!(inst.set(s1).weight(), 2.0);
+        assert_eq!(inst.total_weight(), 3.0);
+        assert!(inst.is_unit_capacity());
+        assert!(!inst.is_unweighted());
+        assert_eq!(inst.weight_of([s0, s1]), 3.0);
+    }
+
+    #[test]
+    fn members_sorted_regardless_of_input_order() {
+        let (mut b, s0, s1) = two_set_builder();
+        b.add_element(1, &[s1, s0]);
+        b.add_element(1, &[s0]);
+        let inst = b.build().unwrap();
+        assert_eq!(inst.arrivals()[0].members(), &[s0, s1]);
+        assert!(inst.arrivals()[0].contains(s1));
+        assert!(!inst.arrivals()[1].contains(s1));
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let (mut b, s0, _) = two_set_builder();
+        b.add_element(1, &[s0]);
+        // s0 declared size 2 but gets 1 element; s1 declared 1 but gets 0.
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, Error::SizeMismatch { .. }));
+    }
+
+    #[test]
+    fn unsized_sets_infer() {
+        let mut b = InstanceBuilder::new();
+        let s = b.add_set_unsized(1.0);
+        b.add_element(2, &[s]);
+        b.add_element(1, &[s]);
+        let inst = b.build().unwrap();
+        assert_eq!(inst.set(s).size(), 2);
+        assert!(!inst.is_unit_capacity());
+    }
+
+    #[test]
+    fn unsized_set_with_no_elements_rejected() {
+        let mut b = InstanceBuilder::new();
+        b.add_set_unsized(1.0);
+        assert_eq!(b.build().unwrap_err(), Error::EmptySet(SetId(0)));
+    }
+
+    #[test]
+    fn zero_declared_size_rejected() {
+        let mut b = InstanceBuilder::new();
+        b.add_set(1.0, 0);
+        assert_eq!(b.build().unwrap_err(), Error::EmptySet(SetId(0)));
+    }
+
+    #[test]
+    fn bad_weights_rejected() {
+        for w in [-1.0, f64::NAN, f64::INFINITY] {
+            let mut b = InstanceBuilder::new();
+            b.add_set(w, 1);
+            assert!(matches!(b.build().unwrap_err(), Error::BadWeight { .. }));
+        }
+    }
+
+    #[test]
+    fn zero_weight_allowed() {
+        let mut b = InstanceBuilder::new();
+        let s = b.add_set(0.0, 1);
+        b.add_element(1, &[s]);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let (mut b, s0, s1) = two_set_builder();
+        b.add_element(0, &[s0, s1]);
+        b.add_element(1, &[s0]);
+        assert_eq!(b.build().unwrap_err(), Error::ZeroCapacity(ElementId(0)));
+    }
+
+    #[test]
+    fn duplicate_member_rejected() {
+        let mut b = InstanceBuilder::new();
+        let s = b.add_set(1.0, 2);
+        b.add_element(1, &[s, s]);
+        assert!(matches!(b.build().unwrap_err(), Error::DuplicateMember { .. }));
+    }
+
+    #[test]
+    fn unknown_set_rejected() {
+        let mut b = InstanceBuilder::new();
+        b.add_set(1.0, 1);
+        b.add_element(1, &[SetId(5)]);
+        assert!(matches!(b.build().unwrap_err(), Error::UnknownSet { .. }));
+    }
+
+    #[test]
+    fn members_by_set_inverts_arrivals() {
+        let (mut b, s0, s1) = two_set_builder();
+        let e0 = b.add_element(1, &[s0, s1]);
+        let e1 = b.add_element(1, &[s0]);
+        let inst = b.build().unwrap();
+        let by_set = inst.members_by_set();
+        assert_eq!(by_set[s0.index()], vec![e0, e1]);
+        assert_eq!(by_set[s1.index()], vec![e0]);
+    }
+
+    #[test]
+    fn empty_instance_is_valid() {
+        let inst = InstanceBuilder::new().build().unwrap();
+        assert_eq!(inst.num_sets(), 0);
+        assert_eq!(inst.num_elements(), 0);
+        assert_eq!(inst.total_weight(), 0.0);
+        assert!(inst.is_unit_capacity());
+        assert!(inst.is_unweighted());
+    }
+
+    #[test]
+    fn shuffle_preserves_structure_and_renumbers() {
+        let (mut b, s0, s1) = two_set_builder();
+        b.add_element(1, &[s0, s1]);
+        b.add_element(2, &[s0]);
+        let inst = b.build().unwrap();
+        let mut rng = rand::rngs::mock::StepRng::new(1, 7);
+        let shuffled = inst.shuffle_arrivals(&mut rng);
+        assert_eq!(shuffled.num_elements(), inst.num_elements());
+        assert_eq!(shuffled.sets(), inst.sets());
+        // Element ids are consecutive in the new order.
+        for (i, a) in shuffled.arrivals().iter().enumerate() {
+            assert_eq!(a.element(), ElementId(i as u32));
+        }
+        // The multiset of (capacity, members) is preserved.
+        let mut orig: Vec<(u32, Vec<SetId>)> = inst
+            .arrivals()
+            .iter()
+            .map(|a| (a.capacity(), a.members().to_vec()))
+            .collect();
+        let mut shuf: Vec<(u32, Vec<SetId>)> = shuffled
+            .arrivals()
+            .iter()
+            .map(|a| (a.capacity(), a.members().to_vec()))
+            .collect();
+        orig.sort();
+        shuf.sort();
+        assert_eq!(orig, shuf);
+    }
+}

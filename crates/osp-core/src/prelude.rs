@@ -1,0 +1,14 @@
+//! Convenience re-exports of the most frequently used items.
+//!
+//! ```
+//! use osp_core::prelude::*;
+//! let _ = InstanceBuilder::new();
+//! ```
+
+pub use crate::algorithm::{EngineView, OnlineAlgorithm};
+pub use crate::algorithms::{GreedyOnline, HashRandPr, OracleOnline, RandPr, RandomAssign, TieBreak};
+pub use crate::engine::{run, Outcome, Session};
+pub use crate::error::Error;
+pub use crate::ids::{ElementId, SetId};
+pub use crate::instance::{Arrival, Instance, InstanceBuilder, SetMeta};
+pub use crate::stats::InstanceStats;

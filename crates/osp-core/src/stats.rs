@@ -1,0 +1,231 @@
+//! Instance statistics: every quantity the paper's bounds are expressed in.
+//!
+//! Notation recap (§2): for element `u`, the *load* `σ(u) = |C(u)|` and the
+//! *weighted load* `σ$(u) = w(C(u))`; for variable capacities, the
+//! *adjusted load* `ν(u) = σ(u)/b(u)` (Definition 1). Over-bars denote
+//! averages over elements; `σ·σ$` is the average of the per-element
+//! *product* `σ(u)·σ$(u)` — computing that correctly (not as a product of
+//! averages) is what makes Theorem 1's refined bound tick.
+
+use crate::instance::Instance;
+
+/// All the aggregate quantities the theorems reference, computed in one
+/// pass over an [`Instance`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceStats {
+    /// Number of elements `n`.
+    pub n: usize,
+    /// Number of sets `m`.
+    pub m: usize,
+    /// Maximum set size `k_max`.
+    pub k_max: u32,
+    /// Average set size `k̄ = Σ|S| / m`.
+    pub k_mean: f64,
+    /// Maximum element load `σ_max`.
+    pub sigma_max: u32,
+    /// Average element load `σ̄`.
+    pub sigma_mean: f64,
+    /// Average squared load `σ²` (i.e. `Σσ(u)²/n`).
+    pub sigma_sq_mean: f64,
+    /// Average weighted load `σ$̄ = Σ_u w(C(u)) / n`.
+    pub sigma_w_mean: f64,
+    /// Average load-times-weighted-load `σ·σ$ = Σ_u σ(u)·σ$(u) / n`.
+    pub sigma_sigma_w_mean: f64,
+    /// Maximum adjusted load `ν_max = max_u σ(u)/b(u)`.
+    pub nu_max: f64,
+    /// Average adjusted-load-times-weighted-load `ν·σ$`.
+    pub nu_sigma_w_mean: f64,
+    /// Maximum element capacity `b_max`.
+    pub b_max: u32,
+    /// Total set weight `w(C)`.
+    pub total_weight: f64,
+    /// `Some(k)` iff every set has size exactly `k`.
+    pub uniform_size: Option<u32>,
+    /// `Some(σ)` iff every element has load exactly `σ`.
+    pub uniform_load: Option<u32>,
+    /// Whether every element has capacity 1.
+    pub unit_capacity: bool,
+    /// Whether every set has weight 1.
+    pub unweighted: bool,
+}
+
+impl InstanceStats {
+    /// Computes the statistics of `instance`.
+    ///
+    /// Empty instances yield zeros (and `None` uniformity witnesses);
+    /// callers evaluating bounds should check [`InstanceStats::n`] first.
+    pub fn compute(instance: &Instance) -> Self {
+        let n = instance.num_elements();
+        let m = instance.num_sets();
+
+        let mut k_max = 0u32;
+        let mut size_sum = 0u64;
+        let mut uniform_size = None;
+        let mut uniform_size_ok = true;
+        for s in instance.sets() {
+            k_max = k_max.max(s.size());
+            size_sum += u64::from(s.size());
+            match uniform_size {
+                None => uniform_size = Some(s.size()),
+                Some(k) if k != s.size() => uniform_size_ok = false,
+                _ => {}
+            }
+        }
+        if !uniform_size_ok {
+            uniform_size = None;
+        }
+
+        let mut sigma_max = 0u32;
+        let mut sigma_sum = 0f64;
+        let mut sigma_sq_sum = 0f64;
+        let mut sigma_w_sum = 0f64;
+        let mut sigma_sigma_w_sum = 0f64;
+        let mut nu_max = 0f64;
+        let mut nu_sigma_w_sum = 0f64;
+        let mut b_max = 0u32;
+        let mut uniform_load = None;
+        let mut uniform_load_ok = true;
+        for a in instance.arrivals() {
+            let sigma = a.load();
+            let sigma_w: f64 = a
+                .members()
+                .iter()
+                .map(|&s| instance.set(s).weight())
+                .sum();
+            let nu = f64::from(sigma) / f64::from(a.capacity());
+            sigma_max = sigma_max.max(sigma);
+            sigma_sum += f64::from(sigma);
+            sigma_sq_sum += f64::from(sigma) * f64::from(sigma);
+            sigma_w_sum += sigma_w;
+            sigma_sigma_w_sum += f64::from(sigma) * sigma_w;
+            nu_max = nu_max.max(nu);
+            nu_sigma_w_sum += nu * sigma_w;
+            b_max = b_max.max(a.capacity());
+            match uniform_load {
+                None => uniform_load = Some(sigma),
+                Some(s) if s != sigma => uniform_load_ok = false,
+                _ => {}
+            }
+        }
+        if !uniform_load_ok {
+            uniform_load = None;
+        }
+
+        let nf = if n == 0 { 1.0 } else { n as f64 };
+        InstanceStats {
+            n,
+            m,
+            k_max,
+            k_mean: if m == 0 { 0.0 } else { size_sum as f64 / m as f64 },
+            sigma_max,
+            sigma_mean: sigma_sum / nf,
+            sigma_sq_mean: sigma_sq_sum / nf,
+            sigma_w_mean: sigma_w_sum / nf,
+            sigma_sigma_w_mean: sigma_sigma_w_sum / nf,
+            nu_max,
+            nu_sigma_w_mean: nu_sigma_w_sum / nf,
+            b_max,
+            total_weight: instance.total_weight(),
+            uniform_size,
+            uniform_load,
+            unit_capacity: instance.is_unit_capacity(),
+            unweighted: instance.is_unweighted(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    fn sample_instance() -> Instance {
+        // s0: w=1, {e0,e1}; s1: w=2, {e0}; s2: w=4, {e1}
+        let mut b = InstanceBuilder::new();
+        let s0 = b.add_set(1.0, 2);
+        let s1 = b.add_set(2.0, 1);
+        let s2 = b.add_set(4.0, 1);
+        b.add_element(1, &[s0, s1]);
+        b.add_element(2, &[s0, s2]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let st = InstanceStats::compute(&sample_instance());
+        assert_eq!(st.n, 2);
+        assert_eq!(st.m, 3);
+        assert_eq!(st.k_max, 2);
+        assert!((st.k_mean - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(st.sigma_max, 2);
+        assert_eq!(st.sigma_mean, 2.0);
+        assert_eq!(st.sigma_sq_mean, 4.0);
+        assert_eq!(st.total_weight, 7.0);
+        assert_eq!(st.b_max, 2);
+        assert!(!st.unit_capacity);
+        assert!(!st.unweighted);
+    }
+
+    #[test]
+    fn weighted_loads() {
+        let st = InstanceStats::compute(&sample_instance());
+        // σ$(e0) = 1 + 2 = 3, σ$(e1) = 1 + 4 = 5
+        assert_eq!(st.sigma_w_mean, 4.0);
+        // σ·σ$: 2*3 = 6, 2*5 = 10 -> mean 8
+        assert_eq!(st.sigma_sigma_w_mean, 8.0);
+        // ν: e0 = 2/1 = 2, e1 = 2/2 = 1
+        assert_eq!(st.nu_max, 2.0);
+        // ν·σ$: 2*3 = 6, 1*5 = 5 -> mean 5.5
+        assert_eq!(st.nu_sigma_w_mean, 5.5);
+    }
+
+    #[test]
+    fn uniformity_witnesses() {
+        let st = InstanceStats::compute(&sample_instance());
+        assert_eq!(st.uniform_size, None); // sizes 2,1,1
+        assert_eq!(st.uniform_load, Some(2));
+
+        let mut b = InstanceBuilder::new();
+        let s0 = b.add_set(1.0, 1);
+        let s1 = b.add_set(1.0, 1);
+        b.add_element(1, &[s0]);
+        b.add_element(1, &[s1]);
+        let st = InstanceStats::compute(&b.build().unwrap());
+        assert_eq!(st.uniform_size, Some(1));
+        assert_eq!(st.uniform_load, Some(1));
+        assert!(st.unit_capacity);
+        assert!(st.unweighted);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let st = InstanceStats::compute(&InstanceBuilder::new().build().unwrap());
+        assert_eq!(st.n, 0);
+        assert_eq!(st.m, 0);
+        assert_eq!(st.sigma_mean, 0.0);
+        assert_eq!(st.uniform_size, None);
+    }
+
+    #[test]
+    fn eq_4_identity_holds() {
+        // n·σ$̄ = Σ_S |S|·w(S) (Eq. (4) of the paper, as an identity).
+        let inst = sample_instance();
+        let st = InstanceStats::compute(&inst);
+        let rhs: f64 = inst
+            .sets()
+            .iter()
+            .map(|s| f64::from(s.size()) * s.weight())
+            .sum();
+        assert!((st.n as f64 * st.sigma_w_mean - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mk_equals_n_sigma_identity() {
+        // m·k̄ = n·σ̄ always (both count incidences).
+        let inst = sample_instance();
+        let st = InstanceStats::compute(&inst);
+        assert!(
+            (st.m as f64 * st.k_mean - st.n as f64 * st.sigma_mean).abs() < 1e-9
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests of the core model, priorities and algorithms.
+
+use proptest::prelude::*;
+
+use osp_core::gen::{biregular_instance, fixed_size_instance, random_instance, RandomInstanceConfig};
+use osp_core::prelude::*;
+use osp_core::priority::{Priority, Rw};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    // ---------------- R_w distribution ----------------
+
+    #[test]
+    fn rw_cdf_quantile_round_trip(w in 0.01f64..100.0, u in 0.0f64..1.0) {
+        let rw = Rw::new(w).unwrap();
+        let x = rw.quantile(u);
+        prop_assert!((0.0..=1.0).contains(&x));
+        prop_assert!((rw.cdf(x) - u).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rw_cdf_is_monotone(w in 0.01f64..50.0, a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let rw = Rw::new(w).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(rw.cdf(lo) <= rw.cdf(hi) + 1e-12);
+    }
+
+    #[test]
+    fn rw_stochastic_dominance_in_weight(
+        w1 in 0.1f64..20.0,
+        delta in 0.1f64..20.0,
+        x in 0.001f64..0.999,
+    ) {
+        // Heavier weight => smaller CDF at every point (larger samples).
+        let light = Rw::new(w1).unwrap();
+        let heavy = Rw::new(w1 + delta).unwrap();
+        prop_assert!(heavy.cdf(x) <= light.cdf(x) + 1e-12);
+    }
+
+    #[test]
+    fn priority_order_is_total_and_antisymmetric(
+        v1 in 0.0f64..1.0, t1 in 0u64..100,
+        v2 in 0.0f64..1.0, t2 in 0u64..100,
+    ) {
+        let a = Priority::new(v1, t1);
+        let b = Priority::new(v2, t2);
+        let ab = a.cmp(&b);
+        let ba = b.cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == std::cmp::Ordering::Equal {
+            prop_assert_eq!((v1, t1), (v2, t2));
+        }
+    }
+
+    // ---------------- builder validation ----------------
+
+    #[test]
+    fn builder_accepts_consistent_and_rejects_mismatched_sizes(
+        sizes in proptest::collection::vec(1u32..4, 1..6),
+        lie in 0usize..6,
+    ) {
+        // Build an instance where set i gets exactly sizes[i] private
+        // elements; optionally misdeclare one size.
+        let mut b = InstanceBuilder::new();
+        let lying = lie < sizes.len();
+        let ids: Vec<SetId> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let declared = if lying && i == lie { k + 1 } else { k };
+                b.add_set(1.0, declared)
+            })
+            .collect();
+        for (i, &k) in sizes.iter().enumerate() {
+            for _ in 0..k {
+                b.add_element(1, &[ids[i]]);
+            }
+        }
+        match b.build() {
+            Ok(inst) => {
+                prop_assert!(!lying);
+                prop_assert_eq!(inst.num_sets(), sizes.len());
+            }
+            Err(e) => {
+                prop_assert!(lying, "unexpected error {e}");
+                let is_mismatch = matches!(e, Error::SizeMismatch { .. });
+                prop_assert!(is_mismatch);
+            }
+        }
+    }
+
+    // ---------------- generators ----------------
+
+    #[test]
+    fn biregular_degrees_are_exact(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = biregular_instance(12, 4, 3, &mut rng).unwrap();
+        let st = InstanceStats::compute(&inst);
+        prop_assert_eq!(st.uniform_size, Some(4));
+        prop_assert_eq!(st.uniform_load, Some(3));
+    }
+
+    #[test]
+    fn fixed_size_generator_keeps_k_uniform(
+        seed in 0u64..200,
+        skew in 0.0f64..2.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = fixed_size_instance(20, 3, 40, skew, &mut rng).unwrap();
+        let st = InstanceStats::compute(&inst);
+        prop_assert_eq!(st.uniform_size, Some(3));
+        // Incidence identity m·k = n·σ̄ holds.
+        prop_assert!((st.m as f64 * st.k_mean - st.n as f64 * st.sigma_mean).abs() < 1e-6);
+    }
+
+    // ---------------- order invariance (the theory property) ----------------
+
+    #[test]
+    fn randpr_outcome_is_invariant_under_arrival_order(
+        gen_seed in 0u64..100,
+        alg_seed in 0u64..100,
+        shuffle_seed in 0u64..100,
+    ) {
+        // randPr draws one priority per set up front and its completion
+        // condition ("top-b at every element of S") has no notion of time,
+        // so for a fixed seed the completed family cannot depend on the
+        // arrival order. Greedy baselines do NOT have this property.
+        let mut rng = StdRng::seed_from_u64(gen_seed);
+        let cfg = RandomInstanceConfig::unweighted(15, 30, 3);
+        let inst = random_instance(&cfg, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(shuffle_seed);
+        let shuffled = inst.shuffle_arrivals(&mut rng);
+
+        let a = run(&inst, &mut RandPr::from_seed(alg_seed)).unwrap();
+        let b = run(&shuffled, &mut RandPr::from_seed(alg_seed)).unwrap();
+        prop_assert_eq!(a.completed(), b.completed());
+
+        let a = run(&inst, &mut HashRandPr::new(8, alg_seed)).unwrap();
+        let b = run(&shuffled, &mut HashRandPr::new(8, alg_seed)).unwrap();
+        prop_assert_eq!(a.completed(), b.completed());
+    }
+
+    #[test]
+    fn shuffled_instance_preserves_structure(
+        gen_seed in 0u64..100,
+        shuffle_seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(gen_seed);
+        let cfg = RandomInstanceConfig::unweighted(10, 25, 3);
+        let inst = random_instance(&cfg, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(shuffle_seed);
+        let shuffled = inst.shuffle_arrivals(&mut rng);
+        let a = InstanceStats::compute(&inst);
+        let b = InstanceStats::compute(&shuffled);
+        prop_assert_eq!(a.n, b.n);
+        prop_assert_eq!(a.m, b.m);
+        prop_assert_eq!(a.sigma_max, b.sigma_max);
+        prop_assert!((a.sigma_mean - b.sigma_mean).abs() < 1e-12);
+        prop_assert_eq!(a.uniform_size, b.uniform_size);
+    }
+
+    // ---------------- oracle round trip ----------------
+
+    #[test]
+    fn oracle_replays_randpr_outcomes(gen_seed in 0u64..100, alg_seed in 0u64..100) {
+        // Whatever randPr completed is a feasible packing; the oracle must
+        // reproduce it exactly through the engine.
+        let mut rng = StdRng::seed_from_u64(gen_seed);
+        let cfg = RandomInstanceConfig::unweighted(12, 25, 3);
+        let inst = random_instance(&cfg, &mut rng).unwrap();
+        let out = run(&inst, &mut RandPr::from_seed(alg_seed)).unwrap();
+        let replay = run(&inst, &mut OracleOnline::new(out.completed().to_vec())).unwrap();
+        prop_assert_eq!(replay.completed(), out.completed());
+        prop_assert!((replay.benefit() - out.benefit()).abs() < 1e-12);
+    }
+}

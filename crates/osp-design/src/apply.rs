@@ -1,0 +1,162 @@
+//! Applying a gadget to a set collection under a bijection.
+//!
+//! "Applying a line `L` to `C'` under `µ`" means introducing one OSP element
+//! whose members are every set `S ∈ C'` with `µ(S) ∈ L`; "applying the
+//! gadget" applies all affine lines (in slope-major order) and then,
+//! optionally, the row lines. This module produces those member lists in the
+//! paper's arrival order; the adversary crate feeds them into an instance
+//! builder.
+
+use crate::bijection::Bijection;
+use crate::gadget::{Gadget, Line};
+
+/// One future OSP element: the line it came from and the member sets (as
+/// indices local to the collection the bijection covers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineElements {
+    /// Which gadget line produced this element.
+    pub line: Line,
+    /// Collection-local set indices on the line.
+    pub members: Vec<usize>,
+}
+
+/// Applies `gadget` to the collection placed by `bijection`, yielding one
+/// [`LineElements`] per line in the paper's application order: all affine
+/// lines `L_{a,b}` (for `a = 0..N`, `b = 0..N`), then — when `with_rows` —
+/// the row lines `L_{∞,c}` for `c = 0..M`.
+///
+/// # Panics
+///
+/// Panics if the bijection shape does not match the gadget shape.
+pub fn apply_gadget(
+    gadget: &Gadget,
+    bijection: &Bijection,
+    with_rows: bool,
+) -> Vec<LineElements> {
+    assert_eq!(
+        (bijection.rows(), bijection.cols()),
+        (gadget.rows(), gadget.cols()),
+        "bijection shape must match gadget shape"
+    );
+    let mut out = Vec::with_capacity(
+        (gadget.cols() * gadget.cols() + if with_rows { gadget.rows() } else { 0 }) as usize,
+    );
+    for line in gadget.affine_lines() {
+        out.push(line_elements(gadget, bijection, line));
+    }
+    if with_rows {
+        for line in gadget.row_lines() {
+            out.push(line_elements(gadget, bijection, line));
+        }
+    }
+    out
+}
+
+fn line_elements(gadget: &Gadget, bijection: &Bijection, line: Line) -> LineElements {
+    let members = gadget
+        .line_items(line)
+        .into_iter()
+        .map(|(r, c)| bijection.set_at(r, c))
+        .collect();
+    LineElements { line, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_match_lemma_8() {
+        // An (M,N)-gadget application consists of N^2 elements of load M and
+        // M elements of load N; each set appears in exactly N+1 elements.
+        let (m, n) = (3u64, 5u64);
+        let g = Gadget::new(m, n).unwrap();
+        let b = Bijection::identity(m, n);
+        let lines = apply_gadget(&g, &b, true);
+        assert_eq!(lines.len() as u64, n * n + m);
+        let affine = lines.iter().filter(|l| matches!(l.line, Line::Affine { .. }));
+        for l in affine {
+            assert_eq!(l.members.len() as u64, m);
+        }
+        let rows = lines.iter().filter(|l| matches!(l.line, Line::Row { .. }));
+        for l in rows {
+            assert_eq!(l.members.len() as u64, n);
+        }
+        // Per-set appearance count.
+        let mut appearances = vec![0u64; (m * n) as usize];
+        for l in &lines {
+            for &s in &l.members {
+                appearances[s] += 1;
+            }
+        }
+        assert!(appearances.iter().all(|&a| a == n + 1));
+    }
+
+    #[test]
+    fn without_rows_each_set_appears_n_times() {
+        let (m, n) = (4u64, 4u64);
+        let g = Gadget::new(m, n).unwrap();
+        let b = Bijection::identity(m, n);
+        let lines = apply_gadget(&g, &b, false);
+        assert_eq!(lines.len() as u64, n * n);
+        let mut appearances = vec![0u64; (m * n) as usize];
+        for l in &lines {
+            for &s in &l.members {
+                appearances[s] += 1;
+            }
+        }
+        assert!(appearances.iter().all(|&a| a == n));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // triangular matrix sweep reads clearer indexed
+    fn any_two_sets_meet_exactly_once_with_rows() {
+        let (m, n) = (3u64, 4u64);
+        let g = Gadget::new(m, n).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = Bijection::random(m, n, &mut rng);
+        let lines = apply_gadget(&g, &b, true);
+        let size = (m * n) as usize;
+        let mut meet = vec![vec![0u32; size]; size];
+        for l in &lines {
+            for (x, &s1) in l.members.iter().enumerate() {
+                for &s2 in &l.members[x + 1..] {
+                    meet[s1][s2] += 1;
+                    meet[s2][s1] += 1;
+                }
+            }
+        }
+        for s1 in 0..size {
+            for s2 in 0..size {
+                if s1 != s2 {
+                    assert_eq!(meet[s1][s2], 1, "sets {s1},{s2} meet {}", meet[s1][s2]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn without_rows_same_row_sets_never_meet() {
+        let (m, n) = (3u64, 5u64);
+        let g = Gadget::new(m, n).unwrap();
+        let b = Bijection::identity(m, n);
+        let lines = apply_gadget(&g, &b, false);
+        for r in 0..m {
+            let row = b.row_sets(r);
+            for l in &lines {
+                let hits = l.members.iter().filter(|s| row.contains(s)).count();
+                assert!(hits <= 1, "row {r} has two sets on line {:?}", l.line);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn shape_mismatch_panics() {
+        let g = Gadget::new(2, 3).unwrap();
+        let b = Bijection::identity(3, 3);
+        let _ = apply_gadget(&g, &b, true);
+    }
+}

@@ -1,0 +1,250 @@
+//! Bijections placing a collection of sets onto the `M × N` item matrix of a
+//! gadget.
+//!
+//! The paper phrases gadget application as "apply the (M,N)-gadget to the
+//! collection `C'` under the bijection `µ : C' → [M] × [N]`". A [`Bijection`]
+//! stores the placement both ways: set index → matrix position and back.
+//! Stage II of the Lemma 9 construction builds wide bijections by
+//! concatenating narrow ones after randomly permuting their rows;
+//! [`Bijection::concat_with_row_perms`] implements exactly that step.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A bijection between `M·N` set indices (`0..M·N`, local to one
+/// subcollection) and matrix positions `(row, col)` with `row < M`,
+/// `col < N`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bijection {
+    m: u64,
+    n: u64,
+    /// `to_pos[set] = (row, col)`.
+    to_pos: Vec<(u64, u64)>,
+    /// `from_pos[row * n + col] = set`.
+    from_pos: Vec<u32>,
+}
+
+impl Bijection {
+    /// The identity placement: set `s` sits at `(s / n, s % n)` (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m * n == 0` or exceeds `u32::MAX` sets.
+    pub fn identity(m: u64, n: u64) -> Self {
+        let size = m.checked_mul(n).expect("m*n overflow");
+        assert!(size > 0, "bijection must cover at least one item");
+        assert!(size <= u32::MAX as u64, "too many sets for a bijection");
+        let to_pos: Vec<(u64, u64)> = (0..size).map(|s| (s / n, s % n)).collect();
+        let from_pos: Vec<u32> = (0..size as u32).collect();
+        Bijection {
+            m,
+            n,
+            to_pos,
+            from_pos,
+        }
+    }
+
+    /// A uniformly random placement (used by Stage I of Lemma 9).
+    pub fn random<R: Rng + ?Sized>(m: u64, n: u64, rng: &mut R) -> Self {
+        let mut b = Bijection::identity(m, n);
+        // Shuffle which set lands on which position.
+        let mut sets: Vec<u32> = (0..(m * n) as u32).collect();
+        sets.shuffle(rng);
+        for (pos, &set) in sets.iter().enumerate() {
+            b.from_pos[pos] = set;
+            b.to_pos[set as usize] = ((pos as u64) / n, (pos as u64) % n);
+        }
+        b
+    }
+
+    /// Number of rows `M`.
+    pub fn rows(&self) -> u64 {
+        self.m
+    }
+
+    /// Number of columns `N`.
+    pub fn cols(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of placed sets, `M·N`.
+    pub fn len(&self) -> usize {
+        self.to_pos.len()
+    }
+
+    /// Whether the bijection is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.to_pos.is_empty()
+    }
+
+    /// Position of set `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn position_of(&self, s: usize) -> (u64, u64) {
+        self.to_pos[s]
+    }
+
+    /// Set at position `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of range.
+    pub fn set_at(&self, row: u64, col: u64) -> usize {
+        assert!(row < self.m && col < self.n, "position ({row},{col}) out of range");
+        self.from_pos[(row * self.n + col) as usize] as usize
+    }
+
+    /// All set indices in row `row`, by ascending column.
+    pub fn row_sets(&self, row: u64) -> Vec<usize> {
+        (0..self.n).map(|c| self.set_at(row, c)).collect()
+    }
+
+    /// Concatenates `blocks.len()` many `M × N_b` bijections into one
+    /// `M × (Σ N_b)` bijection, after permuting the rows of each block by a
+    /// fresh uniformly random permutation — the Stage II step of Lemma 9.
+    ///
+    /// `offsets[i]` receives the local set indices of block `i` shifted by
+    /// the corresponding offset so the result addresses a single combined
+    /// collection: set `s` of block `i` becomes set `offsets[i] + s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if blocks disagree on `M`, if `blocks` is empty, or if
+    /// `offsets.len() != blocks.len()`.
+    pub fn concat_with_row_perms<R: Rng + ?Sized>(
+        blocks: &[&Bijection],
+        offsets: &[usize],
+        rng: &mut R,
+    ) -> Self {
+        assert!(!blocks.is_empty(), "need at least one block");
+        assert_eq!(blocks.len(), offsets.len());
+        let m = blocks[0].m;
+        assert!(
+            blocks.iter().all(|b| b.m == m),
+            "all blocks must have the same row count"
+        );
+        let n_total: u64 = blocks.iter().map(|b| b.n).sum();
+        let size = (m * n_total) as usize;
+        let mut to_pos = vec![(0u64, 0u64); size];
+        let mut from_pos = vec![0u32; size];
+
+        let mut col_offset = 0u64;
+        for (block, &set_offset) in blocks.iter().zip(offsets) {
+            // Fresh random row permutation π for this block.
+            let mut perm: Vec<u64> = (0..m).collect();
+            perm.shuffle(rng);
+            for local in 0..block.len() {
+                let (r, c) = block.to_pos[local];
+                let global_set = set_offset + local;
+                let global_pos = (perm[r as usize], col_offset + c);
+                to_pos[global_set] = global_pos;
+                from_pos[(global_pos.0 * n_total + global_pos.1) as usize] = global_set as u32;
+            }
+            col_offset += block.n;
+        }
+        Bijection {
+            m,
+            n: n_total,
+            to_pos,
+            from_pos,
+        }
+    }
+
+    /// Verifies internal consistency (each direction inverts the other).
+    /// Exposed for tests and construction audits.
+    pub fn is_consistent(&self) -> bool {
+        if self.to_pos.len() != (self.m * self.n) as usize {
+            return false;
+        }
+        self.to_pos.iter().enumerate().all(|(s, &(r, c))| {
+            r < self.m && c < self.n && self.from_pos[(r * self.n + c) as usize] as usize == s
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_round_trip() {
+        let b = Bijection::identity(3, 4);
+        assert_eq!(b.len(), 12);
+        assert!(b.is_consistent());
+        for s in 0..12 {
+            let (r, c) = b.position_of(s);
+            assert_eq!(b.set_at(r, c), s);
+        }
+        assert_eq!(b.row_sets(1), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn random_is_bijective() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let b = Bijection::random(4, 5, &mut rng);
+        assert!(b.is_consistent());
+        let mut seen = [false; 20];
+        for s in 0..20 {
+            let (r, c) = b.position_of(s);
+            let idx = (r * 5 + c) as usize;
+            assert!(!seen[idx]);
+            seen[idx] = true;
+        }
+    }
+
+    #[test]
+    fn random_differs_from_identity_with_high_probability() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let b = Bijection::random(6, 7, &mut rng);
+        let id = Bijection::identity(6, 7);
+        assert_ne!(b, id);
+    }
+
+    #[test]
+    fn concat_covers_all_columns() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b1 = Bijection::identity(3, 2);
+        let b2 = Bijection::identity(3, 4);
+        let cat = Bijection::concat_with_row_perms(&[&b1, &b2], &[0, 6], &mut rng);
+        assert_eq!(cat.rows(), 3);
+        assert_eq!(cat.cols(), 6);
+        assert!(cat.is_consistent());
+        // Block 1's sets occupy columns 0..2, block 2's occupy 2..6.
+        for s in 0..6 {
+            assert!(cat.position_of(s).1 < 2);
+        }
+        for s in 6..18 {
+            assert!(cat.position_of(s).1 >= 2);
+        }
+    }
+
+    #[test]
+    fn concat_permutes_rows_but_preserves_row_grouping() {
+        // Sets sharing a row in a block must still share a row after concat.
+        let mut rng = StdRng::seed_from_u64(99);
+        let b = Bijection::identity(4, 3);
+        let cat = Bijection::concat_with_row_perms(&[&b, &b], &[0, 12], &mut rng);
+        for block in 0..2 {
+            let off = block * 12;
+            for r in 0..4u64 {
+                let rows: Vec<u64> = (0..3)
+                    .map(|c| cat.position_of(off + (r * 3 + c) as usize).0)
+                    .collect();
+                assert!(rows.windows(2).all(|w| w[0] == w[1]), "row split: {rows:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same row count")]
+    fn concat_rejects_mismatched_rows() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let b1 = Bijection::identity(2, 2);
+        let b2 = Bijection::identity(3, 2);
+        let _ = Bijection::concat_with_row_perms(&[&b1, &b2], &[0, 4], &mut rng);
+    }
+}

@@ -1,0 +1,262 @@
+//! The `(M,N)`-gadget itself: items, lines, and incidence queries.
+
+use std::fmt;
+
+use osp_gf::{Gf, GfError};
+
+/// An item of the gadget: the pair `(row, col)` with `row ∈ F_M` and
+/// `col ∈ F`, both encoded as integers (`row < M`, `col < N`).
+pub type Item = (u64, u64);
+
+/// Error constructing a gadget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GadgetError {
+    /// `N` must be a prime power to carry the field structure.
+    NotPrimePower(u64),
+    /// `M` must satisfy `1 ≤ M ≤ N`.
+    BadRowCount {
+        /// The offending `M`.
+        m: u64,
+        /// The field order `N`.
+        n: u64,
+    },
+}
+
+impl fmt::Display for GadgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GadgetError::NotPrimePower(n) => {
+                write!(f, "gadget order {n} is not a prime power")
+            }
+            GadgetError::BadRowCount { m, n } => {
+                write!(f, "gadget row count {m} must be in 1..={n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GadgetError {}
+
+impl From<GfError> for GadgetError {
+    fn from(e: GfError) -> Self {
+        match e {
+            GfError::NotPrimePower(q) => GadgetError::NotPrimePower(q),
+            GfError::TooLarge(q) => GadgetError::NotPrimePower(q),
+        }
+    }
+}
+
+/// A line of the gadget, in the order the paper applies them: all affine
+/// lines `L_{a,b}` (grouped by slope `a`), then the rows `L_{∞,c}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Line {
+    /// `L_{a,b} = {(i, j) : j = a·i + b}` — one item per row, `M` in total.
+    Affine {
+        /// Slope `a ∈ F`.
+        a: u64,
+        /// Intercept `b ∈ F`.
+        b: u64,
+    },
+    /// `L_{∞,c} = {c} × F` — all `N` items of row `c`.
+    Row {
+        /// Row index `c ∈ F_M`.
+        c: u64,
+    },
+}
+
+/// The `(M,N)`-gadget of §4.2.1. `F_M` is fixed to `{0, 1, …, M−1}` under
+/// the field's canonical element encoding; any `M`-subset satisfies the
+/// paper's propositions, and fixing it keeps constructions deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gadget {
+    m: u64,
+    n: u64,
+    field: Gf,
+}
+
+impl Gadget {
+    /// Creates an `(M,N)`-gadget.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is not a prime power or `m ∉ 1..=n`.
+    pub fn new(m: u64, n: u64) -> Result<Self, GadgetError> {
+        let field = Gf::new(n)?;
+        if m == 0 || m > n {
+            return Err(GadgetError::BadRowCount { m, n });
+        }
+        Ok(Gadget { m, n, field })
+    }
+
+    /// Number of rows `M`.
+    pub fn rows(&self) -> u64 {
+        self.m
+    }
+
+    /// Field order / columns `N`.
+    pub fn cols(&self) -> u64 {
+        self.n
+    }
+
+    /// Total number of items `M·N`.
+    pub fn item_count(&self) -> u64 {
+        self.m * self.n
+    }
+
+    /// The underlying field `GF(N)`.
+    pub fn field(&self) -> &Gf {
+        &self.field
+    }
+
+    /// Iterates over all items in row-major order.
+    pub fn items(&self) -> impl Iterator<Item = Item> + '_ {
+        (0..self.m).flat_map(move |i| (0..self.n).map(move |j| (i, j)))
+    }
+
+    /// The items on a line. Affine lines have `M` items (one per row); rows
+    /// have `N` items.
+    pub fn line_items(&self, line: Line) -> Vec<Item> {
+        match line {
+            Line::Affine { a, b } => (0..self.m)
+                .map(|i| (i, self.field.affine(a, i, b)))
+                .collect(),
+            Line::Row { c } => (0..self.n).map(|j| (c, j)).collect(),
+        }
+    }
+
+    /// Whether `item` lies on `line`.
+    pub fn on_line(&self, item: Item, line: Line) -> bool {
+        let (i, j) = item;
+        match line {
+            Line::Affine { a, b } => self.field.affine(a, i, b) == j,
+            Line::Row { c } => i == c,
+        }
+    }
+
+    /// All affine lines, in the paper's application order (`a` outer, `b`
+    /// inner).
+    pub fn affine_lines(&self) -> impl Iterator<Item = Line> + '_ {
+        (0..self.n).flat_map(move |a| (0..self.n).map(move |b| Line::Affine { a, b }))
+    }
+
+    /// All row lines `L_{∞,c}`, `c ∈ F_M`.
+    pub fn row_lines(&self) -> impl Iterator<Item = Line> + '_ {
+        (0..self.m).map(|c| Line::Row { c })
+    }
+
+    /// All lines in application order: affine lines first, then rows.
+    pub fn lines(&self) -> impl Iterator<Item = Line> + '_ {
+        self.affine_lines().chain(self.row_lines())
+    }
+
+    /// The affine lines passing through both items (Proposition 1 says there
+    /// is exactly one when the items are in different rows, none when they
+    /// share a row).
+    pub fn affine_lines_through(&self, u: Item, v: Item) -> Vec<Line> {
+        let (i1, j1) = u;
+        let (i2, j2) = v;
+        let f = &self.field;
+        if i1 == i2 {
+            return Vec::new();
+        }
+        // Solve j1 = a·i1 + b, j2 = a·i2 + b for (a, b).
+        let di = f.sub(i1, i2);
+        let dj = f.sub(j1, j2);
+        let a = f
+            .div(dj, di)
+            .expect("distinct rows give nonzero row difference");
+        let b = f.sub(j1, f.mul(a, i1));
+        vec![Line::Affine { a, b }]
+    }
+}
+
+impl fmt::Display for Gadget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})-gadget over {}", self.m, self.n, self.field)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(Gadget::new(3, 5).is_ok());
+        assert!(Gadget::new(5, 5).is_ok());
+        assert_eq!(
+            Gadget::new(6, 5).unwrap_err(),
+            GadgetError::BadRowCount { m: 6, n: 5 }
+        );
+        assert_eq!(Gadget::new(0, 5).unwrap_err(), GadgetError::BadRowCount { m: 0, n: 5 });
+        assert_eq!(Gadget::new(2, 6).unwrap_err(), GadgetError::NotPrimePower(6));
+    }
+
+    #[test]
+    fn line_sizes() {
+        let g = Gadget::new(3, 4).unwrap(); // GF(4)
+        for line in g.affine_lines() {
+            assert_eq!(g.line_items(line).len(), 3);
+        }
+        for line in g.row_lines() {
+            assert_eq!(g.line_items(line).len(), 4);
+        }
+        assert_eq!(g.lines().count() as u64, 4 * 4 + 3);
+    }
+
+    #[test]
+    fn items_on_their_lines() {
+        let g = Gadget::new(4, 5).unwrap();
+        for line in g.lines() {
+            for item in g.line_items(line) {
+                assert!(g.on_line(item, line));
+            }
+        }
+    }
+
+    #[test]
+    fn affine_line_through_two_items_is_unique_brute_force() {
+        let g = Gadget::new(3, 4).unwrap();
+        let items: Vec<Item> = g.items().collect();
+        for &u in &items {
+            for &v in &items {
+                if u == v {
+                    continue;
+                }
+                let brute: Vec<Line> = g
+                    .affine_lines()
+                    .filter(|&l| g.on_line(u, l) && g.on_line(v, l))
+                    .collect();
+                let fast = g.affine_lines_through(u, v);
+                if u.0 == v.0 {
+                    assert!(brute.is_empty(), "{u:?} {v:?} share a row");
+                    assert!(fast.is_empty());
+                } else {
+                    assert_eq!(brute.len(), 1, "{u:?} {v:?}");
+                    assert_eq!(fast, brute);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn each_item_on_one_line_per_slope() {
+        let g = Gadget::new(5, 7).unwrap();
+        for item in g.items() {
+            for a in 0..7 {
+                let count = (0..7)
+                    .filter(|&b| g.on_line(item, Line::Affine { a, b }))
+                    .count();
+                assert_eq!(count, 1, "item {item:?} slope {a}");
+            }
+            let rows = (0..5).filter(|&c| g.on_line(item, Line::Row { c })).count();
+            assert_eq!(rows, 1);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let g = Gadget::new(2, 9).unwrap();
+        assert_eq!(g.to_string(), "(2,9)-gadget over GF(3^2)");
+    }
+}

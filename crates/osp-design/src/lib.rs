@@ -1,0 +1,40 @@
+//! # osp-design — (M,N)-gadget combinatorial designs
+//!
+//! §4.2.1 of *Emek et al., PODC 2010* builds its randomized lower bound from
+//! a combinatorial object reminiscent of affine planes, the **(M,N)-gadget**:
+//! `M·N` items identified with pairs in `F_M × F` where `F` is a finite field
+//! of cardinality `N` (a prime power) and `F_M ⊆ F` has cardinality `M ≤ N`.
+//! Its **lines** are
+//!
+//! * `L_{a,b} = {(i, j) : j = a·i + b}` for every `a, b ∈ F`, and
+//! * `L_{∞,c} = {c} × F` (the *rows*) for every `c ∈ F_M`.
+//!
+//! In the OSP reduction, items play the role of *sets* and lines the role of
+//! *elements*: applying a gadget to a collection of `M·N` sets under a
+//! bijection introduces one OSP element per line, containing exactly the sets
+//! placed on that line. Propositions 1–2 of the paper (any two items share
+//! exactly one line; each item lies on exactly one line per slope plus one
+//! row) are exposed as executable checks in [`verify`].
+//!
+//! ```
+//! use osp_design::Gadget;
+//!
+//! let g = Gadget::new(3, 5)?; // M=3, N=5 (5 is prime)
+//! assert_eq!(g.item_count(), 15);
+//! // Any two items in different rows share exactly one affine line:
+//! let shared = g.affine_lines_through((0, 1), (2, 4));
+//! assert_eq!(shared.len(), 1);
+//! # Ok::<(), osp_design::GadgetError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apply;
+mod bijection;
+mod gadget;
+pub mod verify;
+
+pub use apply::{apply_gadget, LineElements};
+pub use bijection::Bijection;
+pub use gadget::{Gadget, GadgetError, Item, Line};

@@ -1,0 +1,146 @@
+//! Executable checks of the paper's structural claims about gadgets
+//! (Propositions 1–2 and the counting part of Lemma 8).
+//!
+//! These are used by the test-suite and by the `adversarial_gadget` example
+//! to demonstrate that the constructed combinatorial designs really satisfy
+//! the paper's stated properties — for *every* gadget size we use, not just
+//! on paper.
+
+use crate::apply::apply_gadget;
+use crate::bijection::Bijection;
+use crate::gadget::{Gadget, Line};
+
+/// Proposition 1: items in different rows lie on exactly one common affine
+/// line; items in the same row (different columns) lie on no common affine
+/// line but exactly one common row line.
+///
+/// # Errors
+///
+/// Returns a description of the first violated pair, if any.
+pub fn check_proposition_1(g: &Gadget) -> Result<(), String> {
+    let items: Vec<_> = g.items().collect();
+    for (x, &u) in items.iter().enumerate() {
+        for &v in &items[x + 1..] {
+            let shared_affine = g
+                .affine_lines()
+                .filter(|&l| g.on_line(u, l) && g.on_line(v, l))
+                .count();
+            let shared_rows = g
+                .row_lines()
+                .filter(|&l| g.on_line(u, l) && g.on_line(v, l))
+                .count();
+            if u.0 == v.0 {
+                if shared_affine != 0 || shared_rows != 1 {
+                    return Err(format!(
+                        "Prop 1 fails for same-row {u:?},{v:?}: {shared_affine} affine, {shared_rows} rows"
+                    ));
+                }
+            } else if shared_affine != 1 || shared_rows != 0 {
+                return Err(format!(
+                    "Prop 1 fails for {u:?},{v:?}: {shared_affine} affine, {shared_rows} rows"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Proposition 2: each item lies on exactly one line `L_{a,·}` for every
+/// slope `a`, and on exactly one row line.
+///
+/// # Errors
+///
+/// Returns a description of the first violated (item, slope) pair, if any.
+pub fn check_proposition_2(g: &Gadget) -> Result<(), String> {
+    for item in g.items() {
+        for a in 0..g.cols() {
+            let count = (0..g.cols())
+                .filter(|&b| g.on_line(item, Line::Affine { a, b }))
+                .count();
+            if count != 1 {
+                return Err(format!("Prop 2 fails: item {item:?} lies on {count} lines of slope {a}"));
+            }
+        }
+        let rows = (0..g.rows())
+            .filter(|&c| g.on_line(item, Line::Row { c }))
+            .count();
+        if rows != 1 {
+            return Err(format!("Prop 2 fails: item {item:?} lies on {rows} row lines"));
+        }
+    }
+    Ok(())
+}
+
+/// The counting statement of Lemma 8 for an application under `bijection`:
+/// `N²` elements of load `M` plus (with rows) `M` elements of load `N`, and
+/// every set appearing `N+1` times (with rows) or `N` times (without).
+///
+/// # Errors
+///
+/// Returns a description of the first violated count, if any.
+pub fn check_lemma_8_counts(
+    g: &Gadget,
+    bijection: &Bijection,
+    with_rows: bool,
+) -> Result<(), String> {
+    let lines = apply_gadget(g, bijection, with_rows);
+    let expected_lines = g.cols() * g.cols() + if with_rows { g.rows() } else { 0 };
+    if lines.len() as u64 != expected_lines {
+        return Err(format!(
+            "expected {expected_lines} elements, got {}",
+            lines.len()
+        ));
+    }
+    let mut appearances = vec![0u64; g.item_count() as usize];
+    for le in &lines {
+        let expected_load = match le.line {
+            Line::Affine { .. } => g.rows(),
+            Line::Row { .. } => g.cols(),
+        };
+        if le.members.len() as u64 != expected_load {
+            return Err(format!(
+                "line {:?} has load {}, expected {expected_load}",
+                le.line,
+                le.members.len()
+            ));
+        }
+        for &s in &le.members {
+            appearances[s] += 1;
+        }
+    }
+    let expected_app = g.cols() + if with_rows { 1 } else { 0 };
+    for (s, &a) in appearances.iter().enumerate() {
+        if a != expected_app {
+            return Err(format!("set {s} appears {a} times, expected {expected_app}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn propositions_hold_across_field_types() {
+        // Prime, prime-power even, prime-power odd, full square.
+        for (m, n) in [(2u64, 2u64), (3, 5), (4, 4), (3, 9), (8, 8), (5, 11), (7, 8)] {
+            let g = Gadget::new(m, n).unwrap();
+            check_proposition_1(&g).unwrap();
+            check_proposition_2(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn lemma_8_counts_hold() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (m, n) in [(2u64, 3u64), (3, 3), (4, 5), (3, 8), (9, 9)] {
+            let g = Gadget::new(m, n).unwrap();
+            let b = Bijection::random(m, n, &mut rng);
+            check_lemma_8_counts(&g, &b, true).unwrap();
+            check_lemma_8_counts(&g, &b, false).unwrap();
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests: gadget propositions across random shapes.
+
+use proptest::prelude::*;
+
+use osp_design::{apply_gadget, verify, Bijection, Gadget, Line};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Valid (m, n) gadget shapes with n a small prime power.
+fn shapes() -> impl Strategy<Value = (u64, u64)> {
+    proptest::sample::select(vec![2u64, 3, 4, 5, 7, 8, 9])
+        .prop_flat_map(|n| (1..=n).prop_map(move |m| (m, n)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn propositions_hold_for_every_shape((m, n) in shapes()) {
+        let g = Gadget::new(m, n).unwrap();
+        prop_assert!(verify::check_proposition_1(&g).is_ok());
+        prop_assert!(verify::check_proposition_2(&g).is_ok());
+    }
+
+    #[test]
+    fn lemma_8_counts_hold_under_random_bijections((m, n) in shapes(), seed in 0u64..1000) {
+        let g = Gadget::new(m, n).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = Bijection::random(m, n, &mut rng);
+        prop_assert!(b.is_consistent());
+        prop_assert!(verify::check_lemma_8_counts(&g, &b, true).is_ok());
+        prop_assert!(verify::check_lemma_8_counts(&g, &b, false).is_ok());
+    }
+
+    #[test]
+    fn any_two_sets_meet_at_most_once_without_rows((m, n) in shapes(), seed in 0u64..1000) {
+        let g = Gadget::new(m, n).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = Bijection::random(m, n, &mut rng);
+        let lines = apply_gadget(&g, &b, false);
+        let size = (m * n) as usize;
+        let mut meet = vec![0u32; size * size];
+        for le in &lines {
+            for (i, &s1) in le.members.iter().enumerate() {
+                for &s2 in &le.members[i + 1..] {
+                    meet[s1 * size + s2] += 1;
+                    prop_assert!(meet[s1 * size + s2] <= 1, "{s1},{s2} meet twice");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affine_line_solver_agrees_with_membership((m, n) in shapes(), a in 0u64..9, b in 0u64..9) {
+        let g = Gadget::new(m, n).unwrap();
+        let (a, b) = (a % n, b % n);
+        let line = Line::Affine { a, b };
+        let items = g.line_items(line);
+        prop_assert_eq!(items.len() as u64, m);
+        for item in items {
+            prop_assert!(g.on_line(item, line));
+            // The unique-line solver must recover this line for any other
+            // item of the line in a different row.
+            for other in g.line_items(line) {
+                if other.0 != item.0 {
+                    let found = g.affine_lines_through(item, other);
+                    prop_assert_eq!(found, vec![line]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concat_with_row_perms_is_consistent(
+        seed in 0u64..1000,
+        blocks in 1usize..4,
+        m in 1u64..5,
+        n in 1u64..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = Bijection::identity(m, n);
+        let refs: Vec<&Bijection> = (0..blocks).map(|_| &base).collect();
+        let offsets: Vec<usize> = (0..blocks).map(|i| i * (m * n) as usize).collect();
+        let cat = Bijection::concat_with_row_perms(&refs, &offsets, &mut rng);
+        prop_assert!(cat.is_consistent());
+        prop_assert_eq!(cat.rows(), m);
+        prop_assert_eq!(cat.cols(), n * blocks as u64);
+        // Sets sharing a row in a block still share a row after concat.
+        for &offset in &offsets {
+            for r in 0..m {
+                let rows: std::collections::HashSet<u64> = (0..n)
+                    .map(|c| {
+                        let local = base.set_at(r, c);
+                        cat.position_of(offset + local).0
+                    })
+                    .collect();
+                prop_assert_eq!(rows.len(), 1);
+            }
+        }
+    }
+}

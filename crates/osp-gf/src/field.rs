@@ -1,0 +1,329 @@
+//! The finite field `GF(p^m)` for any prime power `q = p^m ≤ 2^32`.
+//!
+//! Field elements are represented as integers in `[0, q)`: the base-`p`
+//! digits of an element are the coefficients of its polynomial
+//! representative over `Z_p` (digit `i` multiplies `x^i`). Prime fields
+//! (`m == 1`) take a fast path of plain modular arithmetic; extension fields
+//! reduce modulo a deterministic irreducible polynomial, so the same `q`
+//! always yields the same field tables across runs and machines.
+
+use std::fmt;
+
+use crate::poly::{self, Poly};
+use crate::prime::{mul_mod, prime_power};
+
+/// Error constructing a finite field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GfError {
+    /// The requested order is not a prime power (or is < 2).
+    NotPrimePower(u64),
+    /// The requested order exceeds the supported bound of `2^32`.
+    TooLarge(u64),
+}
+
+impl fmt::Display for GfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GfError::NotPrimePower(q) => write!(f, "{q} is not a prime power"),
+            GfError::TooLarge(q) => write!(f, "field order {q} exceeds 2^32"),
+        }
+    }
+}
+
+impl std::error::Error for GfError {}
+
+/// The finite field `GF(p^m)`; see the module docs for the element encoding.
+///
+/// # Examples
+///
+/// ```
+/// use osp_gf::Gf;
+///
+/// let f = Gf::new(8)?; // GF(2^3)
+/// assert_eq!(f.order(), 8);
+/// for a in f.elements() {
+///     for b in f.elements() {
+///         assert_eq!(f.mul(a, b), f.mul(b, a));
+///     }
+/// }
+/// # Ok::<(), osp_gf::GfError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gf {
+    p: u64,
+    m: u32,
+    q: u64,
+    /// Monic irreducible modulus of degree `m`; empty in the prime case.
+    modulus: Poly,
+}
+
+impl Gf {
+    /// Constructs `GF(q)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GfError::NotPrimePower`] if `q` is not `p^m` for a prime
+    /// `p`, and [`GfError::TooLarge`] if `q > 2^32`.
+    pub fn new(q: u64) -> Result<Self, GfError> {
+        let (p, m) = prime_power(q).ok_or(GfError::NotPrimePower(q))?;
+        if q > 1 << 32 {
+            return Err(GfError::TooLarge(q));
+        }
+        let modulus = if m == 1 {
+            Vec::new()
+        } else {
+            poly::find_irreducible(p, m)
+        };
+        Ok(Gf { p, m, q, modulus })
+    }
+
+    /// Field order `q = p^m`.
+    pub fn order(&self) -> u64 {
+        self.q
+    }
+
+    /// Field characteristic `p`.
+    pub fn characteristic(&self) -> u64 {
+        self.p
+    }
+
+    /// Extension degree `m`.
+    pub fn degree(&self) -> u32 {
+        self.m
+    }
+
+    /// The additive identity.
+    pub fn zero(&self) -> u64 {
+        0
+    }
+
+    /// The multiplicative identity.
+    pub fn one(&self) -> u64 {
+        1
+    }
+
+    /// Iterates over all field elements, `0..q`.
+    pub fn elements(&self) -> impl Iterator<Item = u64> {
+        0..self.q
+    }
+
+    /// Whether `a` encodes a field element.
+    pub fn contains(&self, a: u64) -> bool {
+        a < self.q
+    }
+
+    fn check(&self, a: u64) {
+        debug_assert!(self.contains(a), "{a} is not an element of GF({})", self.q);
+    }
+
+    fn decode(&self, mut a: u64) -> Poly {
+        let mut digits = Vec::with_capacity(self.m as usize);
+        while a > 0 {
+            digits.push(a % self.p);
+            a /= self.p;
+        }
+        digits
+    }
+
+    fn encode(&self, f: &[u64]) -> u64 {
+        let mut v = 0u64;
+        for &c in f.iter().rev() {
+            v = v * self.p + c;
+        }
+        v
+    }
+
+    /// Field addition.
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        self.check(a);
+        self.check(b);
+        if self.m == 1 {
+            return (a + b) % self.p;
+        }
+        self.encode(&poly::add(&self.decode(a), &self.decode(b), self.p))
+    }
+
+    /// Field subtraction.
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        self.check(a);
+        self.check(b);
+        if self.m == 1 {
+            return (a + self.p - b) % self.p;
+        }
+        self.encode(&poly::sub(&self.decode(a), &self.decode(b), self.p))
+    }
+
+    /// Additive inverse.
+    pub fn neg(&self, a: u64) -> u64 {
+        self.sub(0, a)
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.check(a);
+        self.check(b);
+        if self.m == 1 {
+            return mul_mod(a, b, self.p);
+        }
+        let prod = poly::mul(&self.decode(a), &self.decode(b), self.p);
+        self.encode(&poly::rem(&prod, &self.modulus, self.p))
+    }
+
+    /// Multiplicative inverse, or `None` for zero.
+    pub fn inv(&self, a: u64) -> Option<u64> {
+        self.check(a);
+        if a == 0 {
+            return None;
+        }
+        // a^(q-2) = a^{-1} since the multiplicative group has order q-1.
+        Some(self.pow(a, self.q - 2))
+    }
+
+    /// Field division `a / b`, or `None` when `b` is zero.
+    pub fn div(&self, a: u64, b: u64) -> Option<u64> {
+        self.inv(b).map(|ib| self.mul(a, ib))
+    }
+
+    /// Exponentiation `a^e` by square-and-multiply.
+    pub fn pow(&self, a: u64, mut e: u64) -> u64 {
+        self.check(a);
+        let mut base = a;
+        let mut acc = self.one();
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Evaluates the affine map `a·x + b`, the line equation used by the
+    /// paper's `(M,N)`-gadget (`L_{a,b} = {(i, j) : j = a·i + b}`).
+    pub fn affine(&self, a: u64, x: u64, b: u64) -> u64 {
+        self.add(self.mul(a, x), b)
+    }
+}
+
+impl fmt::Display for Gf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.m == 1 {
+            write!(f, "GF({})", self.p)
+        } else {
+            write!(f, "GF({}^{})", self.p, self.m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field_axioms(q: u64) {
+        let f = Gf::new(q).unwrap();
+        let els: Vec<u64> = f.elements().collect();
+        assert_eq!(els.len() as u64, q);
+        for &a in &els {
+            // identities
+            assert_eq!(f.add(a, 0), a);
+            assert_eq!(f.mul(a, 1), a);
+            assert_eq!(f.mul(a, 0), 0);
+            // additive inverse
+            assert_eq!(f.add(a, f.neg(a)), 0);
+            // multiplicative inverse
+            if a != 0 {
+                let ia = f.inv(a).unwrap();
+                assert_eq!(f.mul(a, ia), 1, "inv failed in GF({q}) for {a}");
+            } else {
+                assert_eq!(f.inv(a), None);
+            }
+        }
+        // commutativity / associativity / distributivity on a sample grid
+        for &a in els.iter().take(8) {
+            for &b in els.iter().take(8) {
+                assert_eq!(f.add(a, b), f.add(b, a));
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                for &c in els.iter().take(8) {
+                    assert_eq!(f.mul(a, f.mul(b, c)), f.mul(f.mul(a, b), c));
+                    assert_eq!(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axioms_prime_fields() {
+        for q in [2u64, 3, 5, 7, 11, 13] {
+            field_axioms(q);
+        }
+    }
+
+    #[test]
+    fn axioms_extension_fields() {
+        for q in [4u64, 8, 9, 16, 25, 27, 49, 64, 81, 121, 125] {
+            field_axioms(q);
+        }
+    }
+
+    #[test]
+    fn rejects_non_prime_powers() {
+        assert_eq!(Gf::new(6), Err(GfError::NotPrimePower(6)));
+        assert_eq!(Gf::new(12), Err(GfError::NotPrimePower(12)));
+        assert_eq!(Gf::new(0), Err(GfError::NotPrimePower(0)));
+        assert_eq!(Gf::new(1), Err(GfError::NotPrimePower(1)));
+    }
+
+    #[test]
+    fn multiplicative_group_is_cyclic_of_order_q_minus_1() {
+        for q in [9u64, 16, 25] {
+            let f = Gf::new(q).unwrap();
+            for a in 1..q {
+                assert_eq!(f.pow(a, q - 1), 1, "Fermat failed in GF({q}) at {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_zero_divisors() {
+        for q in [8u64, 9, 16] {
+            let f = Gf::new(q).unwrap();
+            for a in 1..q {
+                for b in 1..q {
+                    assert_ne!(f.mul(a, b), 0, "zero divisor in GF({q}): {a}*{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affine_matches_definition() {
+        let f = Gf::new(7).unwrap();
+        assert_eq!(f.affine(3, 4, 5), (3 * 4 + 5) % 7);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Gf::new(7).unwrap().to_string(), "GF(7)");
+        assert_eq!(Gf::new(8).unwrap().to_string(), "GF(2^3)");
+    }
+
+    #[test]
+    fn deterministic_modulus() {
+        let a = Gf::new(81).unwrap();
+        let b = Gf::new(81).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn div_round_trip() {
+        let f = Gf::new(27).unwrap();
+        for a in 0..27 {
+            for b in 1..27 {
+                let c = f.div(a, b).unwrap();
+                assert_eq!(f.mul(c, b), a);
+            }
+            assert_eq!(f.div(a, 0), None);
+        }
+    }
+}

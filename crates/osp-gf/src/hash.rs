@@ -1,0 +1,180 @@
+//! Carter–Wegman polynomial hash families over the Mersenne prime `2^61 − 1`.
+//!
+//! §3.1 of the paper observes that the distributed implementation of
+//! `randPr` only needs a *system-wide hash function* of the set identifier:
+//! every server evaluates the same hash locally, so the random priorities
+//! agree everywhere without communication, and `k_max · σ_max`-wise
+//! independence suffices for the analysis. A degree-`d` random polynomial
+//! over a prime field is exactly `(d+1)`-wise independent, so
+//! [`PolyHash::new(d + 1, seed)`](PolyHash::new) provides the required
+//! family; [`PolyHash::unit`] maps the output to `[0, 1)` for use as a
+//! priority.
+
+use rand::{Rng, SeedableRng};
+
+/// The Mersenne prime `2^61 − 1`, the modulus of the hash field.
+pub const MERSENNE_61: u64 = (1 << 61) - 1;
+
+/// Reduces `x` modulo `2^61 − 1` using the Mersenne shift identity.
+#[inline]
+fn reduce128(mut x: u128) -> u64 {
+    const M: u128 = MERSENNE_61 as u128;
+    // Each fold shrinks x by ~61 bits; a full 128-bit input needs two.
+    while x >> 61 != 0 {
+        x = (x & M) + (x >> 61);
+    }
+    let mut s = x as u64;
+    if s >= MERSENNE_61 {
+        s -= MERSENNE_61;
+    }
+    s
+}
+
+/// A member of the polynomial hash family `h(x) = Σ a_i x^i mod (2^61−1)`.
+///
+/// A family with `independence = t` (polynomial degree `t − 1`) is exactly
+/// `t`-wise independent over keys in `[0, 2^61 − 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use osp_gf::hash::PolyHash;
+///
+/// let h = PolyHash::new(4, 12345); // 4-wise independent
+/// let v = h.unit(42);
+/// assert!((0.0..1.0).contains(&v));
+/// // Deterministic: same seed, same function.
+/// assert_eq!(PolyHash::new(4, 12345).unit(42), v);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolyHash {
+    coeffs: Vec<u64>,
+}
+
+impl PolyHash {
+    /// Draws a hash function from the `independence`-wise independent family
+    /// using the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `independence == 0`.
+    pub fn new(independence: usize, seed: u64) -> Self {
+        assert!(independence >= 1, "independence must be at least 1");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let coeffs = (0..independence)
+            .map(|_| rng.gen_range(0..MERSENNE_61))
+            .collect();
+        PolyHash { coeffs }
+    }
+
+    /// The independence level `t` of the family this function was drawn from.
+    pub fn independence(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluates the hash at `x`, returning a value in `[0, 2^61 − 1)`.
+    pub fn eval(&self, x: u64) -> u64 {
+        let x = x % MERSENNE_61;
+        // Horner's rule, highest coefficient first.
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = reduce128(acc as u128 * x as u128 + c as u128);
+        }
+        acc
+    }
+
+    /// Evaluates the hash and maps it to the unit interval `[0, 1)`.
+    pub fn unit(&self, x: u64) -> f64 {
+        self.eval(x) as f64 / MERSENNE_61 as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn reduction_is_correct() {
+        for x in [
+            0u128,
+            1,
+            MERSENNE_61 as u128,
+            MERSENNE_61 as u128 + 1,
+            u64::MAX as u128,
+            u128::from(u64::MAX) * u128::from(u64::MAX),
+        ] {
+            assert_eq!(reduce128(x) as u128, x % MERSENNE_61 as u128, "x={x}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let h1 = PolyHash::new(3, 9);
+        let h2 = PolyHash::new(3, 9);
+        let h3 = PolyHash::new(3, 10);
+        assert_eq!(h1, h2);
+        assert_ne!(h1.eval(12345), h3.eval(12345));
+    }
+
+    #[test]
+    fn constant_family_is_constant() {
+        let h = PolyHash::new(1, 7);
+        assert_eq!(h.eval(1), h.eval(2));
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let h = PolyHash::new(8, 3);
+        for x in 0..1000 {
+            let u = h.unit(x);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn outputs_look_uniform() {
+        // Bucket 100k hashed keys into 16 bins; each bin should get
+        // 6250 ± a generous tolerance. This is a smoke test of uniformity,
+        // not a strict statistical test.
+        let h = PolyHash::new(4, 42);
+        let mut bins = [0u32; 16];
+        let n = 100_000u64;
+        for x in 0..n {
+            let b = (h.unit(x) * 16.0) as usize;
+            bins[b.min(15)] += 1;
+        }
+        let expected = n as f64 / 16.0;
+        for (i, &b) in bins.iter().enumerate() {
+            assert!(
+                (b as f64 - expected).abs() < expected * 0.1,
+                "bin {i} has {b}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn pairwise_independence_smoke() {
+        // For a 2-wise independent family, Pr[h(x)=h(y)] for x != y should be
+        // ~1/p, i.e. essentially zero collisions over a few thousand draws.
+        let mut collisions = 0;
+        for seed in 0..2000 {
+            let h = PolyHash::new(2, seed);
+            if h.eval(17) == h.eval(18) {
+                collisions += 1;
+            }
+        }
+        assert_eq!(collisions, 0);
+    }
+
+    #[test]
+    fn different_keys_spread() {
+        let h = PolyHash::new(4, 1);
+        let mut seen = HashMap::new();
+        for x in 0..10_000u64 {
+            *seen.entry(h.eval(x)).or_insert(0u32) += 1;
+        }
+        // No collisions expected for 10k keys in a 2^61 range.
+        assert_eq!(seen.len(), 10_000);
+    }
+}

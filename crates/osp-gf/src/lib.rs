@@ -1,0 +1,35 @@
+//! # osp-gf — finite fields and universal hashing for OSP
+//!
+//! The lower-bound machinery of *Emek et al., PODC 2010* builds its
+//! `(M,N)`-gadgets over a finite field `F` with `|F| = N` a prime power
+//! (§4.2.1), and the distributed implementation of `randPr` replaces true
+//! randomness with a system-wide hash function of bounded independence
+//! (§3.1). This crate supplies both substrates from scratch:
+//!
+//! * [`prime`] — deterministic Miller–Rabin primality for `u64`, prime-power
+//!   detection and search.
+//! * [`Gf`] — arithmetic in `GF(p^m)` for any prime power up to `2^32`,
+//!   including deterministic irreducible-polynomial search (Rabin's test).
+//! * [`hash`] — Carter–Wegman polynomial hash families over the Mersenne
+//!   prime `2^61 - 1`; a degree-`d` family is `(d+1)`-wise independent, which
+//!   covers the `k_max · σ_max`-wise independence the paper asks of the
+//!   shared hash function.
+//!
+//! ```
+//! use osp_gf::Gf;
+//!
+//! let f = Gf::new(9).unwrap(); // GF(3^2)
+//! let a = 5;
+//! let inv = f.inv(a).unwrap();
+//! assert_eq!(f.mul(a, inv), f.one());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+pub mod hash;
+pub mod poly;
+pub mod prime;
+
+pub use field::{Gf, GfError};

@@ -1,0 +1,336 @@
+//! Dense polynomial arithmetic over the prime field `Z_p`.
+//!
+//! Polynomials are coefficient vectors in little-endian order
+//! (`coeffs[i]` multiplies `x^i`) with no trailing zero coefficients, so the
+//! zero polynomial is the empty vector. These routines back the extension
+//! field construction in [`crate::Gf`]: reduction happens modulo an
+//! irreducible polynomial found by Rabin's irreducibility test.
+
+use crate::prime::{distinct_prime_factors, mul_mod};
+
+/// A polynomial over `Z_p`, little-endian coefficients, normalized.
+pub type Poly = Vec<u64>;
+
+/// Removes trailing zeros so the representation is canonical.
+pub fn normalize(mut f: Poly) -> Poly {
+    while f.last() == Some(&0) {
+        f.pop();
+    }
+    f
+}
+
+/// Degree of `f`, or `None` for the zero polynomial.
+pub fn degree(f: &[u64]) -> Option<usize> {
+    if f.is_empty() {
+        None
+    } else {
+        Some(f.len() - 1)
+    }
+}
+
+/// `f + g` over `Z_p`.
+pub fn add(f: &[u64], g: &[u64], p: u64) -> Poly {
+    let n = f.len().max(g.len());
+    let out = (0..n)
+        .map(|i| {
+            let a = f.get(i).copied().unwrap_or(0);
+            let b = g.get(i).copied().unwrap_or(0);
+            (a + b) % p
+        })
+        .collect();
+    normalize(out)
+}
+
+/// `f - g` over `Z_p`.
+pub fn sub(f: &[u64], g: &[u64], p: u64) -> Poly {
+    let n = f.len().max(g.len());
+    let out = (0..n)
+        .map(|i| {
+            let a = f.get(i).copied().unwrap_or(0);
+            let b = g.get(i).copied().unwrap_or(0);
+            (a + p - b) % p
+        })
+        .collect();
+    normalize(out)
+}
+
+/// `f * g` over `Z_p` (schoolbook; inputs here are tiny).
+pub fn mul(f: &[u64], g: &[u64], p: u64) -> Poly {
+    if f.is_empty() || g.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; f.len() + g.len() - 1];
+    for (i, &a) in f.iter().enumerate() {
+        if a == 0 {
+            continue;
+        }
+        for (j, &b) in g.iter().enumerate() {
+            out[i + j] = (out[i + j] + mul_mod(a, b, p)) % p;
+        }
+    }
+    normalize(out)
+}
+
+/// Remainder of `f` divided by the *monic* polynomial `g` over `Z_p`.
+/// Division by a monic constant (the unit polynomial `1`) yields the zero
+/// polynomial.
+///
+/// # Panics
+///
+/// Panics if `g` is not monic or is zero.
+pub fn rem(f: &[u64], g: &[u64], p: u64) -> Poly {
+    let gd = degree(g).expect("division by zero polynomial");
+    assert_eq!(g[gd], 1, "modulus must be monic");
+    if gd == 0 {
+        return Vec::new();
+    }
+    let mut r: Poly = f.to_vec();
+    while let Some(rd) = degree(&r) {
+        if rd < gd {
+            break;
+        }
+        let coef = r[rd];
+        let shift = rd - gd;
+        // r -= coef * x^shift * g
+        for (j, &gj) in g.iter().enumerate() {
+            let t = mul_mod(coef, gj, p);
+            r[shift + j] = (r[shift + j] + p - t) % p;
+        }
+        r = normalize(r);
+    }
+    r
+}
+
+/// Polynomial GCD over `Z_p` (monic result; empty for gcd of zeros).
+pub fn gcd(f: &[u64], g: &[u64], p: u64) -> Poly {
+    let mut a = normalize(f.to_vec());
+    let mut b = normalize(g.to_vec());
+    while !b.is_empty() {
+        let bm = make_monic(&b, p);
+        let r = rem(&a, &bm, p);
+        a = bm;
+        b = r;
+    }
+    make_monic(&a, p)
+}
+
+/// Scales `f` so its leading coefficient is 1 (empty stays empty).
+pub fn make_monic(f: &[u64], p: u64) -> Poly {
+    match degree(f) {
+        None => Vec::new(),
+        Some(d) => {
+            let lead = f[d];
+            if lead == 1 {
+                return f.to_vec();
+            }
+            let inv = inv_mod(lead, p);
+            normalize(f.iter().map(|&c| mul_mod(c, inv, p)).collect())
+        }
+    }
+}
+
+/// Inverse of `a` in `Z_p` via Fermat's little theorem.
+///
+/// # Panics
+///
+/// Panics if `a ≡ 0 (mod p)`.
+pub fn inv_mod(a: u64, p: u64) -> u64 {
+    assert!(!a.is_multiple_of(p), "zero has no inverse mod {p}");
+    crate::prime::pow_mod(a, p - 2, p)
+}
+
+/// `base^e mod f` over `Z_p`, with `f` monic, by square-and-multiply.
+pub fn pow_mod_poly(base: &[u64], mut e: u64, f: &[u64], p: u64) -> Poly {
+    let mut result: Poly = vec![1];
+    let mut b = rem(base, f, p);
+    while e > 0 {
+        if e & 1 == 1 {
+            result = rem(&mul(&result, &b, p), f, p);
+        }
+        b = rem(&mul(&b, &b, p), f, p);
+        e >>= 1;
+    }
+    result
+}
+
+/// Computes `x^(p^k) mod f` by iterating the Frobenius map `g -> g^p mod f`.
+fn frobenius_power(k: u32, f: &[u64], p: u64) -> Poly {
+    let mut g: Poly = vec![0, 1]; // x
+    for _ in 0..k {
+        g = pow_mod_poly(&g, p, f, p);
+    }
+    g
+}
+
+/// Rabin's irreducibility test: a monic degree-`m` polynomial `f` over `Z_p`
+/// is irreducible iff `x^(p^m) ≡ x (mod f)` and, for every prime divisor `q`
+/// of `m`, `gcd(x^(p^(m/q)) − x, f) = 1`.
+///
+/// # Panics
+///
+/// Panics if `f` is not monic of degree ≥ 1.
+pub fn is_irreducible(f: &[u64], p: u64) -> bool {
+    let m = degree(f).expect("zero polynomial") as u32;
+    assert!(m >= 1);
+    assert_eq!(f[m as usize], 1, "irreducibility test requires monic input");
+    if m == 1 {
+        return true;
+    }
+    let x: Poly = vec![0, 1];
+    // x^(p^m) == x (mod f)
+    if frobenius_power(m, f, p) != rem(&x, f, p) {
+        return false;
+    }
+    for q in distinct_prime_factors(m as u64) {
+        let k = m / q as u32;
+        let g = sub(&frobenius_power(k, f, p), &x, p);
+        let d = gcd(&g, f, p);
+        if degree(&d) != Some(0) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Finds the lexicographically-first monic irreducible polynomial of degree
+/// `m` over `Z_p`, scanning lower coefficients as a base-`p` counter. The
+/// result is deterministic, so two runs of any experiment agree on the field.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or if `p^m` overflows `u64`.
+pub fn find_irreducible(p: u64, m: u32) -> Poly {
+    assert!(m >= 1, "degree must be at least 1");
+    if m == 1 {
+        return vec![0, 1]; // x itself
+    }
+    let count = p
+        .checked_pow(m)
+        .expect("field too large: p^m overflows u64");
+    // Enumerate lower coefficient vectors as base-p integers. Irreducible
+    // polynomials have density ~1/m, so this terminates quickly.
+    for idx in 0..count {
+        let mut f = vec![0u64; m as usize + 1];
+        let mut v = idx;
+        for c in f.iter_mut().take(m as usize) {
+            *c = v % p;
+            v /= p;
+        }
+        f[m as usize] = 1;
+        // A polynomial with zero constant term is divisible by x.
+        if f[0] == 0 {
+            continue;
+        }
+        if is_irreducible(&f, p) {
+            return f;
+        }
+    }
+    unreachable!("an irreducible polynomial of degree {m} exists over GF({p})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_strips_zeros() {
+        assert_eq!(normalize(vec![1, 2, 0, 0]), vec![1, 2]);
+        assert_eq!(normalize(vec![0, 0]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let p = 7;
+        let f = vec![1, 2, 3];
+        let g = vec![6, 5];
+        let s = add(&f, &g, p);
+        assert_eq!(sub(&s, &g, p), f);
+        assert_eq!(sub(&f, &f, p), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn mul_known() {
+        // (x+1)(x+2) = x^2 + 3x + 2 over Z_5
+        assert_eq!(mul(&[1, 1], &[2, 1], 5), vec![2, 3, 1]);
+        // times zero
+        assert_eq!(mul(&[1, 1], &[], 5), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn rem_known() {
+        // x^2 mod (x^2 + 1) = -1 = p-1 over Z_3
+        assert_eq!(rem(&[0, 0, 1], &[1, 0, 1], 3), vec![2]);
+        // lower degree passes through
+        assert_eq!(rem(&[2, 1], &[1, 0, 1], 3), vec![2, 1]);
+    }
+
+    #[test]
+    fn gcd_of_multiples() {
+        let p = 5;
+        let f = vec![1, 1]; // x + 1
+        let g = mul(&f, &[3, 1], p); // (x+1)(x+3)
+        let h = mul(&f, &[2, 0, 1], p); // (x+1)(x^2+2)
+        assert_eq!(gcd(&g, &h, p), f);
+    }
+
+    #[test]
+    fn gcd_coprime_is_one() {
+        let p = 7;
+        assert_eq!(gcd(&[1, 1], &[2, 1], p), vec![1]);
+    }
+
+    #[test]
+    fn known_irreducibles() {
+        // x^2 + 1 irreducible over Z_3 (since -1 is a non-residue mod 3)
+        assert!(is_irreducible(&[1, 0, 1], 3));
+        // x^2 + 1 = (x+2)(x+3) over Z_5
+        assert!(!is_irreducible(&[1, 0, 1], 5));
+        // x^2 + x + 1 irreducible over Z_2
+        assert!(is_irreducible(&[1, 1, 1], 2));
+        // x^2 + 1 = (x+1)^2 over Z_2
+        assert!(!is_irreducible(&[1, 0, 1], 2));
+        // x^3 + x + 1 irreducible over Z_2
+        assert!(is_irreducible(&[1, 1, 0, 1], 2));
+    }
+
+    #[test]
+    fn find_irreducible_is_irreducible() {
+        for (p, m) in [(2u64, 2u32), (2, 3), (2, 8), (3, 2), (3, 3), (5, 2), (7, 2), (11, 2)] {
+            let f = find_irreducible(p, m);
+            assert_eq!(degree(&f), Some(m as usize));
+            assert_eq!(f[m as usize], 1);
+            assert!(is_irreducible(&f, p), "find_irreducible({p},{m}) = {f:?}");
+        }
+    }
+
+    #[test]
+    fn irreducible_count_gf2_deg4() {
+        // There are exactly 3 monic irreducible polynomials of degree 4
+        // over GF(2): x^4+x+1, x^4+x^3+1, x^4+x^3+x^2+x+1.
+        let mut count = 0;
+        for idx in 0u64..16 {
+            let mut f = vec![0u64; 5];
+            let mut v = idx;
+            for c in f.iter_mut().take(4) {
+                *c = v % 2;
+                v /= 2;
+            }
+            f[4] = 1;
+            if f[0] != 0 && is_irreducible(&f, 2) {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn pow_mod_poly_fermat() {
+        // In GF(p)[x]/(f) with f irreducible of degree m, any nonzero g
+        // satisfies g^(p^m - 1) = 1.
+        let p = 3;
+        let f = find_irreducible(p, 2);
+        let g = vec![1, 2]; // 2x + 1
+        let e = p.pow(2) - 1;
+        assert_eq!(pow_mod_poly(&g, e, &f, p), vec![1]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Primality testing and prime-power utilities on `u64`.
+//!
+//! The `(M,N)`-gadget of the paper requires `N` to be a prime power; the
+//! experiment harness sweeps gadget sizes, so it needs to *find* nearby
+//! prime powers. All routines here are deterministic.
+
+/// Deterministic Miller–Rabin primality test, valid for all `u64`.
+///
+/// Uses the known deterministic witness set
+/// `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}` which is sufficient for
+/// all integers below `3.3 × 10^24`, comfortably covering `u64`.
+///
+/// # Examples
+///
+/// ```
+/// use osp_gf::prime::is_prime;
+///
+/// assert!(is_prime(2));
+/// assert!(is_prime(1_000_000_007));
+/// assert!(!is_prime(1));
+/// assert!(!is_prime(561)); // Carmichael number
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // Write n - 1 = d * 2^s with d odd.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Modular multiplication without overflow via `u128` widening.
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// Modular exponentiation `a^e mod m` by square-and-multiply.
+pub fn pow_mod(mut a: u64, mut e: u64, m: u64) -> u64 {
+    if m == 1 {
+        return 0;
+    }
+    let mut r = 1u64;
+    a %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            r = mul_mod(r, a, m);
+        }
+        a = mul_mod(a, a, m);
+        e >>= 1;
+    }
+    r
+}
+
+/// If `n = p^m` for a prime `p` and `m ≥ 1`, returns `(p, m)`; otherwise
+/// `None`. Returns `None` for `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use osp_gf::prime::prime_power;
+///
+/// assert_eq!(prime_power(8), Some((2, 3)));
+/// assert_eq!(prime_power(9), Some((3, 2)));
+/// assert_eq!(prime_power(7), Some((7, 1)));
+/// assert_eq!(prime_power(12), None);
+/// ```
+pub fn prime_power(n: u64) -> Option<(u64, u32)> {
+    if n < 2 {
+        return None;
+    }
+    if is_prime(n) {
+        return Some((n, 1));
+    }
+    // n = p^m with m >= 2 implies p <= n^(1/2) <= 2^32; find p as the
+    // smallest (and only possible) prime divisor, then divide out.
+    let p = smallest_prime_factor(n);
+    let mut m = 0u32;
+    let mut rest = n;
+    while rest.is_multiple_of(p) {
+        rest /= p;
+        m += 1;
+    }
+    if rest == 1 {
+        Some((p, m))
+    } else {
+        None
+    }
+}
+
+/// Whether `n` is a prime power (`p^m`, `m ≥ 1`).
+pub fn is_prime_power(n: u64) -> bool {
+    prime_power(n).is_some()
+}
+
+/// Smallest prime factor of `n ≥ 2` by trial division (adequate for the
+/// gadget sizes used here, which are far below `2^32`).
+fn smallest_prime_factor(n: u64) -> u64 {
+    if n.is_multiple_of(2) {
+        return 2;
+    }
+    let mut d = 3u64;
+    while d.saturating_mul(d) <= n {
+        if n.is_multiple_of(d) {
+            return d;
+        }
+        d += 2;
+    }
+    n
+}
+
+/// Smallest prime `>= n`.
+///
+/// # Panics
+///
+/// Panics if no prime fits in `u64` above `n` (cannot happen for realistic
+/// inputs; the largest `u64` prime is `2^64 - 59`).
+pub fn next_prime(n: u64) -> u64 {
+    let mut c = n.max(2);
+    loop {
+        if is_prime(c) {
+            return c;
+        }
+        c = c.checked_add(1).expect("prime search overflowed u64");
+    }
+}
+
+/// Smallest prime power `>= n`.
+///
+/// # Examples
+///
+/// ```
+/// use osp_gf::prime::next_prime_power;
+///
+/// assert_eq!(next_prime_power(6), 7);
+/// assert_eq!(next_prime_power(10), 11);
+/// assert_eq!(next_prime_power(26), 27);
+/// ```
+pub fn next_prime_power(n: u64) -> u64 {
+    let mut c = n.max(2);
+    loop {
+        if is_prime_power(c) {
+            return c;
+        }
+        c = c.checked_add(1).expect("prime-power search overflowed u64");
+    }
+}
+
+/// The distinct prime factors of `n ≥ 1`, ascending.
+///
+/// # Examples
+///
+/// ```
+/// use osp_gf::prime::distinct_prime_factors;
+///
+/// assert_eq!(distinct_prime_factors(12), vec![2, 3]);
+/// assert_eq!(distinct_prime_factors(1), Vec::<u64>::new());
+/// ```
+pub fn distinct_prime_factors(mut n: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if n < 2 {
+        return out;
+    }
+    let mut d = 2u64;
+    while d.saturating_mul(d) <= n {
+        if n.is_multiple_of(d) {
+            out.push(d);
+            while n.is_multiple_of(d) {
+                n /= d;
+            }
+        }
+        d += if d == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u64> = (0..60).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+        );
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        for n in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585] {
+            assert!(!is_prime(n), "{n} is Carmichael, not prime");
+        }
+    }
+
+    #[test]
+    fn large_primes() {
+        assert!(is_prime(2_305_843_009_213_693_951)); // 2^61 - 1 (Mersenne)
+        assert!(is_prime(18_446_744_073_709_551_557)); // largest u64 prime
+        assert!(!is_prime(2_305_843_009_213_693_953));
+    }
+
+    #[test]
+    fn prime_power_detection() {
+        assert_eq!(prime_power(0), None);
+        assert_eq!(prime_power(1), None);
+        assert_eq!(prime_power(2), Some((2, 1)));
+        assert_eq!(prime_power(4), Some((2, 2)));
+        assert_eq!(prime_power(1024), Some((2, 10)));
+        assert_eq!(prime_power(243), Some((3, 5)));
+        assert_eq!(prime_power(121), Some((11, 2)));
+        assert_eq!(prime_power(6), None);
+        assert_eq!(prime_power(100), None); // 2^2 * 5^2
+        assert_eq!(prime_power(36), None);
+    }
+
+    #[test]
+    fn prime_power_round_trip_exhaustive() {
+        for n in 2u64..2000 {
+            match prime_power(n) {
+                Some((p, m)) => {
+                    assert!(is_prime(p));
+                    assert_eq!(p.pow(m), n);
+                }
+                None => {
+                    // n must have at least two distinct prime factors.
+                    assert!(distinct_prime_factors(n).len() >= 2, "{n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_prime_and_power() {
+        assert_eq!(next_prime(0), 2);
+        assert_eq!(next_prime(14), 17);
+        assert_eq!(next_prime(17), 17);
+        assert_eq!(next_prime_power(5), 5);
+        assert_eq!(next_prime_power(6), 7);
+        assert_eq!(next_prime_power(24), 25);
+        assert_eq!(next_prime_power(28), 29);
+    }
+
+    #[test]
+    fn pow_mod_basics() {
+        assert_eq!(pow_mod(2, 10, 1_000_000), 1024);
+        assert_eq!(pow_mod(5, 0, 7), 1);
+        assert_eq!(pow_mod(0, 5, 7), 0);
+        assert_eq!(pow_mod(3, 100, 1), 0);
+        // Fermat little theorem check.
+        assert_eq!(pow_mod(1234, 1_000_000_006, 1_000_000_007), 1);
+    }
+
+    #[test]
+    fn factor_list() {
+        assert_eq!(distinct_prime_factors(2 * 2 * 3 * 7 * 7), vec![2, 3, 7]);
+        assert_eq!(distinct_prime_factors(97), vec![97]);
+    }
+}

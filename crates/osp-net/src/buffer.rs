@@ -1,0 +1,257 @@
+//! Buffered router extension — the paper's open problem 2.
+//!
+//! The OSP model is bufferless: packets not served in their arrival slot
+//! are lost. Real routers queue. This module simulates a FIFO buffer of
+//! `B` packets in front of the same capacity-`b` link and re-runs the
+//! policies, so the `A1` experiment can chart goodput as a function of
+//! buffer space — the paper conjectures buffers help, and they do, up to
+//! the burst scale.
+//!
+//! Eviction policies on overflow:
+//!
+//! * [`BufferPolicy::DropTail`] — newest packet is dropped (commodity
+//!   router behavior);
+//! * [`BufferPolicy::PriorityEvict`] — the packet whose *frame* has the
+//!   lowest `randPr` priority is dropped, i.e. the natural buffered
+//!   adaptation of the paper's algorithm (one priority per frame from
+//!   `R_w`, consistent across the run).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use osp_core::priority::Rw;
+
+use crate::trace::Trace;
+
+/// Eviction discipline when the buffer is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferPolicy {
+    /// Drop the arriving packet (FIFO tail drop).
+    DropTail,
+    /// Drop the buffered-or-arriving packet whose frame has the lowest
+    /// `R_w` priority (seeded).
+    PriorityEvict {
+        /// Seed for the per-frame priority draw.
+        seed: u64,
+    },
+}
+
+/// Result of a buffered-router run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferedRun {
+    /// Frames whose every packet was eventually transmitted.
+    pub frames_delivered: usize,
+    /// Weight of completely delivered frames.
+    pub weight_delivered: f64,
+    /// Packets transmitted.
+    pub packets_served: usize,
+    /// Packets dropped on overflow.
+    pub packets_dropped: usize,
+}
+
+/// Simulates the trace through a FIFO buffer of `buffer_size` packets and
+/// a link serving `trace.capacity()` packets per slot.
+///
+/// `buffer_size = 0` reproduces the paper's bufferless model exactly for
+/// [`BufferPolicy::DropTail`]-style service of the earliest arrivals.
+pub fn simulate_buffered(trace: &Trace, buffer_size: usize, policy: BufferPolicy) -> BufferedRun {
+    let n_frames = trace.frames().len();
+    // Per-frame priorities for the priority policy (consistent, like randPr).
+    let priorities: Vec<f64> = match policy {
+        BufferPolicy::DropTail => vec![0.0; n_frames],
+        BufferPolicy::PriorityEvict { seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            trace
+                .frames()
+                .iter()
+                .map(|f| {
+                    Rw::new(f.weight)
+                        .map(|rw| rw.sample(&mut rng))
+                        .unwrap_or(0.0)
+                })
+                .collect()
+        }
+    };
+
+    let capacity = trace.capacity() as usize;
+    let mut queue: Vec<usize> = Vec::new(); // frame ids, FIFO order
+    let mut served = vec![0u32; n_frames];
+    let mut packets_served = 0usize;
+    let mut packets_dropped = 0usize;
+
+    let drain =
+        |queue: &mut Vec<usize>, served: &mut Vec<u32>, packets_served: &mut usize| {
+            let take = capacity.min(queue.len());
+            for f in queue.drain(..take) {
+                served[f] += 1;
+                *packets_served += 1;
+            }
+        };
+
+    for slot in trace.slots() {
+        // Arrivals enqueue; overflow resolved per policy.
+        for &f in slot {
+            if queue.len() < buffer_size + capacity {
+                // The link can serve `capacity` this slot, so up to
+                // buffer_size + capacity packets are effectively admissible.
+                queue.push(f);
+            } else {
+                match policy {
+                    BufferPolicy::DropTail => {
+                        packets_dropped += 1;
+                    }
+                    BufferPolicy::PriorityEvict { .. } => {
+                        // Evict the lowest-priority packet among queue+new.
+                        let (worst_idx, worst_pri) = queue
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &qf)| (i, priorities[qf]))
+                            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                            .expect("queue is non-empty when full");
+                        if priorities[f] > worst_pri {
+                            queue.remove(worst_idx);
+                            queue.push(f);
+                        }
+                        packets_dropped += 1;
+                    }
+                }
+            }
+        }
+        drain(&mut queue, &mut served, &mut packets_served);
+    }
+    // Drain the residual queue after the last arrival slot.
+    while !queue.is_empty() {
+        drain(&mut queue, &mut served, &mut packets_served);
+    }
+
+    let mut frames_delivered = 0usize;
+    let mut weight_delivered = 0.0;
+    for (i, f) in trace.frames().iter().enumerate() {
+        if served[i] == f.packets {
+            frames_delivered += 1;
+            weight_delivered += f.weight;
+        }
+    }
+    BufferedRun {
+        frames_delivered,
+        weight_delivered,
+        packets_served,
+        packets_dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Frame, FrameClass};
+    use crate::trace::{video_trace, VideoTraceConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frame(packets: u32, weight: f64) -> Frame {
+        Frame {
+            class: FrameClass::P,
+            packets,
+            weight,
+        }
+    }
+
+    #[test]
+    fn no_loss_when_under_capacity() {
+        let trace = Trace::new(
+            vec![frame(2, 1.0), frame(1, 1.0)],
+            vec![vec![0], vec![0, 1]],
+            2,
+        )
+        .unwrap();
+        let run = simulate_buffered(&trace, 0, BufferPolicy::DropTail);
+        assert_eq!(run.frames_delivered, 2);
+        assert_eq!(run.packets_dropped, 0);
+        assert_eq!(run.packets_served, 3);
+    }
+
+    #[test]
+    fn burst_overflow_drops_without_buffer() {
+        // Burst of 3 into capacity 1, no buffer: 2 drops.
+        let trace = Trace::new(
+            vec![frame(1, 1.0), frame(1, 1.0), frame(1, 1.0)],
+            vec![vec![0, 1, 2]],
+            1,
+        )
+        .unwrap();
+        let run = simulate_buffered(&trace, 0, BufferPolicy::DropTail);
+        assert_eq!(run.frames_delivered, 1);
+        assert_eq!(run.packets_dropped, 2);
+    }
+
+    #[test]
+    fn buffer_absorbs_the_burst() {
+        let trace = Trace::new(
+            vec![frame(1, 1.0), frame(1, 1.0), frame(1, 1.0)],
+            vec![vec![0, 1, 2]],
+            1,
+        )
+        .unwrap();
+        let run = simulate_buffered(&trace, 2, BufferPolicy::DropTail);
+        assert_eq!(run.frames_delivered, 3);
+        assert_eq!(run.packets_dropped, 0);
+    }
+
+    #[test]
+    fn goodput_monotone_in_buffer_size() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut cfg = VideoTraceConfig::small();
+        cfg.sources = 8;
+        cfg.capacity = 3;
+        let trace = video_trace(&cfg, &mut rng);
+        let mut last = 0usize;
+        for b in [0usize, 2, 8, 32] {
+            let run = simulate_buffered(&trace, b, BufferPolicy::DropTail);
+            assert!(
+                run.frames_delivered >= last,
+                "buffer {b} delivered {} < {last}",
+                run.frames_delivered
+            );
+            last = run.frames_delivered;
+        }
+    }
+
+    #[test]
+    fn priority_evict_prefers_heavy_frames() {
+        // Burst: heavy 1-packet frame arrives after the buffer is full of
+        // a light frame's packets; priority eviction should still deliver
+        // the heavy frame in (almost) all seedings.
+        let mut delivered_heavy = 0u64;
+        let trials = 100u64;
+        for seed in 0..trials {
+            let trace = Trace::new(
+                vec![frame(1, 0.1), frame(1, 0.1), frame(1, 100.0)],
+                vec![vec![0, 1, 2]],
+                1,
+            )
+            .unwrap();
+            let run = simulate_buffered(&trace, 0, BufferPolicy::PriorityEvict { seed });
+            if run.weight_delivered >= 100.0 {
+                delivered_heavy += 1;
+            }
+        }
+        assert!(
+            delivered_heavy > trials * 8 / 10,
+            "heavy frame delivered only {delivered_heavy}/{trials}"
+        );
+    }
+
+    #[test]
+    fn residual_queue_is_flushed() {
+        // All packets arrive in slot 0; capacity 1 and buffer 4: service
+        // continues after arrivals end.
+        let trace = Trace::new(
+            vec![frame(1, 1.0), frame(1, 1.0), frame(1, 1.0)],
+            vec![vec![0, 1, 2]],
+            1,
+        )
+        .unwrap();
+        let run = simulate_buffered(&trace, 4, BufferPolicy::DropTail);
+        assert_eq!(run.packets_served, 3);
+    }
+}

@@ -1,0 +1,182 @@
+//! Video frames and GOP (group-of-pictures) structure.
+//!
+//! MPEG-style video interleaves large intra-coded I-frames with medium
+//! P-frames and small B-frames; losing an I-frame costs far more than
+//! losing a B-frame. The weight knob below is what makes the *weighted*
+//! OSP machinery earn its keep on realistic traffic.
+
+use rand::Rng;
+
+/// Frame type within a GOP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameClass {
+    /// Intra-coded: largest, most valuable.
+    I,
+    /// Predicted: medium.
+    P,
+    /// Bidirectional: smallest, least valuable.
+    B,
+}
+
+impl FrameClass {
+    /// Parses a GOP pattern character (`'I'`, `'P'`, `'B'`).
+    pub fn from_char(c: char) -> Option<FrameClass> {
+        match c {
+            'I' => Some(FrameClass::I),
+            'P' => Some(FrameClass::P),
+            'B' => Some(FrameClass::B),
+            _ => None,
+        }
+    }
+}
+
+/// One video frame: its class, packet count and weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Frame {
+    /// Frame class.
+    pub class: FrameClass,
+    /// Number of packets after fragmentation (≥ 1).
+    pub packets: u32,
+    /// Value of delivering the frame completely.
+    pub weight: f64,
+}
+
+/// GOP pattern plus per-class packet counts and weights.
+///
+/// # Examples
+///
+/// ```
+/// use osp_net::frame::GopConfig;
+///
+/// let gop = GopConfig::standard();
+/// assert_eq!(gop.pattern().len(), 9); // IBBPBBPBB
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GopConfig {
+    pattern: Vec<FrameClass>,
+    /// Packet-count range `[lo, hi]` per class, indexed I/P/B.
+    packet_range: [(u32, u32); 3],
+    /// Weight per class, indexed I/P/B.
+    weights: [f64; 3],
+}
+
+impl GopConfig {
+    /// The classic `IBBPBBPBB` pattern with I-frames of 8–12 packets,
+    /// P-frames of 3–5 and B-frames of 1–2, weighted 4/2/1.
+    pub fn standard() -> Self {
+        GopConfig::new("IBBPBBPBB", [(8, 12), (3, 5), (1, 2)], [4.0, 2.0, 1.0])
+            .expect("standard pattern is valid")
+    }
+
+    /// Creates a GOP configuration from a pattern string.
+    ///
+    /// `packet_range[c]` gives the inclusive packet-count range for class
+    /// `c` (order: I, P, B) and `weights[c]` the frame weight.
+    ///
+    /// Returns `None` if the pattern is empty, contains characters other
+    /// than `IPB`, or a range is inverted/zero.
+    pub fn new(
+        pattern: &str,
+        packet_range: [(u32, u32); 3],
+        weights: [f64; 3],
+    ) -> Option<Self> {
+        let classes: Option<Vec<FrameClass>> =
+            pattern.chars().map(FrameClass::from_char).collect();
+        let classes = classes?;
+        if classes.is_empty() {
+            return None;
+        }
+        for &(lo, hi) in &packet_range {
+            if lo == 0 || lo > hi {
+                return None;
+            }
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w <= 0.0) {
+            return None;
+        }
+        Some(GopConfig {
+            pattern: classes,
+            packet_range,
+            weights,
+        })
+    }
+
+    /// The frame-class sequence of one GOP.
+    pub fn pattern(&self) -> &[FrameClass] {
+        &self.pattern
+    }
+
+    fn class_index(class: FrameClass) -> usize {
+        match class {
+            FrameClass::I => 0,
+            FrameClass::P => 1,
+            FrameClass::B => 2,
+        }
+    }
+
+    /// Samples the `i`-th frame of a stream (classes cycle through the
+    /// pattern; the packet count is drawn from the class range).
+    pub fn sample_frame<R: Rng + ?Sized>(&self, i: usize, rng: &mut R) -> Frame {
+        let class = self.pattern[i % self.pattern.len()];
+        let (lo, hi) = self.packet_range[Self::class_index(class)];
+        Frame {
+            class,
+            packets: rng.gen_range(lo..=hi),
+            weight: self.weights[Self::class_index(class)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_parsing() {
+        assert!(GopConfig::new("IBB", [(1, 2), (1, 2), (1, 2)], [1.0, 1.0, 1.0]).is_some());
+        assert!(GopConfig::new("IXB", [(1, 2), (1, 2), (1, 2)], [1.0, 1.0, 1.0]).is_none());
+        assert!(GopConfig::new("", [(1, 2), (1, 2), (1, 2)], [1.0, 1.0, 1.0]).is_none());
+        assert!(GopConfig::new("I", [(0, 2), (1, 2), (1, 2)], [1.0, 1.0, 1.0]).is_none());
+        assert!(GopConfig::new("I", [(3, 2), (1, 2), (1, 2)], [1.0, 1.0, 1.0]).is_none());
+        assert!(GopConfig::new("I", [(1, 2), (1, 2), (1, 2)], [0.0, 1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn classes_cycle_through_pattern() {
+        let gop = GopConfig::standard();
+        let mut rng = StdRng::seed_from_u64(0);
+        let f0 = gop.sample_frame(0, &mut rng);
+        let f9 = gop.sample_frame(9, &mut rng);
+        assert_eq!(f0.class, FrameClass::I);
+        assert_eq!(f9.class, FrameClass::I);
+        let f1 = gop.sample_frame(1, &mut rng);
+        assert_eq!(f1.class, FrameClass::B);
+    }
+
+    #[test]
+    fn packet_counts_respect_ranges() {
+        let gop = GopConfig::standard();
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..100 {
+            let f = gop.sample_frame(i, &mut rng);
+            let (lo, hi) = match f.class {
+                FrameClass::I => (8, 12),
+                FrameClass::P => (3, 5),
+                FrameClass::B => (1, 2),
+            };
+            assert!((lo..=hi).contains(&f.packets));
+            assert!(f.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn i_frames_heavier_than_b_frames() {
+        let gop = GopConfig::standard();
+        let mut rng = StdRng::seed_from_u64(2);
+        let i_frame = gop.sample_frame(0, &mut rng);
+        let b_frame = gop.sample_frame(1, &mut rng);
+        assert!(i_frame.weight > b_frame.weight);
+    }
+}

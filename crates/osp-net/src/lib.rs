@@ -1,0 +1,60 @@
+//! # osp-net — the paper's networking scenarios, simulated
+//!
+//! The introduction of *Emek et al., PODC 2010* motivates online set
+//! packing with two concrete systems; this crate builds both, plus the two
+//! extensions the paper's conclusion poses as open problems:
+//!
+//! * **Video over a bottleneck router** (§1, scenario 1): video frames are
+//!   fragmented into packets; bursts exceed the outgoing link's capacity;
+//!   a frame is useful only if *all* its packets are served. [`frame`]
+//!   models GOP-structured video, [`trace`] lays packets onto time slots,
+//!   [`mapping`] performs the paper's reduction ("elements are time steps,
+//!   sets are frames"), and [`policy`] supplies frame-oblivious router
+//!   baselines (tail-drop, random-drop) to compare against `randPr`.
+//! * **Multi-hop scheduling** (§1, scenario 2): packets traverse several
+//!   store-and-forward hops; each (time, hop) pair is an element, each
+//!   packet a set. [`multihop`] builds these instances and demonstrates
+//!   the *distributed* implementation: every hop runs its own
+//!   `HashRandPr` replica that agrees with the centralized run without
+//!   any coordination.
+//! * **Buffers** (open problem 2): [`buffer`] adds a FIFO buffer to the
+//!   router and re-evaluates the policies as buffer space grows.
+//! * **Partial frames** (open problem 3): [`partial`] re-scores an
+//!   outcome when a frame is already useful at a θ-fraction of its
+//!   packets (FEC-style recovery).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod frame;
+pub mod mapping;
+pub mod metrics;
+pub mod multihop;
+pub mod partial;
+pub mod policy;
+pub mod trace;
+
+pub use frame::{Frame, FrameClass, GopConfig};
+pub use mapping::trace_to_instance;
+pub use metrics::GoodputReport;
+pub use trace::{onoff_trace, poisson_trace, video_trace, Trace, VideoTraceConfig};
+
+use std::fmt;
+
+/// Errors from the network-scenario builders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Structurally impossible scenario parameters.
+    BadParameters(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::BadParameters(msg) => write!(f, "bad scenario parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

@@ -1,0 +1,126 @@
+//! The paper's reduction, executable: "elements represent time steps (not
+//! packets!), and sets represent data frames. Time step `j` is included in
+//! data frame `i` if a packet of frame `i` arrives at time `j`."
+//!
+//! Empty slots carry no decision and are skipped, so the OSP instance's
+//! elements are exactly the non-empty slots, with capacity equal to the
+//! link rate.
+
+use osp_core::{Instance, InstanceBuilder, SetId};
+
+use crate::trace::Trace;
+
+/// The instance produced by [`trace_to_instance`], plus the bookkeeping
+/// needed to translate results back to the network domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappedTrace {
+    /// The OSP instance (set `i` = frame `i`; element order = slot order).
+    pub instance: Instance,
+    /// For each OSP element (in arrival order), the original slot index.
+    pub element_slots: Vec<usize>,
+}
+
+/// Reduces a packet [`Trace`] to an OSP [`Instance`].
+///
+/// Frame `i` becomes set `i` with the frame's weight and packet count;
+/// every non-empty slot becomes one element with capacity
+/// [`Trace::capacity`] whose members are the frames present in the slot.
+///
+/// # Examples
+///
+/// ```
+/// use osp_net::frame::{Frame, FrameClass};
+/// use osp_net::trace::Trace;
+/// use osp_net::mapping::trace_to_instance;
+///
+/// let f = Frame { class: FrameClass::P, packets: 2, weight: 1.0 };
+/// let trace = Trace::new(vec![f], vec![vec![0], vec![], vec![0]], 1).unwrap();
+/// let mapped = trace_to_instance(&trace);
+/// assert_eq!(mapped.instance.num_sets(), 1);
+/// assert_eq!(mapped.instance.num_elements(), 2); // empty slot skipped
+/// assert_eq!(mapped.element_slots, vec![0, 2]);
+/// ```
+pub fn trace_to_instance(trace: &Trace) -> MappedTrace {
+    let mut b = InstanceBuilder::new();
+    for f in trace.frames() {
+        b.add_set(f.weight, f.packets);
+    }
+    let mut element_slots = Vec::new();
+    for (slot_idx, slot) in trace.slots().iter().enumerate() {
+        if slot.is_empty() {
+            continue;
+        }
+        let members: Vec<SetId> = slot.iter().map(|&f| SetId(f as u32)).collect();
+        b.add_element(trace.capacity(), &members);
+        element_slots.push(slot_idx);
+    }
+    MappedTrace {
+        instance: b
+            .build()
+            .expect("trace invariants imply instance invariants"),
+        element_slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{Frame, FrameClass};
+    use crate::trace::{video_trace, VideoTraceConfig};
+    use osp_core::stats::InstanceStats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frame(packets: u32, weight: f64) -> Frame {
+        Frame {
+            class: FrameClass::P,
+            packets,
+            weight,
+        }
+    }
+
+    #[test]
+    fn weights_and_sizes_carry_over() {
+        let trace = Trace::new(
+            vec![frame(2, 3.5), frame(1, 1.0)],
+            vec![vec![0, 1], vec![0]],
+            2,
+        )
+        .unwrap();
+        let mapped = trace_to_instance(&trace);
+        let inst = &mapped.instance;
+        assert_eq!(inst.set(SetId(0)).weight(), 3.5);
+        assert_eq!(inst.set(SetId(0)).size(), 2);
+        assert_eq!(inst.set(SetId(1)).size(), 1);
+        assert!(!inst.is_unit_capacity());
+    }
+
+    #[test]
+    fn burst_size_equals_element_load() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let trace = video_trace(&VideoTraceConfig::small(), &mut rng);
+        let mapped = trace_to_instance(&trace);
+        let st = InstanceStats::compute(&mapped.instance);
+        assert_eq!(st.sigma_max as usize, trace.max_burst());
+        // Incidence count is preserved: packets = Σ loads.
+        let total_load: u32 = mapped
+            .instance
+            .arrivals()
+            .iter()
+            .map(|a| a.load())
+            .sum();
+        assert_eq!(total_load as usize, trace.total_packets());
+    }
+
+    #[test]
+    fn element_slots_monotone() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let trace = video_trace(&VideoTraceConfig::small(), &mut rng);
+        let mapped = trace_to_instance(&trace);
+        assert!(mapped.element_slots.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(
+            mapped.element_slots.len(),
+            mapped.instance.num_elements()
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Partial-frame payoff — the paper's open problem 3, as an evaluation
+//! mode.
+//!
+//! > "A set is gained in OSP only if all its elements were assigned to it.
+//! > What about the case where the set can be gained even if a few
+//! > elements are missing?"
+//!
+//! With forward error correction, a frame is decodable once a θ-fraction
+//! of its packets arrive. [`partial_benefit`] re-scores an existing
+//! [`Outcome`] under that rule: the algorithms don't change, only the
+//! payoff — which is exactly how one would evaluate FEC sensitivity.
+
+use osp_core::{Instance, Outcome};
+
+/// Packets each set actually received (assigned to it) during the run.
+pub fn delivered_counts(instance: &Instance, outcome: &Outcome) -> Vec<u32> {
+    let mut counts = vec![0u32; instance.num_sets()];
+    for decision in outcome.decisions() {
+        for s in decision {
+            counts[s.index()] += 1;
+        }
+    }
+    counts
+}
+
+/// Total weight of sets that received at least `ceil(θ·|S|)` of their
+/// elements.
+///
+/// `θ = 1.0` reproduces the strict OSP benefit; lower θ models FEC-style
+/// recovery. θ is clamped into `(0, 1]` — a θ of 0 would pay every frame
+/// unconditionally, which is never the intended question.
+///
+/// # Examples
+///
+/// ```
+/// use osp_core::prelude::*;
+/// use osp_net::partial::partial_benefit;
+///
+/// let mut b = InstanceBuilder::new();
+/// let s = b.add_set(1.0, 2);
+/// let rival = b.add_set(1.0, 1);
+/// b.add_element(1, &[s]);
+/// b.add_element(1, &[s, rival]);
+/// let inst = b.build()?;
+/// let out = run(&inst, &mut GreedyOnline::new(TieBreak::ByMostProgress))?;
+/// // Greedy keeps s both times; with θ=0.5, even one packet would do.
+/// assert_eq!(partial_benefit(&inst, &out, 1.0), 1.0);
+/// assert_eq!(partial_benefit(&inst, &out, 0.5), 1.0);
+/// # Ok::<(), osp_core::Error>(())
+/// ```
+pub fn partial_benefit(instance: &Instance, outcome: &Outcome, theta: f64) -> f64 {
+    let theta = theta.clamp(f64::MIN_POSITIVE, 1.0);
+    let counts = delivered_counts(instance, outcome);
+    instance
+        .sets()
+        .iter()
+        .enumerate()
+        .filter(|(i, meta)| {
+            let needed = (theta * f64::from(meta.size())).ceil() as u32;
+            counts[*i] >= needed.max(1)
+        })
+        .map(|(_, meta)| meta.weight())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osp_core::algorithms::{GreedyOnline, TieBreak};
+    use osp_core::{run, InstanceBuilder};
+
+    /// Three-packet frame that loses exactly one packet to a heavier rival.
+    fn two_thirds_delivered() -> (Instance, Outcome) {
+        let mut b = InstanceBuilder::new();
+        let frame = b.add_set(1.0, 3);
+        let rival = b.add_set(5.0, 1);
+        b.add_element(1, &[frame]);
+        b.add_element(1, &[frame]);
+        b.add_element(1, &[frame, rival]);
+        let inst = b.build().unwrap();
+        let out = run(&inst, &mut GreedyOnline::new(TieBreak::ByWeight)).unwrap();
+        (inst, out)
+    }
+
+    #[test]
+    fn strict_theta_matches_benefit() {
+        let (inst, out) = two_thirds_delivered();
+        // Frame got 2/3 packets, rival completed.
+        assert_eq!(out.benefit(), 5.0);
+        assert_eq!(partial_benefit(&inst, &out, 1.0), 5.0);
+    }
+
+    #[test]
+    fn lower_theta_recovers_the_frame() {
+        let (inst, out) = two_thirds_delivered();
+        // θ = 2/3: frame needs ceil(2) = 2 packets — it has exactly 2.
+        assert_eq!(partial_benefit(&inst, &out, 2.0 / 3.0), 6.0);
+        assert_eq!(partial_benefit(&inst, &out, 0.5), 6.0);
+    }
+
+    #[test]
+    fn theta_is_clamped() {
+        let (inst, out) = two_thirds_delivered();
+        // θ ≤ 0 clamps to "at least one packet".
+        assert_eq!(partial_benefit(&inst, &out, 0.0), 6.0);
+        assert_eq!(partial_benefit(&inst, &out, 2.0), 5.0);
+    }
+
+    #[test]
+    fn delivered_counts_match_decisions() {
+        let (inst, out) = two_thirds_delivered();
+        let counts = delivered_counts(&inst, &out);
+        assert_eq!(counts, vec![2, 1]);
+    }
+
+    #[test]
+    fn zero_delivery_pays_nothing_even_at_tiny_theta() {
+        let mut b = InstanceBuilder::new();
+        let starved = b.add_set(1.0, 1);
+        let winner = b.add_set(9.0, 1);
+        b.add_element(1, &[starved, winner]);
+        let inst = b.build().unwrap();
+        let out = run(&inst, &mut GreedyOnline::new(TieBreak::ByWeight)).unwrap();
+        assert_eq!(partial_benefit(&inst, &out, 0.01), 9.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Frame-oblivious router baselines.
+//!
+//! Real routers drop packets without knowing about frames. [`TailDrop`]
+//! serves the first `b` packets of a burst (FIFO order — approximated here
+//! by frame id, since earlier frames enqueue first); [`RandomDrop`] serves
+//! a uniformly random subset. Neither looks at frame progress, which is
+//! precisely why they waste capacity on frames that are already doomed —
+//! the gap `randPr` closes in the `video` experiment.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use osp_core::{Arrival, EngineView, OnlineAlgorithm, SetId, SetMeta};
+
+/// FIFO tail-drop: serve the first `b(u)` packets of the burst, drop the
+/// tail. Member lists are ordered by frame id, which matches enqueue order
+/// for in-order sources.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TailDrop;
+
+impl TailDrop {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        TailDrop
+    }
+}
+
+impl OnlineAlgorithm for TailDrop {
+    fn name(&self) -> String {
+        "tail-drop".into()
+    }
+
+    fn begin(&mut self, _sets: &[SetMeta]) {}
+
+    fn decide(&mut self, arrival: &Arrival, _view: &EngineView<'_>) -> Vec<SetId> {
+        arrival
+            .members()
+            .iter()
+            .copied()
+            .take(arrival.capacity() as usize)
+            .collect()
+    }
+}
+
+/// Uniform random drop: serve a uniformly random `b(u)`-subset of the
+/// burst, with no regard to frame state.
+#[derive(Debug, Clone)]
+pub struct RandomDrop {
+    rng: StdRng,
+}
+
+impl RandomDrop {
+    /// Creates the policy with a seeded RNG.
+    pub fn from_seed(seed: u64) -> Self {
+        RandomDrop {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl OnlineAlgorithm for RandomDrop {
+    fn name(&self) -> String {
+        "random-drop".into()
+    }
+
+    fn begin(&mut self, _sets: &[SetMeta]) {}
+
+    fn decide(&mut self, arrival: &Arrival, _view: &EngineView<'_>) -> Vec<SetId> {
+        let b = (arrival.capacity() as usize).min(arrival.members().len());
+        arrival
+            .members()
+            .choose_multiple(&mut self.rng, b)
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osp_core::{run, InstanceBuilder};
+
+    #[test]
+    fn tail_drop_serves_prefix() {
+        let mut b = InstanceBuilder::new();
+        let s0 = b.add_set(1.0, 1);
+        let s1 = b.add_set(1.0, 1);
+        let s2 = b.add_set(1.0, 1);
+        b.add_element(2, &[s2, s0, s1]); // builder sorts to [s0,s1,s2]
+        let inst = b.build().unwrap();
+        let out = run(&inst, &mut TailDrop::new()).unwrap();
+        assert_eq!(out.completed(), &[s0, s1]);
+    }
+
+    #[test]
+    fn random_drop_is_capacity_bounded_and_seed_deterministic() {
+        let mut b = InstanceBuilder::new();
+        let ids: Vec<SetId> = (0..6).map(|_| b.add_set(1.0, 1)).collect();
+        b.add_element(2, &ids);
+        let inst = b.build().unwrap();
+        let a = run(&inst, &mut RandomDrop::from_seed(1)).unwrap();
+        let b2 = run(&inst, &mut RandomDrop::from_seed(1)).unwrap();
+        assert_eq!(a.completed().len(), 2);
+        assert_eq!(a.completed(), b2.completed());
+    }
+
+    #[test]
+    fn tail_drop_ignores_frame_progress() {
+        // Frame s0 is nearly complete but has a high id... tail-drop still
+        // prefers the low-id fresh frame: that's the pathology.
+        let mut b = InstanceBuilder::new();
+        let fresh = b.add_set(1.0, 1); // id 0
+        let almost = b.add_set(1.0, 2); // id 1
+        b.add_element(1, &[almost]);
+        b.add_element(1, &[fresh, almost]);
+        let inst = b.build().unwrap();
+        let out = run(&inst, &mut TailDrop::new()).unwrap();
+        assert!(out.is_completed(fresh));
+        assert!(!out.is_completed(almost), "invested frame was wasted");
+    }
+}

@@ -1,0 +1,427 @@
+//! Packet traces: which frame has a packet in which time slot.
+//!
+//! A [`Trace`] is the bridge between traffic generation and the OSP
+//! reduction: slot `t` lists the frames with a packet arriving at `t`, and
+//! the link serves at most `capacity` packets per slot. The invariant that
+//! a frame has **at most one packet per slot** keeps the reduction to OSP
+//! lossless (membership of a set in an element is binary).
+
+use rand::Rng;
+
+use crate::frame::{Frame, GopConfig};
+
+/// A packet-level trace at slot granularity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    frames: Vec<Frame>,
+    /// `slots[t]` = frame indices with a packet arriving in slot `t`.
+    slots: Vec<Vec<usize>>,
+    capacity: u32,
+}
+
+impl Trace {
+    /// Builds a trace from parts, validating the invariants: every frame
+    /// appears in exactly `frame.packets` distinct slots, at most once per
+    /// slot, and `capacity ≥ 1`.
+    ///
+    /// Returns `None` on any violation.
+    pub fn new(frames: Vec<Frame>, slots: Vec<Vec<usize>>, capacity: u32) -> Option<Self> {
+        if capacity == 0 {
+            return None;
+        }
+        let mut counts = vec![0u32; frames.len()];
+        for slot in &slots {
+            let mut seen = std::collections::HashSet::new();
+            for &f in slot {
+                if f >= frames.len() || !seen.insert(f) {
+                    return None;
+                }
+                counts[f] += 1;
+            }
+        }
+        if counts
+            .iter()
+            .zip(&frames)
+            .any(|(&c, f)| c != f.packets)
+        {
+            return None;
+        }
+        Some(Trace {
+            frames,
+            slots,
+            capacity,
+        })
+    }
+
+    /// The frames of the trace, indexed by frame id.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// The slot contents: `slots()[t]` lists frame ids with a packet at `t`.
+    pub fn slots(&self) -> &[Vec<usize>] {
+        &self.slots
+    }
+
+    /// Link capacity in packets per slot.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Total packets in the trace.
+    pub fn total_packets(&self) -> usize {
+        self.slots.iter().map(|s| s.len()).sum()
+    }
+
+    /// The largest burst (σ_max of the induced OSP instance).
+    pub fn max_burst(&self) -> usize {
+        self.slots.iter().map(|s| s.len()).max().unwrap_or(0)
+    }
+}
+
+/// Configuration for [`video_trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VideoTraceConfig {
+    /// Number of parallel video sources multiplexed onto the link.
+    pub sources: usize,
+    /// Frames emitted per source.
+    pub frames_per_source: usize,
+    /// GOP structure shared by the sources.
+    pub gop: GopConfig,
+    /// Slots between consecutive frames of one source.
+    pub frame_interval: u32,
+    /// Link capacity (packets per slot).
+    pub capacity: u32,
+    /// Per-packet jitter: each packet's slot is perturbed by a uniform
+    /// offset in `0..=jitter` (0 = in-order back-to-back packets). When a
+    /// perturbed packet would land in a slot already holding one of its
+    /// frame's packets, it probes forward to the next free slot, keeping
+    /// the trace invariant intact.
+    pub jitter: u32,
+}
+
+impl VideoTraceConfig {
+    /// A small default: 4 sources, 30 frames each, standard GOP, one frame
+    /// per 8 slots, capacity 4, no jitter.
+    pub fn small() -> Self {
+        VideoTraceConfig {
+            sources: 4,
+            frames_per_source: 30,
+            gop: GopConfig::standard(),
+            frame_interval: 8,
+            capacity: 4,
+            jitter: 0,
+        }
+    }
+}
+
+/// Generates a multiplexed video trace: each source emits GOP-patterned
+/// frames every `frame_interval` slots (with a random phase), and each
+/// frame's packets occupy consecutive slots from its emission point —
+/// probing forward when the frame already has a packet in a slot, so the
+/// trace invariant holds by construction.
+///
+/// # Panics
+///
+/// Panics if `sources`, `frames_per_source`, `frame_interval` or
+/// `capacity` is zero.
+pub fn video_trace<R: Rng + ?Sized>(config: &VideoTraceConfig, rng: &mut R) -> Trace {
+    assert!(config.sources >= 1, "need at least one source");
+    assert!(config.frames_per_source >= 1, "need at least one frame");
+    assert!(config.frame_interval >= 1, "frame interval must be positive");
+    assert!(config.capacity >= 1, "capacity must be positive");
+
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut placements: Vec<(usize, usize)> = Vec::new(); // (slot, frame)
+    for _ in 0..config.sources {
+        let phase = rng.gen_range(0..config.frame_interval) as usize;
+        for i in 0..config.frames_per_source {
+            let frame = config.gop.sample_frame(i, rng);
+            let id = frames.len();
+            frames.push(frame);
+            let start = phase + i * config.frame_interval as usize;
+            let mut taken: Vec<usize> = Vec::with_capacity(frame.packets as usize);
+            for p in 0..frame.packets as usize {
+                let mut slot = start
+                    + p
+                    + if config.jitter > 0 {
+                        rng.gen_range(0..=config.jitter) as usize
+                    } else {
+                        0
+                    };
+                // Keep one packet per frame per slot: probe forward.
+                while taken.contains(&slot) {
+                    slot += 1;
+                }
+                taken.push(slot);
+                placements.push((slot, id));
+            }
+        }
+    }
+    let horizon = placements.iter().map(|&(s, _)| s).max().unwrap_or(0) + 1;
+    let mut slots: Vec<Vec<usize>> = vec![Vec::new(); horizon];
+    for (slot, frame) in placements {
+        slots[slot].push(frame);
+    }
+    Trace::new(frames, slots, config.capacity)
+        .expect("video generator keeps one packet per frame per slot")
+}
+
+/// Generates a Poisson trace: frames arrive at rate `lambda` per slot over
+/// `horizon` slots; each frame has `packets ∈ packet_range` unit-weight
+/// packets occupying consecutive slots from its arrival.
+///
+/// # Panics
+///
+/// Panics if `lambda ≤ 0`, `horizon == 0`, `capacity == 0` or the packet
+/// range is empty/zero.
+pub fn poisson_trace<R: Rng + ?Sized>(
+    lambda: f64,
+    horizon: usize,
+    packet_range: (u32, u32),
+    capacity: u32,
+    rng: &mut R,
+) -> Trace {
+    assert!(lambda > 0.0, "lambda must be positive");
+    assert!(horizon >= 1 && capacity >= 1);
+    let (lo, hi) = packet_range;
+    assert!(lo >= 1 && lo <= hi, "invalid packet range");
+
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut placements: Vec<(usize, usize)> = Vec::new();
+    for t in 0..horizon {
+        // Number of frame arrivals in this slot ~ Poisson(lambda) via
+        // inversion (lambda is small in these workloads).
+        let arrivals = poisson_sample(lambda, rng);
+        for _ in 0..arrivals {
+            let packets = rng.gen_range(lo..=hi);
+            let id = frames.len();
+            frames.push(Frame {
+                class: crate::frame::FrameClass::P,
+                packets,
+                weight: 1.0,
+            });
+            for p in 0..packets as usize {
+                placements.push((t + p, id));
+            }
+        }
+    }
+    let max_slot = placements.iter().map(|&(s, _)| s).max().unwrap_or(0);
+    let mut slots: Vec<Vec<usize>> = vec![Vec::new(); max_slot + 1];
+    for (slot, frame) in placements {
+        slots[slot].push(frame);
+    }
+    Trace::new(frames, slots, capacity).expect("poisson generator is consistent")
+}
+
+/// Generates an on-off (Gilbert) bursty trace: a two-state Markov chain
+/// alternates between an *on* state emitting `burst_rate` frames per slot
+/// and a silent *off* state. `p_on_off` and `p_off_on` are the per-slot
+/// transition probabilities; small values give long, heavy bursts — the
+/// regime where bufferless drops hurt frame goodput the most.
+///
+/// Frames carry `packets ∈ packet_range` unit-weight packets laid on
+/// consecutive slots.
+///
+/// # Panics
+///
+/// Panics if a probability is outside `(0, 1]`, if `burst_rate == 0`, if
+/// `horizon == 0` or `capacity == 0`, or if the packet range is
+/// empty/zero.
+pub fn onoff_trace<R: Rng + ?Sized>(
+    burst_rate: u32,
+    p_on_off: f64,
+    p_off_on: f64,
+    horizon: usize,
+    packet_range: (u32, u32),
+    capacity: u32,
+    rng: &mut R,
+) -> Trace {
+    assert!((0.0..=1.0).contains(&p_on_off) && p_on_off > 0.0, "p_on_off in (0,1]");
+    assert!((0.0..=1.0).contains(&p_off_on) && p_off_on > 0.0, "p_off_on in (0,1]");
+    assert!(burst_rate >= 1 && horizon >= 1 && capacity >= 1);
+    let (lo, hi) = packet_range;
+    assert!(lo >= 1 && lo <= hi, "invalid packet range");
+
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut placements: Vec<(usize, usize)> = Vec::new();
+    let mut on = rng.gen_bool(p_off_on / (p_off_on + p_on_off)); // stationary start
+    for t in 0..horizon {
+        if on {
+            for _ in 0..burst_rate {
+                let packets = rng.gen_range(lo..=hi);
+                let id = frames.len();
+                frames.push(Frame {
+                    class: crate::frame::FrameClass::P,
+                    packets,
+                    weight: 1.0,
+                });
+                for p in 0..packets as usize {
+                    placements.push((t + p, id));
+                }
+            }
+            if rng.gen_bool(p_on_off) {
+                on = false;
+            }
+        } else if rng.gen_bool(p_off_on) {
+            on = true;
+        }
+    }
+    let max_slot = placements.iter().map(|&(s, _)| s).max().unwrap_or(0);
+    let mut slots: Vec<Vec<usize>> = vec![Vec::new(); max_slot + 1];
+    for (slot, frame) in placements {
+        slots[slot].push(frame);
+    }
+    Trace::new(frames, slots, capacity).expect("on-off generator is consistent")
+}
+
+/// Samples a Poisson(λ) count by inversion (adequate for small λ).
+fn poisson_sample<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> usize {
+    let threshold = (-lambda).exp();
+    let mut count = 0usize;
+    let mut product = rng.gen::<f64>();
+    while product > threshold {
+        count += 1;
+        product *= rng.gen::<f64>();
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameClass;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frame(packets: u32) -> Frame {
+        Frame {
+            class: FrameClass::P,
+            packets,
+            weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn trace_validation() {
+        // Valid: frame 0 in slots 0 and 1.
+        assert!(Trace::new(vec![frame(2)], vec![vec![0], vec![0]], 1).is_some());
+        // Frame appears twice in a slot.
+        assert!(Trace::new(vec![frame(2)], vec![vec![0, 0]], 1).is_none());
+        // Count mismatch.
+        assert!(Trace::new(vec![frame(3)], vec![vec![0], vec![0]], 1).is_none());
+        // Unknown frame id.
+        assert!(Trace::new(vec![frame(1)], vec![vec![1]], 1).is_none());
+        // Zero capacity.
+        assert!(Trace::new(vec![frame(1)], vec![vec![0]], 0).is_none());
+    }
+
+    #[test]
+    fn video_trace_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let trace = video_trace(&VideoTraceConfig::small(), &mut rng);
+        assert_eq!(trace.frames().len(), 4 * 30);
+        let total: u32 = trace.frames().iter().map(|f| f.packets).sum();
+        assert_eq!(trace.total_packets() as u32, total);
+        assert!(trace.max_burst() >= 1);
+    }
+
+    #[test]
+    fn video_trace_deterministic() {
+        let cfg = VideoTraceConfig::small();
+        let a = video_trace(&cfg, &mut StdRng::seed_from_u64(3));
+        let b = video_trace(&cfg, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn poisson_trace_is_consistent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let trace = poisson_trace(0.5, 200, (2, 5), 2, &mut rng);
+        assert!(trace.frames().len() > 10, "expected a few dozen frames");
+        for f in trace.frames() {
+            assert!((2..=5).contains(&f.packets));
+        }
+    }
+
+    #[test]
+    fn poisson_sampler_mean_is_lambda() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lambda = 2.5;
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| poisson_sample(lambda, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn jitter_preserves_trace_invariants() {
+        let mut cfg = VideoTraceConfig::small();
+        cfg.jitter = 5;
+        for seed in 0..10 {
+            let trace = video_trace(&cfg, &mut StdRng::seed_from_u64(seed));
+            // Trace::new already validates; double-check packet totals.
+            let total: u32 = trace.frames().iter().map(|f| f.packets).sum();
+            assert_eq!(trace.total_packets() as u32, total, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn jitter_spreads_bursts() {
+        let mut cfg = VideoTraceConfig::small();
+        cfg.sources = 12;
+        let tight = video_trace(&cfg, &mut StdRng::seed_from_u64(4));
+        cfg.jitter = 6;
+        let spread = video_trace(&cfg, &mut StdRng::seed_from_u64(4));
+        // Same packets over a longer horizon: bursts can only flatten.
+        assert!(spread.slots().len() >= tight.slots().len());
+    }
+
+    #[test]
+    fn onoff_trace_is_consistent_and_bursty() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // Long on-periods: heavy bursts.
+        let bursty = onoff_trace(4, 0.05, 0.05, 400, (1, 3), 2, &mut rng);
+        assert!(!bursty.frames().is_empty());
+        // A bursty trace must have slots far above its average occupancy.
+        let avg = bursty.total_packets() as f64 / bursty.slots().len() as f64;
+        assert!(
+            bursty.max_burst() as f64 > avg * 2.0,
+            "max burst {} vs avg {avg}",
+            bursty.max_burst()
+        );
+    }
+
+    #[test]
+    fn onoff_respects_frame_invariants() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let trace = onoff_trace(2, 0.3, 0.3, 200, (2, 4), 1, &mut rng);
+        // Trace::new validated: each frame appears once per slot and
+        // exactly `packets` times overall. Re-validate the counts here.
+        let mut counts = vec![0u32; trace.frames().len()];
+        for slot in trace.slots() {
+            for &f in slot {
+                counts[f] += 1;
+            }
+        }
+        for (f, frame) in trace.frames().iter().enumerate() {
+            assert_eq!(counts[f], frame.packets);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p_on_off")]
+    fn onoff_validates_probabilities() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = onoff_trace(1, 0.0, 0.5, 10, (1, 1), 1, &mut rng);
+    }
+
+    #[test]
+    fn more_sources_bigger_bursts() {
+        let mut cfg = VideoTraceConfig::small();
+        let quiet = video_trace(&cfg, &mut StdRng::seed_from_u64(5));
+        cfg.sources = 16;
+        let busy = video_trace(&cfg, &mut StdRng::seed_from_u64(5));
+        assert!(busy.max_burst() > quiet.max_burst());
+    }
+}

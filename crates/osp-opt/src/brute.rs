@@ -1,0 +1,86 @@
+//! Exhaustive optimum for tiny instances — the oracle the other solvers are
+//! tested against.
+
+use osp_core::{Instance, SetId};
+
+use crate::conflict::is_feasible;
+
+/// Exhaustively finds the optimum packing by trying all `2^m` subsets.
+///
+/// Returns `(value, chosen)` with `chosen` ascending. Intended for test
+/// oracles only.
+///
+/// # Panics
+///
+/// Panics if the instance has more than 25 sets (2^25 subsets ≈ the
+/// tolerable limit for a test helper).
+pub fn brute_force(instance: &Instance) -> (f64, Vec<SetId>) {
+    let m = instance.num_sets();
+    assert!(m <= 25, "brute force is for tiny instances (m = {m})");
+    let mut best_value = 0.0f64;
+    let mut best: Vec<SetId> = Vec::new();
+    for mask in 0u32..(1u32 << m) {
+        let chosen: Vec<SetId> = (0..m)
+            .filter(|&i| mask & (1 << i) != 0)
+            .map(|i| SetId(i as u32))
+            .collect();
+        let value = instance.weight_of(chosen.iter().copied());
+        if value > best_value && is_feasible(instance, &chosen) {
+            best_value = value;
+            best = chosen;
+        }
+    }
+    (best_value, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osp_core::InstanceBuilder;
+
+    #[test]
+    fn picks_the_best_disjoint_pair() {
+        // s1 conflicts with both s0 and s2; opt = {s0, s2} = 5.
+        let mut b = InstanceBuilder::new();
+        let s0 = b.add_set(1.0, 1);
+        let s1 = b.add_set(3.0, 2);
+        let s2 = b.add_set(4.0, 1);
+        b.add_element(1, &[s0, s1]);
+        b.add_element(1, &[s1, s2]);
+        let inst = b.build().unwrap();
+        let (v, chosen) = brute_force(&inst);
+        assert_eq!(v, 5.0);
+        assert_eq!(chosen, vec![s0, s2]);
+    }
+
+    #[test]
+    fn takes_heavy_middle_when_worth_it() {
+        let mut b = InstanceBuilder::new();
+        let s0 = b.add_set(1.0, 1);
+        let s1 = b.add_set(30.0, 2);
+        let s2 = b.add_set(4.0, 1);
+        b.add_element(1, &[s0, s1]);
+        b.add_element(1, &[s1, s2]);
+        let inst = b.build().unwrap();
+        let (v, chosen) = brute_force(&inst);
+        assert_eq!(v, 30.0);
+        assert_eq!(chosen, vec![s1]);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = InstanceBuilder::new().build().unwrap();
+        assert_eq!(brute_force(&inst), (0.0, vec![]));
+    }
+
+    #[test]
+    fn respects_capacities() {
+        let mut b = InstanceBuilder::new();
+        let ids: Vec<SetId> = (0..3).map(|_| b.add_set(1.0, 1)).collect();
+        b.add_element(2, &ids);
+        let inst = b.build().unwrap();
+        let (v, chosen) = brute_force(&inst);
+        assert_eq!(v, 2.0);
+        assert_eq!(chosen.len(), 2);
+    }
+}

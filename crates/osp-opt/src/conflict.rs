@@ -1,0 +1,126 @@
+//! Conflict structure between sets, and the closed neighborhoods `N[S]`
+//! that Lemma 1 is phrased in.
+
+use osp_core::{Instance, SetId};
+
+/// For every set `S`, its closed neighborhood `N[S]` — the sets (including
+/// `S` itself) sharing at least one element with `S` (Notation 1 of the
+/// paper). Sorted ascending.
+///
+/// Runs in `O(Σ_u σ(u)²)`, the natural cost of enumerating pairwise
+/// conflicts.
+pub fn closed_neighborhoods(instance: &Instance) -> Vec<Vec<SetId>> {
+    let m = instance.num_sets();
+    let mut neighbors: Vec<Vec<SetId>> = vec![Vec::new(); m];
+    for a in instance.arrivals() {
+        let members = a.members();
+        for (i, &s1) in members.iter().enumerate() {
+            for &s2 in &members[i + 1..] {
+                neighbors[s1.index()].push(s2);
+                neighbors[s2.index()].push(s1);
+            }
+        }
+    }
+    for (i, nb) in neighbors.iter_mut().enumerate() {
+        nb.push(SetId(i as u32));
+        nb.sort_unstable();
+        nb.dedup();
+    }
+    neighbors
+}
+
+/// The total weight `w(N[S])` of each closed neighborhood — the denominator
+/// of Lemma 1's survival probability `w(S)/w(N[S])`.
+pub fn neighborhood_weights(instance: &Instance) -> Vec<f64> {
+    closed_neighborhoods(instance)
+        .iter()
+        .map(|nb| instance.weight_of(nb.iter().copied()))
+        .collect()
+}
+
+/// Whether the sets `chosen` are pairwise capacity-feasible: no element is
+/// contained in more than `b(u)` chosen sets. This is the offline
+/// feasibility notion of program (1) in §2.
+pub fn is_feasible(instance: &Instance, chosen: &[SetId]) -> bool {
+    let mut flags = vec![false; instance.num_sets()];
+    for &s in chosen {
+        flags[s.index()] = true;
+    }
+    for a in instance.arrivals() {
+        let used = a.members().iter().filter(|s| flags[s.index()]).count();
+        if used > a.capacity() as usize {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osp_core::InstanceBuilder;
+
+    fn triangle() -> (Instance, [SetId; 3]) {
+        // s0-s1 share e0, s1-s2 share e1, s0-s2 share nothing.
+        let mut b = InstanceBuilder::new();
+        let s0 = b.add_set(1.0, 1);
+        let s1 = b.add_set(2.0, 2);
+        let s2 = b.add_set(4.0, 1);
+        b.add_element(1, &[s0, s1]);
+        b.add_element(1, &[s1, s2]);
+        (b.build().unwrap(), [s0, s1, s2])
+    }
+
+    #[test]
+    fn neighborhoods_are_closed_and_sorted() {
+        let (inst, [s0, s1, s2]) = triangle();
+        let nb = closed_neighborhoods(&inst);
+        assert_eq!(nb[s0.index()], vec![s0, s1]);
+        assert_eq!(nb[s1.index()], vec![s0, s1, s2]);
+        assert_eq!(nb[s2.index()], vec![s1, s2]);
+    }
+
+    #[test]
+    fn neighborhood_weights_match() {
+        let (inst, [s0, s1, s2]) = triangle();
+        let w = neighborhood_weights(&inst);
+        assert_eq!(w[s0.index()], 3.0);
+        assert_eq!(w[s1.index()], 7.0);
+        assert_eq!(w[s2.index()], 6.0);
+    }
+
+    #[test]
+    fn feasibility_unit_capacity() {
+        let (inst, [s0, s1, s2]) = triangle();
+        assert!(is_feasible(&inst, &[s0, s2]));
+        assert!(is_feasible(&inst, &[s1]));
+        assert!(!is_feasible(&inst, &[s0, s1]));
+        assert!(!is_feasible(&inst, &[s0, s1, s2]));
+        assert!(is_feasible(&inst, &[]));
+    }
+
+    #[test]
+    fn feasibility_respects_capacity() {
+        let mut b = InstanceBuilder::new();
+        let s0 = b.add_set(1.0, 1);
+        let s1 = b.add_set(1.0, 1);
+        let s2 = b.add_set(1.0, 1);
+        b.add_element(2, &[s0, s1, s2]);
+        let inst = b.build().unwrap();
+        assert!(is_feasible(&inst, &[s0, s1]));
+        assert!(!is_feasible(&inst, &[s0, s1, s2]));
+    }
+
+    #[test]
+    fn isolated_sets_have_singleton_neighborhoods() {
+        let mut b = InstanceBuilder::new();
+        let s0 = b.add_set(1.0, 1);
+        let s1 = b.add_set(1.0, 1);
+        b.add_element(1, &[s0]);
+        b.add_element(1, &[s1]);
+        let inst = b.build().unwrap();
+        let nb = closed_neighborhoods(&inst);
+        assert_eq!(nb[0], vec![s0]);
+        assert_eq!(nb[1], vec![s1]);
+    }
+}

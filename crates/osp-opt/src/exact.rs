@@ -1,0 +1,274 @@
+//! Exact branch-and-bound solver for the packing integer program (1).
+//!
+//! Branches on include/exclude per set (heaviest-density first), maintains
+//! per-element residual capacities, and prunes with the residual density
+//! dual bound of [`crate::dual`]. A node budget turns it into an anytime
+//! solver: when the budget runs out it reports the best packing found plus
+//! a valid upper bound, clearly flagged as non-optimal.
+
+use osp_core::{Instance, SetId};
+
+use crate::dual::residual_density_bound;
+use crate::greedy::best_greedy;
+
+/// Search configuration for [`branch_and_bound`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BnbConfig {
+    /// Maximum number of search nodes to expand before giving up on a
+    /// proof of optimality.
+    pub max_nodes: u64,
+}
+
+impl Default for BnbConfig {
+    fn default() -> Self {
+        BnbConfig {
+            max_nodes: 2_000_000,
+        }
+    }
+}
+
+/// Result of an exact (or budget-limited) search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Value of the best packing found.
+    pub value: f64,
+    /// The best packing found, ascending by set id.
+    pub chosen: Vec<SetId>,
+    /// A valid upper bound on `w(opt)`; equals `value` when `optimal`.
+    pub upper_bound: f64,
+    /// Whether optimality was proven within the node budget.
+    pub optimal: bool,
+    /// Number of nodes expanded.
+    pub nodes: u64,
+}
+
+struct Search<'a> {
+    instance: &'a Instance,
+    members_by_set: Vec<Vec<osp_core::ElementId>>,
+    order: Vec<SetId>,
+    candidate: Vec<bool>,
+    residual: Vec<u32>,
+    current: Vec<SetId>,
+    current_value: f64,
+    best: Vec<SetId>,
+    best_value: f64,
+    nodes: u64,
+    max_nodes: u64,
+    exhausted: bool,
+}
+
+impl Search<'_> {
+    fn recurse(&mut self, depth: usize) {
+        if self.nodes >= self.max_nodes {
+            self.exhausted = true;
+            return;
+        }
+        self.nodes += 1;
+
+        // Skip past sets already infeasible or excluded.
+        let mut depth = depth;
+        while depth < self.order.len() {
+            let s = self.order[depth];
+            if self.candidate[s.index()] {
+                break;
+            }
+            depth += 1;
+        }
+        if depth == self.order.len() {
+            if self.current_value > self.best_value {
+                self.best_value = self.current_value;
+                self.best = self.current.clone();
+            }
+            return;
+        }
+
+        // Prune: even taking every remaining candidate can't beat best.
+        let bound = self.current_value
+            + residual_density_bound(self.instance, &self.candidate, &self.residual);
+        if bound <= self.best_value + 1e-12 {
+            return;
+        }
+
+        let s = self.order[depth];
+        let feasible = self.members_by_set[s.index()]
+            .iter()
+            .all(|e| self.residual[e.index()] > 0);
+
+        if feasible {
+            // Branch 1: include s.
+            for e in &self.members_by_set[s.index()] {
+                self.residual[e.index()] -= 1;
+            }
+            self.candidate[s.index()] = false;
+            self.current.push(s);
+            self.current_value += self.instance.set(s).weight();
+            self.recurse(depth + 1);
+            self.current_value -= self.instance.set(s).weight();
+            self.current.pop();
+            for e in &self.members_by_set[s.index()] {
+                self.residual[e.index()] += 1;
+            }
+        }
+
+        // Branch 2: exclude s.
+        self.candidate[s.index()] = false;
+        self.recurse(depth + 1);
+        self.candidate[s.index()] = true;
+    }
+}
+
+/// Solves the offline packing problem exactly (within the node budget).
+///
+/// Seeds the incumbent with the best greedy packing, so even an immediate
+/// budget exhaustion returns a sensible solution.
+///
+/// # Examples
+///
+/// ```
+/// use osp_core::InstanceBuilder;
+/// use osp_opt::{branch_and_bound, BnbConfig};
+///
+/// let mut b = InstanceBuilder::new();
+/// let s0 = b.add_set(1.0, 1);
+/// let s1 = b.add_set(2.0, 1);
+/// b.add_element(1, &[s0, s1]);
+/// let inst = b.build()?;
+/// let sol = branch_and_bound(&inst, &BnbConfig::default());
+/// assert!(sol.optimal);
+/// assert_eq!(sol.value, 2.0);
+/// # Ok::<(), osp_core::Error>(())
+/// ```
+pub fn branch_and_bound(instance: &Instance, config: &BnbConfig) -> Solution {
+    let m = instance.num_sets();
+    let (greedy_value, greedy_sets) = best_greedy(instance);
+
+    // Density-descending order tends to find strong incumbents early.
+    let mut order: Vec<SetId> = (0..m as u32).map(SetId).collect();
+    order.sort_by(|&a, &b| {
+        let da = instance.set(a).weight() / f64::from(instance.set(a).size());
+        let db = instance.set(b).weight() / f64::from(instance.set(b).size());
+        db.partial_cmp(&da).expect("finite").then(a.cmp(&b))
+    });
+
+    let mut search = Search {
+        instance,
+        members_by_set: instance.members_by_set(),
+        order,
+        candidate: vec![true; m],
+        residual: instance.arrivals().iter().map(|a| a.capacity()).collect(),
+        current: Vec::new(),
+        current_value: 0.0,
+        best: greedy_sets,
+        best_value: greedy_value,
+        nodes: 0,
+        max_nodes: config.max_nodes,
+        exhausted: false,
+    };
+    search.recurse(0);
+
+    let optimal = !search.exhausted;
+    let upper_bound = if optimal {
+        search.best_value
+    } else {
+        // Root dual bound stays valid when the proof is incomplete.
+        residual_density_bound(
+            instance,
+            &vec![true; m],
+            &instance
+                .arrivals()
+                .iter()
+                .map(|a| a.capacity())
+                .collect::<Vec<_>>(),
+        )
+        .max(search.best_value)
+    };
+    let mut chosen = search.best;
+    chosen.sort_unstable();
+    Solution {
+        value: search.best_value,
+        chosen,
+        upper_bound,
+        optimal,
+        nodes: search.nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force;
+    use crate::conflict::is_feasible;
+    use osp_core::gen::{random_instance, CapacityModel, LoadModel, RandomInstanceConfig, WeightModel};
+    use osp_core::InstanceBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..25 {
+            let cfg = RandomInstanceConfig {
+                num_sets: 14,
+                num_elements: 25,
+                load: LoadModel::Uniform { lo: 1, hi: 4 },
+                weights: WeightModel::Uniform { lo: 0.5, hi: 3.0 },
+                capacities: CapacityModel::Uniform { lo: 1, hi: 2 },
+            };
+            let inst = random_instance(&cfg, &mut rng).unwrap();
+            let (bv, _) = brute_force(&inst);
+            let sol = branch_and_bound(&inst, &BnbConfig::default());
+            assert!(sol.optimal, "trial {trial}");
+            assert!((sol.value - bv).abs() < 1e-9, "trial {trial}: {} vs {bv}", sol.value);
+            assert!(is_feasible(&inst, &sol.chosen));
+            assert_eq!(sol.upper_bound, sol.value);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_still_returns_valid_bracket() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = RandomInstanceConfig::unweighted(40, 80, 4);
+        let inst = random_instance(&cfg, &mut rng).unwrap();
+        let sol = branch_and_bound(&inst, &BnbConfig { max_nodes: 10 });
+        assert!(!sol.optimal);
+        assert!(sol.value <= sol.upper_bound);
+        assert!(is_feasible(&inst, &sol.chosen));
+        // Incumbent is at least the greedy value (it was seeded with it).
+        let (g, _) = crate::greedy::best_greedy(&inst);
+        assert!(sol.value >= g - 1e-12);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = InstanceBuilder::new().build().unwrap();
+        let sol = branch_and_bound(&inst, &BnbConfig::default());
+        assert!(sol.optimal);
+        assert_eq!(sol.value, 0.0);
+        assert!(sol.chosen.is_empty());
+    }
+
+    #[test]
+    fn handles_capacities_above_one() {
+        let mut b = InstanceBuilder::new();
+        let ids: Vec<SetId> = (0..5).map(|i| b.add_set(1.0 + i as f64, 1)).collect();
+        b.add_element(3, &ids);
+        let inst = b.build().unwrap();
+        let sol = branch_and_bound(&inst, &BnbConfig::default());
+        // Best three of weights 1..5 = 3+4+5.
+        assert_eq!(sol.value, 12.0);
+        assert!(sol.optimal);
+    }
+
+    #[test]
+    fn disjoint_union_takes_everything() {
+        let mut b = InstanceBuilder::new();
+        for _ in 0..6 {
+            let s = b.add_set_unsized(2.0);
+            b.add_element(1, &[s]);
+        }
+        let inst = b.build().unwrap();
+        let sol = branch_and_bound(&inst, &BnbConfig::default());
+        assert_eq!(sol.value, 12.0);
+        assert_eq!(sol.chosen.len(), 6);
+    }
+}

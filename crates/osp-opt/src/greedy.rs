@@ -1,0 +1,152 @@
+//! Offline greedy packings — fast feasible solutions, i.e. certified lower
+//! bounds on `w(opt)`.
+//!
+//! For unweighted instances with set size at most `k`, greedy is the
+//! classical `k`-approximation; with weights, ordering by weight keeps the
+//! same guarantee. These are good enough to anchor the lower end of the
+//! `opt` bracket on instances too large for exact search.
+
+use osp_core::{Instance, SetId};
+
+/// Processing order for [`greedy_offline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GreedyOrder {
+    /// Heaviest sets first.
+    ByWeight,
+    /// Highest weight density `w(S)/|S|` first.
+    ByDensity,
+    /// Smallest sets first (maximizes count on unweighted instances).
+    BySizeAscending,
+}
+
+/// Greedily accepts sets in the given order, keeping per-element residual
+/// capacities; a set is accepted iff all of its elements still have
+/// capacity. Ties break by ascending set id. Returns `(value, chosen)`
+/// with `chosen` ascending.
+pub fn greedy_offline(instance: &Instance, order: GreedyOrder) -> (f64, Vec<SetId>) {
+    let m = instance.num_sets();
+    let mut ids: Vec<SetId> = (0..m as u32).map(SetId).collect();
+    let key = |s: SetId| -> f64 {
+        let meta = instance.set(s);
+        match order {
+            GreedyOrder::ByWeight => meta.weight(),
+            GreedyOrder::ByDensity => meta.weight() / f64::from(meta.size()),
+            GreedyOrder::BySizeAscending => -f64::from(meta.size()),
+        }
+    };
+    ids.sort_by(|&a, &b| {
+        key(b)
+            .partial_cmp(&key(a))
+            .expect("weights are finite")
+            .then(a.cmp(&b))
+    });
+
+    // Elements of each set, gathered once.
+    let members_by_set = instance.members_by_set();
+    let mut residual: Vec<u32> = instance.arrivals().iter().map(|a| a.capacity()).collect();
+    let mut chosen = Vec::new();
+    let mut value = 0.0;
+    for s in ids {
+        let elems = &members_by_set[s.index()];
+        if elems.iter().all(|e| residual[e.index()] > 0) {
+            for e in elems {
+                residual[e.index()] -= 1;
+            }
+            value += instance.set(s).weight();
+            chosen.push(s);
+        }
+    }
+    chosen.sort_unstable();
+    (value, chosen)
+}
+
+/// The best of all greedy orders — a slightly stronger lower bound for the
+/// cost of three passes.
+pub fn best_greedy(instance: &Instance) -> (f64, Vec<SetId>) {
+    [
+        GreedyOrder::ByWeight,
+        GreedyOrder::ByDensity,
+        GreedyOrder::BySizeAscending,
+    ]
+    .into_iter()
+    .map(|o| greedy_offline(instance, o))
+    .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite values"))
+    .expect("three candidates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force;
+    use crate::conflict::is_feasible;
+    use osp_core::gen::{random_instance, RandomInstanceConfig};
+    use osp_core::InstanceBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_solutions_are_feasible() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for seed in 0..10u64 {
+            let cfg = RandomInstanceConfig::unweighted(20, 40, 3);
+            let inst = random_instance(&cfg, &mut rng).unwrap();
+            for order in [
+                GreedyOrder::ByWeight,
+                GreedyOrder::ByDensity,
+                GreedyOrder::BySizeAscending,
+            ] {
+                let (v, chosen) = greedy_offline(&inst, order);
+                assert!(is_feasible(&inst, &chosen), "seed {seed} order {order:?}");
+                assert_eq!(v, inst.weight_of(chosen.iter().copied()));
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_below_brute_force() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let cfg = RandomInstanceConfig::unweighted(12, 20, 3);
+            let inst = random_instance(&cfg, &mut rng).unwrap();
+            let (opt, _) = brute_force(&inst);
+            let (g, _) = best_greedy(&inst);
+            assert!(g <= opt + 1e-9);
+            // greedy is at least opt/k on unweighted instances (k <= 20).
+            assert!(g >= opt / 20.0);
+        }
+    }
+
+    #[test]
+    fn weight_order_beats_size_order_on_heavy_big_set() {
+        // One heavy big set vs two light singletons inside it.
+        let mut b = InstanceBuilder::new();
+        let big = b.add_set(10.0, 2);
+        let l0 = b.add_set(1.0, 1);
+        let l1 = b.add_set(1.0, 1);
+        b.add_element(1, &[big, l0]);
+        b.add_element(1, &[big, l1]);
+        let inst = b.build().unwrap();
+        let (by_weight, _) = greedy_offline(&inst, GreedyOrder::ByWeight);
+        let (by_size, _) = greedy_offline(&inst, GreedyOrder::BySizeAscending);
+        assert_eq!(by_weight, 10.0);
+        assert_eq!(by_size, 2.0);
+        assert_eq!(best_greedy(&inst).0, 10.0);
+    }
+
+    #[test]
+    fn capacities_honored() {
+        let mut b = InstanceBuilder::new();
+        let ids: Vec<SetId> = (0..4).map(|_| b.add_set(1.0, 1)).collect();
+        b.add_element(3, &ids);
+        let inst = b.build().unwrap();
+        let (v, chosen) = greedy_offline(&inst, GreedyOrder::ByWeight);
+        assert_eq!(v, 3.0);
+        assert_eq!(chosen.len(), 3);
+    }
+
+    #[test]
+    fn empty_instance_gives_zero() {
+        let inst = InstanceBuilder::new().build().unwrap();
+        assert_eq!(greedy_offline(&inst, GreedyOrder::ByWeight), (0.0, vec![]));
+    }
+}

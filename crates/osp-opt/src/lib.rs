@@ -1,0 +1,35 @@
+//! # osp-opt — offline optimum solvers for set packing
+//!
+//! Competitive analysis needs `w(opt)`, the best offline packing value. The
+//! paper's constructions come with analytically known optima, but the random
+//! workloads of the upper-bound experiments do not — so this crate provides
+//! a ladder of solvers:
+//!
+//! * [`brute::brute_force`] — exhaustive search, the test oracle (≤ ~22 sets);
+//! * [`exact::branch_and_bound`] — provably optimal solutions with
+//!   dual-bound pruning and a node budget, practical to a few hundred sets;
+//! * [`greedy::greedy_offline`] — fast feasible packings (lower bounds on
+//!   `opt`), the classical `k`-approximation in the unweighted case;
+//! * [`dual::density_dual_bound`] — a dual-feasible *upper* bound on `opt`
+//!   computable in one pass;
+//! * [`mwu::fractional_packing`] — a Garg–Könemann-style multiplicative
+//!   weights solver for the LP relaxation, returning a *certified* bracket
+//!   `[primal, dual]` around the LP optimum (`dual ≥ LP ≥ opt`).
+//!
+//! Together these bracket `opt` tightly enough to report competitive ratios
+//! with certainty even when exact search is out of reach.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod conflict;
+pub mod dual;
+pub mod exact;
+pub mod greedy;
+pub mod local_search;
+pub mod mwu;
+pub mod prelude;
+
+pub use exact::{branch_and_bound, BnbConfig, Solution};
+pub use greedy::{greedy_offline, GreedyOrder};

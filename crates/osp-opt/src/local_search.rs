@@ -1,0 +1,215 @@
+//! Local-search improvement of feasible packings.
+//!
+//! Takes any feasible packing and applies `(1, ≤2)`-swaps: remove one
+//! chosen set (or none) and insert up to two non-chosen sets, whenever
+//! that strictly improves the value while staying feasible. This is the
+//! classical improvement step behind the `k/2 + ε` approximation of
+//! Hurkens–Schrijver (ref. 10) in the paper's related work; here it serves to
+//! tighten the lower end of the `opt` bracket on instances too large for
+//! exact search.
+
+use osp_core::{Instance, SetId};
+
+/// Improves `initial` by `(1, ≤2)`-swaps until a local optimum or the
+/// iteration budget is reached. Returns `(value, packing)` with the
+/// packing sorted ascending; the result is always feasible and never
+/// worse than the input.
+///
+/// # Panics
+///
+/// Panics if `initial` is infeasible for `instance`.
+pub fn improve_packing(
+    instance: &Instance,
+    initial: &[SetId],
+    max_rounds: usize,
+) -> (f64, Vec<SetId>) {
+    let m = instance.num_sets();
+    let members_by_set = instance.members_by_set();
+    let mut residual: Vec<i64> = instance
+        .arrivals()
+        .iter()
+        .map(|a| i64::from(a.capacity()))
+        .collect();
+    let mut chosen = vec![false; m];
+    for &s in initial {
+        chosen[s.index()] = true;
+        for e in &members_by_set[s.index()] {
+            residual[e.index()] -= 1;
+        }
+    }
+    assert!(
+        residual.iter().all(|&r| r >= 0),
+        "initial packing is infeasible"
+    );
+    let weight = |s: usize| instance.sets()[s].weight();
+
+    let fits = |s: usize, residual: &[i64]| -> bool {
+        members_by_set[s].iter().all(|e| residual[e.index()] > 0)
+    };
+
+    for _ in 0..max_rounds {
+        let mut improved = false;
+
+        // Pure insertions first (removing nothing).
+        for s in 0..m {
+            if !chosen[s] && weight(s) > 0.0 && fits(s, &residual) {
+                chosen[s] = true;
+                for e in &members_by_set[s] {
+                    residual[e.index()] -= 1;
+                }
+                improved = true;
+            }
+        }
+
+        // (1, ≤2)-swaps: drop one chosen set, try to fit a better pair.
+        'outer: for out in 0..m {
+            if !chosen[out] {
+                continue;
+            }
+            // Tentatively remove `out`.
+            for e in &members_by_set[out] {
+                residual[e.index()] += 1;
+            }
+            chosen[out] = false;
+            let out_w = weight(out);
+
+            // Single replacement with higher weight.
+            for a in 0..m {
+                if chosen[a] || a == out || weight(a) <= out_w || !fits(a, &residual) {
+                    continue;
+                }
+                chosen[a] = true;
+                for e in &members_by_set[a] {
+                    residual[e.index()] -= 1;
+                }
+                improved = true;
+                continue 'outer;
+            }
+            // Pair replacement: a then b, combined weight must beat out.
+            for a in 0..m {
+                if chosen[a] || a == out || !fits(a, &residual) {
+                    continue;
+                }
+                for e in &members_by_set[a] {
+                    residual[e.index()] -= 1;
+                }
+                for b in (a + 1)..m {
+                    if chosen[b] || b == out || !fits(b, &residual) {
+                        continue;
+                    }
+                    if weight(a) + weight(b) > out_w {
+                        chosen[a] = true;
+                        chosen[b] = true;
+                        for e in &members_by_set[b] {
+                            residual[e.index()] -= 1;
+                        }
+                        improved = true;
+                        continue 'outer;
+                    }
+                }
+                for e in &members_by_set[a] {
+                    residual[e.index()] += 1;
+                }
+            }
+            // No improvement: restore `out`.
+            chosen[out] = true;
+            for e in &members_by_set[out] {
+                residual[e.index()] -= 1;
+            }
+        }
+
+        if !improved {
+            break;
+        }
+    }
+
+    let packing: Vec<SetId> = (0..m)
+        .filter(|&s| chosen[s])
+        .map(|s| SetId(s as u32))
+        .collect();
+    let value = packing.iter().map(|&s| instance.set(s).weight()).sum();
+    (value, packing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force;
+    use crate::conflict::is_feasible;
+    use crate::greedy::{greedy_offline, GreedyOrder};
+    use osp_core::gen::{random_instance, RandomInstanceConfig};
+    use osp_core::InstanceBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn never_worse_than_input_and_always_feasible() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            let cfg = RandomInstanceConfig::unweighted(25, 50, 4);
+            let inst = random_instance(&cfg, &mut rng).unwrap();
+            let (g, gs) = greedy_offline(&inst, GreedyOrder::ByWeight);
+            let (v, packing) = improve_packing(&inst, &gs, 20);
+            assert!(v >= g - 1e-12);
+            assert!(is_feasible(&inst, &packing));
+        }
+    }
+
+    #[test]
+    fn escapes_a_bad_greedy_choice() {
+        // Heavy big set blocks two singletons whose total is higher.
+        let mut b = InstanceBuilder::new();
+        let big = b.add_set(3.0, 2);
+        let s0 = b.add_set(2.0, 1);
+        let s1 = b.add_set(2.0, 1);
+        b.add_element(1, &[big, s0]);
+        b.add_element(1, &[big, s1]);
+        let inst = b.build().unwrap();
+        let (g, gs) = greedy_offline(&inst, GreedyOrder::ByWeight);
+        assert_eq!(g, 3.0); // greedy takes `big`
+        let (v, packing) = improve_packing(&inst, &gs, 10);
+        assert_eq!(v, 4.0);
+        assert_eq!(packing, vec![s0, s1]);
+    }
+
+    #[test]
+    fn reaches_brute_force_often_on_tiny_instances() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut matched = 0;
+        let trials = 20;
+        for _ in 0..trials {
+            let cfg = RandomInstanceConfig::unweighted(12, 20, 3);
+            let inst = random_instance(&cfg, &mut rng).unwrap();
+            let (_, gs) = greedy_offline(&inst, GreedyOrder::ByWeight);
+            let (v, _) = improve_packing(&inst, &gs, 50);
+            let (bv, _) = brute_force(&inst);
+            assert!(v <= bv + 1e-9);
+            if (v - bv).abs() < 1e-9 {
+                matched += 1;
+            }
+        }
+        assert!(matched >= trials / 2, "local search matched opt only {matched}/{trials}");
+    }
+
+    #[test]
+    fn empty_initial_fills_greedily() {
+        let mut b = InstanceBuilder::new();
+        let s = b.add_set(1.0, 1);
+        b.add_element(1, &[s]);
+        let inst = b.build().unwrap();
+        let (v, packing) = improve_packing(&inst, &[], 5);
+        assert_eq!(v, 1.0);
+        assert_eq!(packing, vec![s]);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn infeasible_input_rejected() {
+        let mut b = InstanceBuilder::new();
+        let s0 = b.add_set(1.0, 1);
+        let s1 = b.add_set(1.0, 1);
+        b.add_element(1, &[s0, s1]);
+        let inst = b.build().unwrap();
+        let _ = improve_packing(&inst, &[s0, s1], 5);
+    }
+}

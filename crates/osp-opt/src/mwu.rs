@@ -1,0 +1,267 @@
+//! Multiplicative-weights fractional packing (Garg–Könemann style).
+//!
+//! Solves the LP relaxation of program (1) — `max w·x` subject to
+//! `Σ_{S∋u} x_S ≤ b(u)`, `x ≥ 0` — by the flow-style width-independent
+//! scheme: repeatedly "route" along the set with the best
+//! weight-to-price ratio while multiplicatively raising the prices of its
+//! elements.
+//!
+//! The returned [`FractionalSolution`] is **self-certifying** regardless of
+//! how the iteration went:
+//!
+//! * `primal` is the value of an explicitly feasible fractional `x`
+//!   (violations scaled out), so `primal ≤ LP`;
+//! * `dual` comes from scaling the final prices to dual feasibility, so
+//!   `dual ≥ LP ≥ w(opt)`.
+//!
+//! The experiment harness uses `dual` to upper-bound `opt` on instances too
+//! large for exact search.
+
+use osp_core::Instance;
+
+/// A certified bracket around the LP optimum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FractionalSolution {
+    /// Value of the feasible fractional primal (`≤ LP opt`).
+    pub primal: f64,
+    /// Value of the feasible dual (`≥ LP opt ≥ integral opt`).
+    pub dual: f64,
+    /// The feasible fractional solution, indexed by set.
+    pub x: Vec<f64>,
+    /// Number of augmenting iterations performed.
+    pub iterations: usize,
+}
+
+impl FractionalSolution {
+    /// Relative gap `(dual - primal) / dual`; 0 means the LP was solved
+    /// exactly.
+    pub fn gap(&self) -> f64 {
+        if self.dual <= 0.0 {
+            0.0
+        } else {
+            (self.dual - self.primal) / self.dual
+        }
+    }
+}
+
+/// Runs the Garg–Könemann scheme with accuracy parameter `epsilon`
+/// (typical: 0.05–0.2; smaller is slower and tighter).
+///
+/// # Panics
+///
+/// Panics if `epsilon` is not in `(0, 1)`.
+pub fn fractional_packing(instance: &Instance, epsilon: f64) -> FractionalSolution {
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "epsilon must be in (0,1), got {epsilon}"
+    );
+    let m = instance.num_sets();
+    let n = instance.num_elements();
+    if m == 0 || n == 0 {
+        return FractionalSolution {
+            primal: 0.0,
+            dual: 0.0,
+            x: vec![0.0; m],
+            iterations: 0,
+        };
+    }
+
+    let members_by_set = instance.members_by_set();
+    let capacities: Vec<f64> = instance
+        .arrivals()
+        .iter()
+        .map(|a| f64::from(a.capacity()))
+        .collect();
+
+    // Sets with zero weight or no elements never enter the optimum.
+    let weights: Vec<f64> = instance.sets().iter().map(|s| s.weight()).collect();
+
+    // Initial prices δ/b_u (standard GK initialization).
+    let delta = (1.0 + epsilon) / ((1.0 + epsilon) * n as f64).powf(1.0 / epsilon);
+    let mut price: Vec<f64> = capacities.iter().map(|&b| delta / b).collect();
+    let mut x_raw = vec![0.0f64; m];
+
+    // Iterate until the dual objective Σ b_u y_u reaches 1, as in GK.
+    let max_iters = ((n as f64) * (1.0 / epsilon).ceil() * 64.0) as usize + 1024;
+    let mut iterations = 0;
+    while iterations < max_iters {
+        let dual_obj: f64 = price
+            .iter()
+            .zip(&capacities)
+            .map(|(&y, &b)| y * b)
+            .sum();
+        if dual_obj >= 1.0 {
+            break;
+        }
+        // Best ratio column: maximize w(S) / Σ_{u∈S} y_u.
+        let mut best: Option<(usize, f64)> = None;
+        for s in 0..m {
+            if weights[s] <= 0.0 {
+                continue;
+            }
+            let path_price: f64 = members_by_set[s]
+                .iter()
+                .map(|e| price[e.index()])
+                .sum();
+            let ratio = weights[s] / path_price;
+            if best.map(|(_, r)| ratio > r).unwrap_or(true) {
+                best = Some((s, ratio));
+            }
+        }
+        let Some((s, _)) = best else { break };
+        // Route the bottleneck capacity along S.
+        let bottleneck = members_by_set[s]
+            .iter()
+            .map(|e| capacities[e.index()])
+            .fold(f64::INFINITY, f64::min);
+        x_raw[s] += bottleneck;
+        for e in &members_by_set[s] {
+            let b = capacities[e.index()];
+            price[e.index()] *= 1.0 + epsilon * bottleneck / b;
+        }
+        iterations += 1;
+    }
+
+    // --- Certify the primal: scale x down by its worst violation. ---
+    let mut usage = vec![0.0f64; n];
+    for s in 0..m {
+        if x_raw[s] > 0.0 {
+            for e in &members_by_set[s] {
+                usage[e.index()] += x_raw[s];
+            }
+        }
+    }
+    let violation = usage
+        .iter()
+        .zip(&capacities)
+        .map(|(&u, &b)| u / b)
+        .fold(1.0f64, f64::max);
+    let x: Vec<f64> = x_raw.iter().map(|&v| v / violation).collect();
+    let primal: f64 = x.iter().zip(&weights).map(|(&xi, &wi)| xi * wi).sum();
+
+    // --- Certify the dual: scale prices to cover every set. ---
+    let mut lambda = 0.0f64;
+    for s in 0..m {
+        if weights[s] <= 0.0 {
+            continue;
+        }
+        let path_price: f64 = members_by_set[s]
+            .iter()
+            .map(|e| price[e.index()])
+            .sum();
+        lambda = lambda.max(weights[s] / path_price);
+    }
+    let dual: f64 = price
+        .iter()
+        .zip(&capacities)
+        .map(|(&y, &b)| lambda * y * b)
+        .sum();
+
+    FractionalSolution {
+        primal,
+        dual: dual.max(primal),
+        x,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force;
+    use osp_core::gen::{random_instance, RandomInstanceConfig};
+    use osp_core::InstanceBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bracket_contains_lp_and_ip_optimum() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for trial in 0..15 {
+            let cfg = RandomInstanceConfig::unweighted(15, 25, 3);
+            let inst = random_instance(&cfg, &mut rng).unwrap();
+            let (ip_opt, _) = brute_force(&inst);
+            let sol = fractional_packing(&inst, 0.1);
+            assert!(
+                sol.dual >= ip_opt - 1e-6,
+                "trial {trial}: dual {} < IP opt {ip_opt}",
+                sol.dual
+            );
+            assert!(sol.primal <= sol.dual + 1e-9);
+        }
+    }
+
+    #[test]
+    fn primal_is_feasible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = RandomInstanceConfig::unweighted(30, 50, 4);
+        let inst = random_instance(&cfg, &mut rng).unwrap();
+        let sol = fractional_packing(&inst, 0.1);
+        let members_by_set = inst.members_by_set();
+        let mut usage = vec![0.0f64; inst.num_elements()];
+        for (s, &xs) in sol.x.iter().enumerate() {
+            assert!(xs >= 0.0);
+            for e in &members_by_set[s] {
+                usage[e.index()] += xs;
+            }
+        }
+        for (j, a) in inst.arrivals().iter().enumerate() {
+            assert!(
+                usage[j] <= f64::from(a.capacity()) + 1e-9,
+                "element {j} over capacity"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_on_disjoint_sets() {
+        // LP = IP = total weight when sets are disjoint.
+        let mut b = InstanceBuilder::new();
+        for _ in 0..5 {
+            let s = b.add_set_unsized(2.0);
+            b.add_element(1, &[s]);
+        }
+        let inst = b.build().unwrap();
+        let sol = fractional_packing(&inst, 0.05);
+        assert!(sol.dual >= 10.0 - 1e-6);
+        assert!(sol.primal >= 10.0 * 0.8, "primal {}", sol.primal);
+    }
+
+    #[test]
+    fn star_lp_value_is_capacity_times_max_weight() {
+        // σ singletons of weight 1 on one unit-capacity element: LP = 1.
+        let mut b = InstanceBuilder::new();
+        let ids: Vec<osp_core::SetId> = (0..6).map(|_| b.add_set(1.0, 1)).collect();
+        b.add_element(1, &ids);
+        let inst = b.build().unwrap();
+        let sol = fractional_packing(&inst, 0.05);
+        assert!(sol.dual >= 1.0 - 1e-6);
+        assert!(sol.dual <= 1.5, "dual {} too loose", sol.dual);
+        assert!(sol.gap() < 0.5);
+    }
+
+    #[test]
+    fn tighter_epsilon_tightens_the_gap() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = RandomInstanceConfig::unweighted(20, 30, 3);
+        let inst = random_instance(&cfg, &mut rng).unwrap();
+        let loose = fractional_packing(&inst, 0.5);
+        let tight = fractional_packing(&inst, 0.05);
+        assert!(tight.gap() <= loose.gap() + 0.05);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = InstanceBuilder::new().build().unwrap();
+        let sol = fractional_packing(&inst, 0.1);
+        assert_eq!(sol.primal, 0.0);
+        assert_eq!(sol.dual, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn epsilon_validated() {
+        let inst = InstanceBuilder::new().build().unwrap();
+        let _ = fractional_packing(&inst, 1.5);
+    }
+}

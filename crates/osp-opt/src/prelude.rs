@@ -1,0 +1,14 @@
+//! Convenience re-exports.
+//!
+//! ```
+//! use osp_opt::prelude::*;
+//! let _ = BnbConfig::default();
+//! ```
+
+pub use crate::brute::brute_force;
+pub use crate::conflict::{closed_neighborhoods, is_feasible, neighborhood_weights};
+pub use crate::dual::density_dual_bound;
+pub use crate::exact::{branch_and_bound, BnbConfig, Solution};
+pub use crate::greedy::{best_greedy, greedy_offline, GreedyOrder};
+pub use crate::local_search::improve_packing;
+pub use crate::mwu::{fractional_packing, FractionalSolution};

@@ -1,0 +1,85 @@
+//! Property-based tests: the solver ladder stays ordered on random inputs.
+
+use proptest::prelude::*;
+
+use osp_core::gen::{random_instance, CapacityModel, LoadModel, RandomInstanceConfig, WeightModel};
+use osp_core::Instance;
+use osp_opt::conflict::is_feasible;
+use osp_opt::dual::density_dual_bound;
+use osp_opt::greedy::{best_greedy, greedy_offline, GreedyOrder};
+use osp_opt::local_search::improve_packing;
+use osp_opt::mwu::fractional_packing;
+use osp_opt::prelude::brute_force;
+use osp_opt::{branch_and_bound, BnbConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_instance(seed: u64, weighted: bool, capacitated: bool) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = RandomInstanceConfig {
+        num_sets: 12,
+        num_elements: 22,
+        load: LoadModel::Uniform { lo: 1, hi: 4 },
+        weights: if weighted {
+            WeightModel::Uniform { lo: 0.25, hi: 4.0 }
+        } else {
+            WeightModel::Unit
+        },
+        capacities: if capacitated {
+            CapacityModel::Uniform { lo: 1, hi: 3 }
+        } else {
+            CapacityModel::Unit
+        },
+    };
+    random_instance(&cfg, &mut rng).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_matches_brute_force(seed in 0u64..10_000, weighted: bool, capacitated: bool) {
+        let inst = tiny_instance(seed, weighted, capacitated);
+        let (bv, bsets) = brute_force(&inst);
+        let sol = branch_and_bound(&inst, &BnbConfig::default());
+        prop_assert!(sol.optimal);
+        prop_assert!((sol.value - bv).abs() < 1e-9, "bnb {} vs brute {bv}", sol.value);
+        prop_assert!(is_feasible(&inst, &sol.chosen));
+        prop_assert!(is_feasible(&inst, &bsets));
+    }
+
+    #[test]
+    fn ladder_is_ordered(seed in 0u64..10_000, weighted: bool) {
+        let inst = tiny_instance(seed, weighted, false);
+        let (g, gsets) = best_greedy(&inst);
+        let sol = branch_and_bound(&inst, &BnbConfig::default());
+        let dual = density_dual_bound(&inst);
+        let mwu = fractional_packing(&inst, 0.15);
+        prop_assert!(g <= sol.value + 1e-9);
+        prop_assert!(sol.value <= dual + 1e-9);
+        prop_assert!(sol.value <= mwu.dual + 1e-6);
+        prop_assert!(mwu.primal <= mwu.dual + 1e-9);
+        prop_assert!(is_feasible(&inst, &gsets));
+    }
+
+    #[test]
+    fn local_search_sandwiched_between_greedy_and_opt(seed in 0u64..10_000) {
+        let inst = tiny_instance(seed, true, false);
+        let (g, gsets) = greedy_offline(&inst, GreedyOrder::ByWeight);
+        let (improved, packing) = improve_packing(&inst, &gsets, 30);
+        let sol = branch_and_bound(&inst, &BnbConfig::default());
+        prop_assert!(improved >= g - 1e-12);
+        prop_assert!(improved <= sol.value + 1e-9);
+        prop_assert!(is_feasible(&inst, &packing));
+    }
+
+    #[test]
+    fn mwu_bracket_valid_at_any_epsilon(seed in 0u64..10_000, eps in 0.02f64..0.9) {
+        let inst = tiny_instance(seed, false, true);
+        let sol = branch_and_bound(&inst, &BnbConfig::default());
+        let frac = fractional_packing(&inst, eps);
+        // Dual is valid no matter how crude the epsilon.
+        prop_assert!(frac.dual >= sol.value - 1e-6, "eps {eps}: {} < {}", frac.dual, sol.value);
+        prop_assert!(frac.primal <= frac.dual + 1e-9);
+    }
+}

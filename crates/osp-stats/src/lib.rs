@@ -1,0 +1,30 @@
+//! # osp-stats — statistics utilities for the OSP experiment harness
+//!
+//! Small, dependency-free helpers used throughout the workspace to summarize
+//! randomized-trial output: streaming moments ([`Summary`]), normal-theory
+//! confidence intervals ([`ConfidenceInterval`]), empirical quantiles
+//! ([`quantile`]), fixed-width text tables ([`Table`]) and deterministic seed
+//! fan-out for reproducible experiments ([`SeedSequence`]).
+//!
+//! ```
+//! use osp_stats::Summary;
+//!
+//! let s: Summary = (1..=100).map(|x| x as f64).collect();
+//! assert_eq!(s.count(), 100);
+//! assert!((s.mean() - 50.5).abs() < 1e-12);
+//! let ci = s.confidence_interval(0.95);
+//! assert!(ci.contains(50.5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod quantile;
+mod rng;
+mod summary;
+mod table;
+
+pub use quantile::{median, quantile, Quantiles};
+pub use rng::SeedSequence;
+pub use summary::{ConfidenceInterval, Summary};
+pub use table::Table;

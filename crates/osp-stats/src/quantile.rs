@@ -1,0 +1,158 @@
+//! Empirical quantiles over finite samples.
+
+/// Returns the `q`-quantile of `data` using linear interpolation between
+/// order statistics (type-7 estimator, the R/NumPy default).
+///
+/// The input does not need to be sorted; a sorted copy is made internally.
+/// Returns `None` on an empty slice.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or if any value is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use osp_stats::quantile;
+///
+/// let data = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&data, 0.0), Some(1.0));
+/// assert_eq!(quantile(&data, 1.0), Some(4.0));
+/// assert_eq!(quantile(&data, 0.5), Some(2.5));
+/// ```
+pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Median shorthand for [`quantile`] at `q = 0.5`.
+pub fn median(data: &[f64]) -> Option<f64> {
+    quantile(data, 0.5)
+}
+
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// A batch of common quantiles computed in one sort of the input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantiles {
+    /// Minimum (0th percentile).
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum (100th percentile).
+    pub max: f64,
+}
+
+impl Quantiles {
+    /// Computes the batch from a sample. Returns `None` on an empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN.
+    pub fn from_sample(data: &[f64]) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+        Some(Quantiles {
+            min: sorted[0],
+            p25: quantile_sorted(&sorted, 0.25),
+            p50: quantile_sorted(&sorted, 0.50),
+            p75: quantile_sorted(&sorted, 0.75),
+            p95: quantile_sorted(&sorted, 0.95),
+            p99: quantile_sorted(&sorted, 0.99),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+
+    /// Interquartile range `p75 - p25`.
+    pub fn iqr(&self) -> f64 {
+        self.p75 - self.p25
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_returns_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(median(&[]), None);
+        assert!(Quantiles::from_sample(&[]).is_none());
+    }
+
+    #[test]
+    fn singleton() {
+        assert_eq!(quantile(&[3.5], 0.0), Some(3.5));
+        assert_eq!(quantile(&[3.5], 0.5), Some(3.5));
+        assert_eq!(quantile(&[3.5], 1.0), Some(3.5));
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+    }
+
+    #[test]
+    fn interpolation() {
+        let data = [10.0, 20.0, 30.0, 40.0, 50.0];
+        // h = 0.1 * 4 = 0.4 -> 10 + 0.4*(20-10) = 14
+        assert_eq!(quantile(&data, 0.1), Some(14.0));
+        assert_eq!(quantile(&data, 0.75), Some(40.0));
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        let data = [50.0, 10.0, 40.0, 20.0, 30.0];
+        assert_eq!(median(&data), Some(30.0));
+    }
+
+    #[test]
+    fn batch_is_monotone() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let q = Quantiles::from_sample(&data).unwrap();
+        assert!(q.min <= q.p25);
+        assert!(q.p25 <= q.p50);
+        assert!(q.p50 <= q.p75);
+        assert!(q.p75 <= q.p95);
+        assert!(q.p95 <= q.p99);
+        assert!(q.p99 <= q.max);
+        assert!(q.iqr() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile level")]
+    fn bad_level() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+}

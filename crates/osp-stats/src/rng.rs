@@ -1,0 +1,102 @@
+//! Deterministic seed fan-out for reproducible multi-trial experiments.
+
+/// Derives an unbounded stream of independent-looking 64-bit seeds from a
+/// single root seed, so that every trial, generator and algorithm in an
+/// experiment gets its own stable seed.
+///
+/// Internally this is SplitMix64, the standard seeding generator; it is
+/// *not* meant for direct use as a simulation RNG (the simulation RNG is
+/// `rand::StdRng` seeded from these values), only for decorrelating seeds.
+///
+/// # Examples
+///
+/// ```
+/// use osp_stats::SeedSequence;
+///
+/// let mut seq = SeedSequence::new(42);
+/// let a = seq.next_seed();
+/// let b = seq.next_seed();
+/// assert_ne!(a, b);
+/// // Same root seed -> same stream.
+/// let mut seq2 = SeedSequence::new(42);
+/// assert_eq!(seq2.next_seed(), a);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeedSequence {
+    state: u64,
+}
+
+impl SeedSequence {
+    /// Creates a sequence rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        SeedSequence { state: seed }
+    }
+
+    /// Returns the next seed in the stream.
+    pub fn next_seed(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Derives a child sequence for a named subsystem, so adding trials to
+    /// one subsystem does not shift the seeds of another.
+    pub fn child(&self, label: &str) -> SeedSequence {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        SeedSequence {
+            state: self.state ^ h,
+        }
+    }
+}
+
+impl Iterator for SeedSequence {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        Some(self.next_seed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        let s1: Vec<u64> = SeedSequence::new(7).take(10).collect();
+        let s2: Vec<u64> = SeedSequence::new(7).take(10).collect();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn different_roots_differ() {
+        let s1: Vec<u64> = SeedSequence::new(7).take(10).collect();
+        let s2: Vec<u64> = SeedSequence::new(8).take(10).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn no_short_cycles() {
+        let seeds: HashSet<u64> = SeedSequence::new(0).take(10_000).collect();
+        assert_eq!(seeds.len(), 10_000);
+    }
+
+    #[test]
+    fn children_are_independent_streams() {
+        let root = SeedSequence::new(99);
+        let mut a = root.child("alg");
+        let mut b = root.child("gen");
+        assert_ne!(a.next_seed(), b.next_seed());
+        // Child derivation is stable.
+        let mut a2 = root.child("alg");
+        let mut a3 = root.child("alg");
+        assert_eq!(a2.next_seed(), a3.next_seed());
+    }
+}

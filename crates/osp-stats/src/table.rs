@@ -1,0 +1,158 @@
+//! Minimal fixed-width / markdown table rendering for experiment reports.
+
+use std::fmt;
+
+/// A simple column-aligned table used by the experiment harness to print
+/// human-readable and markdown-compatible result tables.
+///
+/// # Examples
+///
+/// ```
+/// use osp_stats::Table;
+///
+/// let mut t = Table::new(&["alg", "ratio"]);
+/// t.row(&["randPr", "2.31"]);
+/// t.row(&["greedy", "8.00"]);
+/// let text = t.to_string();
+/// assert!(text.contains("randPr"));
+/// assert!(text.starts_with("| alg"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cells differs from the number of headers.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows
+            .push(cells.iter().map(|s| s.as_ref().to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned cells (convenient with `format!`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cells differs from the number of headers.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    /// Renders as a GitHub-flavored-markdown table with aligned columns.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, " {:<width$} |", cell, width = w[i])?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.headers)?;
+        write!(f, "|")?;
+        for wi in &w {
+            write!(f, "{:-<width$}|", "", width = wi + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(&["1", "2"]).row(&["333", "4"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("|---"));
+        // All rows share the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(&["x"]);
+        assert!(t.is_empty());
+        t.row(&["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row has")]
+    fn mismatched_row_panics() {
+        Table::new(&["a", "b"]).row(&["only one"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panics() {
+        Table::new(&[]);
+    }
+
+    #[test]
+    fn row_owned_works() {
+        let mut t = Table::new(&["n", "v"]);
+        t.row_owned(vec![format!("{}", 1), format!("{:.2}", 2.5)]);
+        assert!(t.to_string().contains("2.50"));
+    }
+}

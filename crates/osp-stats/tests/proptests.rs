@@ -1,0 +1,73 @@
+//! Property-based tests for the statistics utilities.
+
+use proptest::prelude::*;
+
+use osp_stats::{median, quantile, Quantiles, SeedSequence, Summary};
+
+proptest! {
+    #[test]
+    fn summary_merge_equals_sequential(
+        a in proptest::collection::vec(-1e6f64..1e6, 0..50),
+        b in proptest::collection::vec(-1e6f64..1e6, 0..50),
+    ) {
+        let seq: Summary = a.iter().chain(b.iter()).copied().collect();
+        let mut left: Summary = a.iter().copied().collect();
+        let right: Summary = b.iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), seq.count());
+        if seq.count() > 0 {
+            prop_assert!((left.mean() - seq.mean()).abs() < 1e-6);
+            prop_assert!((left.sample_variance() - seq.sample_variance()).abs() < 1.0);
+            prop_assert_eq!(left.min(), seq.min());
+            prop_assert_eq!(left.max(), seq.max());
+        }
+    }
+
+    #[test]
+    fn mean_is_within_min_max(data in proptest::collection::vec(-1e9f64..1e9, 1..100)) {
+        let s: Summary = data.iter().copied().collect();
+        prop_assert!(s.min() <= s.mean() + 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.sample_variance() >= 0.0);
+    }
+
+    #[test]
+    fn ci_contains_mean_and_tightens_with_level(
+        data in proptest::collection::vec(-1e3f64..1e3, 2..100),
+    ) {
+        let s: Summary = data.iter().copied().collect();
+        let narrow = s.confidence_interval(0.90);
+        let wide = s.confidence_interval(0.99);
+        prop_assert!(narrow.contains(s.mean()));
+        prop_assert!(wide.contains(s.mean()));
+        prop_assert!(narrow.width() <= wide.width() + 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_bounded_and_monotone(
+        data in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let vlo = quantile(&data, lo).unwrap();
+        let vhi = quantile(&data, hi).unwrap();
+        prop_assert!(vlo <= vhi + 1e-9);
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(min - 1e-9 <= vlo && vhi <= max + 1e-9);
+        // median consistent with the batch struct.
+        let batch = Quantiles::from_sample(&data).unwrap();
+        prop_assert_eq!(median(&data).unwrap(), batch.p50);
+    }
+
+    #[test]
+    fn seed_sequences_are_reproducible_and_label_sensitive(root in 0u64..u64::MAX, n in 1usize..50) {
+        let s1: Vec<u64> = SeedSequence::new(root).take(n).collect();
+        let s2: Vec<u64> = SeedSequence::new(root).take(n).collect();
+        prop_assert_eq!(&s1, &s2);
+        let c1: Vec<u64> = SeedSequence::new(root).child("a").take(n).collect();
+        let c2: Vec<u64> = SeedSequence::new(root).child("b").take(n).collect();
+        prop_assert_ne!(c1, c2);
+    }
+}

@@ -1,0 +1,49 @@
+//! Open problem 2: what do buffers change?
+//!
+//! Sweeps the FIFO buffer size in front of the bottleneck link and charts
+//! complete-frame goodput for drop-tail vs priority eviction (the buffered
+//! adaptation of randPr).
+//!
+//! ```text
+//! cargo run --release --example buffered_router
+//! ```
+
+use osp::net::buffer::{simulate_buffered, BufferPolicy};
+use osp::net::{video_trace, GopConfig, VideoTraceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let config = VideoTraceConfig {
+        sources: 8,
+        frames_per_source: 40,
+        gop: GopConfig::standard(),
+        frame_interval: 8,
+        capacity: 3,
+            jitter: 0,
+    };
+    let mut rng = StdRng::seed_from_u64(21);
+    let trace = video_trace(&config, &mut rng);
+    println!(
+        "trace: {} frames, {} packets, max burst {} vs capacity {}",
+        trace.frames().len(),
+        trace.total_packets(),
+        trace.max_burst(),
+        trace.capacity()
+    );
+    println!("\nbuffer B | drop-tail frames | priority-evict frames | dropped (dt)");
+    println!("---------|------------------|-----------------------|-------------");
+    for b in [0usize, 1, 2, 4, 8, 16, 32, 64] {
+        let dt = simulate_buffered(&trace, b, BufferPolicy::DropTail);
+        let pe = simulate_buffered(&trace, b, BufferPolicy::PriorityEvict { seed: 5 });
+        println!(
+            "{b:8} | {:16} | {:21} | {:12}",
+            dt.frames_delivered, pe.frames_delivered, dt.packets_dropped
+        );
+    }
+    println!(
+        "\nGoodput rises with B and saturates once the buffer covers the burst scale —\n\
+         buffering substitutes for clever dropping, at the cost of queueing delay.\n\
+         (The paper's open problem 2 asks exactly this question.)"
+    );
+}

@@ -1,0 +1,68 @@
+//! Quickstart: build a small OSP instance by hand, run the paper's
+//! algorithm and the baselines, and compare against the exact offline
+//! optimum.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use osp::core::prelude::*;
+use osp::opt::prelude::*;
+use osp::stats::Summary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Three "data frames" (sets) broken into packets (elements).
+    // Frame A: 2 packets, weight 1. Frame B: 2 packets, weight 5 — but it
+    // collides with both others. Frame C: 1 packet, weight 2.
+    let mut builder = InstanceBuilder::new();
+    let a = builder.add_set(1.0, 2);
+    let b = builder.add_set(5.0, 2);
+    let c = builder.add_set(2.0, 1);
+    builder.add_element(1, &[a, b]); // burst: A and B collide
+    builder.add_element(1, &[a]); // A alone
+    builder.add_element(1, &[b, c]); // burst: B and C collide
+    let instance = builder.build()?;
+
+    println!("instance: {} sets, {} elements", instance.num_sets(), instance.num_elements());
+
+    // The exact offline optimum, for reference.
+    let solution = branch_and_bound(&instance, &BnbConfig::default());
+    println!(
+        "offline optimum: value {} using sets {:?} (proven: {})",
+        solution.value, solution.chosen, solution.optimal
+    );
+
+    // The paper's randomized algorithm, averaged over seeds.
+    let trials = 10_000;
+    let mut benefit = Summary::new();
+    for seed in 0..trials {
+        let outcome = run(&instance, &mut RandPr::from_seed(seed))?;
+        benefit.add(outcome.benefit());
+    }
+    println!(
+        "randPr: E[benefit] = {:.3} (95% CI {}) over {trials} seeds",
+        benefit.mean(),
+        benefit.confidence_interval(0.95),
+    );
+    println!(
+        "        competitive ratio vs exact opt: {:.3}",
+        solution.value / benefit.mean()
+    );
+
+    // Deterministic baselines run once (they are deterministic).
+    for policy in TieBreak::all() {
+        let mut alg = GreedyOnline::new(policy);
+        let outcome = run(&instance, &mut alg)?;
+        println!("{:24} benefit = {}", alg.name(), outcome.benefit());
+    }
+
+    // The distributed variant: two replicas with the same seed agree.
+    let first = run(&instance, &mut HashRandPr::new(8, 7))?;
+    let second = run(&instance, &mut HashRandPr::new(8, 7))?;
+    assert_eq!(first.completed(), second.completed());
+    println!(
+        "hashPr replicas agree: completed {:?} with no communication",
+        first.completed()
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! The paper's motivating scenario: GOP video over a bottleneck router.
+//!
+//! Multiplexes several video sources onto one link, then compares
+//! frame-oblivious router policies (tail-drop, random-drop) against the
+//! frame-aware `randPr` on *complete-frame* goodput.
+//!
+//! ```text
+//! cargo run --release --example video_streaming
+//! ```
+
+use osp::core::prelude::*;
+use osp::net::metrics::goodput;
+use osp::net::policy::{RandomDrop, TailDrop};
+use osp::net::{trace_to_instance, video_trace, GopConfig, VideoTraceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("sources | policy        | frame rate | weight rate | packet rate");
+    println!("--------|---------------|------------|-------------|------------");
+    for sources in [4, 8, 12] {
+        let config = VideoTraceConfig {
+            sources,
+            frames_per_source: 40,
+            gop: GopConfig::standard(),
+            frame_interval: 8,
+            capacity: 4,
+            jitter: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let trace = video_trace(&config, &mut rng);
+        let mapped = trace_to_instance(&trace);
+
+        let mut policies: Vec<Box<dyn OnlineAlgorithm>> = vec![
+            Box::new(TailDrop::new()),
+            Box::new(RandomDrop::from_seed(1)),
+            Box::new(GreedyOnline::new(TieBreak::ByFewestRemaining)),
+            Box::new(RandPr::from_seed(1)),
+        ];
+        for alg in policies.iter_mut() {
+            let outcome = run(&mapped.instance, alg.as_mut())?;
+            let report = goodput(&trace, &mapped.instance, &outcome);
+            println!(
+                "{sources:7} | {:13} | {:10.3} | {:11.3} | {:10.3}",
+                alg.name(),
+                report.frame_rate(),
+                report.weight_rate(),
+                report.packet_rate()
+            );
+        }
+        println!("--------|---------------|------------|-------------|------------");
+    }
+    println!(
+        "\nNote the trade: tail-drop maximizes the packet rate but wastes service on\n\
+         frames that already lost a packet; randPr concentrates losses on few frames\n\
+         and wins where it matters — complete frames delivered."
+    );
+    Ok(())
+}

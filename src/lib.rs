@@ -1,0 +1,63 @@
+//! # osp — Online Set Packing and Competitive Scheduling of Multi-Part Tasks
+//!
+//! A from-scratch Rust implementation of the system described in
+//! *"Online Set Packing and Competitive Scheduling of Multi-Part Tasks"*
+//! (Emek, Halldórsson, Mansour, Patt-Shamir, Radhakrishnan, Rawitz —
+//! PODC 2010).
+//!
+//! In online set packing (OSP), elements arrive one at a time; each element
+//! announces the sets that contain it and a capacity, and the algorithm must
+//! immediately assign the element to at most that many of those sets. A set
+//! pays off only if it was chosen for *every one* of its elements. The paper's
+//! algorithm, [`RandPr`](osp_core::algorithms::RandPr), draws one random
+//! priority per set from the distribution `R_w` (`Pr[X < x] = x^w`) and always
+//! keeps the highest-priority sets; it is `k_max·sqrt(σ_max)`-competitive, and
+//! no randomized algorithm can do substantially better.
+//!
+//! This umbrella crate re-exports all sub-crates:
+//!
+//! * [`mod@core`] — problem model, online engine, `randPr` and baselines.
+//! * [`opt`] — offline optimum solvers (exact B&B, greedy, LP bounds).
+//! * [`adversary`] — the paper's lower-bound constructions.
+//! * [`design`] — (M,N)-gadget combinatorial designs.
+//! * [`gf`] — finite fields and universal hashing.
+//! * [`net`] — bottleneck-router and multi-hop network scenarios.
+//! * [`stats`] — statistics utilities for experiments.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use osp::core::prelude::*;
+//!
+//! // Three data frames, two packets each; weight 1.0 apiece.
+//! let mut b = InstanceBuilder::new();
+//! let s0 = b.add_set(1.0, 2);
+//! let s1 = b.add_set(1.0, 2);
+//! let s2 = b.add_set(1.0, 2);
+//! // Time slots: a burst of {s0, s1}, then {s1, s2}, then singletons.
+//! b.add_element(1, &[s0, s1]);
+//! b.add_element(1, &[s1, s2]);
+//! b.add_element(1, &[s0]);
+//! b.add_element(1, &[s2]);
+//! let instance = b.build()?;
+//!
+//! let mut alg = RandPr::from_seed(7);
+//! let outcome = run(&instance, &mut alg)?;
+//! assert!(outcome.benefit() <= 2.0); // s0 and s2 can both complete; s1 conflicts with both
+//! # Ok::<(), osp::core::Error>(())
+//! ```
+
+pub use osp_adversary as adversary;
+pub use osp_core as core;
+pub use osp_design as design;
+pub use osp_gf as gf;
+pub use osp_net as net;
+pub use osp_opt as opt;
+pub use osp_stats as stats;
+
+/// Convenience prelude re-exporting the most commonly used items of the
+/// whole workspace.
+pub mod prelude {
+    pub use osp_core::prelude::*;
+    pub use osp_opt::prelude::*;
+}

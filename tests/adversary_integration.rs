@@ -1,0 +1,86 @@
+//! Integration: the lower-bound constructions against every algorithm.
+
+use osp::adversary::deterministic::run_deterministic_adversary;
+use osp::adversary::gadget_lb::gadget_lower_bound;
+use osp::adversary::weak::weak_lower_bound;
+use osp::core::bounds::theorem_3_lower;
+use osp::core::prelude::*;
+use osp::net::policy::TailDrop;
+use osp::opt::conflict::is_feasible;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn theorem_3_holds_for_every_deterministic_baseline() {
+    for (sigma, k) in [(2u32, 3u32), (3, 3), (4, 2)] {
+        let bound = theorem_3_lower(sigma, k);
+        let mut algs: Vec<Box<dyn OnlineAlgorithm>> = vec![Box::new(TailDrop::new())];
+        for policy in TieBreak::all() {
+            algs.push(Box::new(GreedyOnline::new(policy)));
+        }
+        for mut alg in algs {
+            let name = alg.name();
+            let res = run_deterministic_adversary(sigma, k, alg.as_mut()).unwrap();
+            assert!(res.outcome.benefit() <= 1.0, "{name} completed more than one set");
+            assert!(
+                res.witnessed_ratio() >= bound,
+                "{name}: σ={sigma} k={k} ratio {} < {bound}",
+                res.witnessed_ratio()
+            );
+            assert!(is_feasible(&res.instance, &res.certified_opt));
+        }
+    }
+}
+
+#[test]
+fn gadget_instance_starves_all_algorithms() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let g = gadget_lower_bound(4, &mut rng).unwrap();
+    let opt = g.planted.len() as f64; // 64
+    assert!(is_feasible(&g.instance, &g.planted));
+
+    let mut algs: Vec<Box<dyn OnlineAlgorithm>> = vec![
+        Box::new(TailDrop::new()),
+        Box::new(RandPr::from_seed(1)),
+        Box::new(RandPr::with_active_filter(2)),
+        Box::new(HashRandPr::new(8, 3)),
+        Box::new(RandomAssign::from_seed(4)),
+    ];
+    for policy in TieBreak::all() {
+        algs.push(Box::new(GreedyOnline::new(policy)));
+    }
+    for mut alg in algs {
+        let name = alg.name();
+        let out = run(&g.instance, alg.as_mut()).unwrap();
+        assert!(
+            out.benefit() < opt / 2.0,
+            "{name} completed {} of {opt} on the Lemma 9 instance",
+            out.benefit()
+        );
+    }
+}
+
+#[test]
+fn weak_construction_is_consistent_across_algorithms() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let w = weak_lower_bound(12, &mut rng).unwrap();
+    assert!(is_feasible(&w.instance, &w.planted));
+    assert_eq!(w.planted.len(), 12);
+    // No algorithm may complete more than the optimum.
+    for seed in 0..5 {
+        let out = run(&w.instance, &mut RandPr::from_seed(seed)).unwrap();
+        assert!(out.benefit() <= 12.0);
+    }
+}
+
+#[test]
+fn adversary_scales_with_parameters() {
+    // Larger k is strictly worse for the algorithm (ratio grows as σ^(k−1)).
+    let mut ratios = Vec::new();
+    for k in [2u32, 3, 4] {
+        let mut alg = GreedyOnline::new(TieBreak::ByIndex);
+        let res = run_deterministic_adversary(3, k, &mut alg).unwrap();
+        ratios.push(res.witnessed_ratio());
+    }
+    assert!(ratios.windows(2).all(|w| w[0] < w[1]), "ratios {ratios:?}");
+}

@@ -1,0 +1,37 @@
+//! Integration: instances serialize and deserialize losslessly (the serde
+//! derives that make experiment artifacts reproducible).
+
+use osp::core::gen::{random_instance, RandomInstanceConfig};
+use osp::core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn instance_json_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let cfg = RandomInstanceConfig::unweighted(15, 30, 3);
+    let inst = random_instance(&cfg, &mut rng).unwrap();
+
+    let json = serde_json::to_string(&inst).unwrap();
+    let back: Instance = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, inst);
+
+    // The deserialized instance behaves identically.
+    let a = run(&inst, &mut RandPr::from_seed(5)).unwrap();
+    let b = run(&back, &mut RandPr::from_seed(5)).unwrap();
+    assert_eq!(a.completed(), b.completed());
+    assert_eq!(a.benefit(), b.benefit());
+}
+
+#[test]
+fn ids_and_metadata_round_trip() {
+    let id = SetId(42);
+    let json = serde_json::to_string(&id).unwrap();
+    assert_eq!(serde_json::from_str::<SetId>(&json).unwrap(), id);
+
+    let meta = SetMeta::new(2.5, 3);
+    let json = serde_json::to_string(&meta).unwrap();
+    let back: SetMeta = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.weight(), 2.5);
+    assert_eq!(back.size(), 3);
+}

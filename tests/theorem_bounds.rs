@@ -1,0 +1,127 @@
+//! Integration: every upper-bound theorem holds on sampled instances with
+//! exactly solved optima.
+
+use osp::core::bounds;
+use osp::core::gen::{
+    biregular_instance, fixed_size_instance, random_instance, CapacityModel, LoadModel,
+    RandomInstanceConfig, WeightModel,
+};
+use osp::core::prelude::*;
+use osp::opt::prelude::*;
+use osp::stats::Summary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Average randPr benefit over `trials` seeds.
+fn mean_benefit(inst: &Instance, trials: u64) -> f64 {
+    let mut s = Summary::new();
+    for seed in 0..trials {
+        s.add(run(inst, &mut RandPr::from_seed(seed)).unwrap().benefit());
+    }
+    s.mean()
+}
+
+/// Exact optimum (instances here are small enough for proof).
+fn exact_opt(inst: &Instance) -> f64 {
+    let sol = branch_and_bound(inst, &BnbConfig::default());
+    assert!(sol.optimal, "instance too large for exact proof");
+    sol.value
+}
+
+#[test]
+fn theorem_1_and_corollary_6_on_random_instances() {
+    for seed in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = RandomInstanceConfig {
+            num_sets: 25,
+            num_elements: 50,
+            load: LoadModel::Uniform { lo: 1, hi: 5 },
+            weights: WeightModel::Uniform { lo: 0.5, hi: 3.0 },
+            capacities: CapacityModel::Unit,
+        };
+        let inst = random_instance(&cfg, &mut rng).unwrap();
+        let st = InstanceStats::compute(&inst);
+        let ratio = exact_opt(&inst) / mean_benefit(&inst, 300);
+        let b1 = bounds::theorem_1(&st);
+        let b6 = bounds::corollary_6(&st);
+        assert!(ratio <= b1 * 1.05, "seed {seed}: ratio {ratio} vs thm1 {b1}");
+        assert!(b1 <= b6 + 1e-9, "refined bound must not exceed coarse bound");
+    }
+}
+
+#[test]
+fn theorem_4_on_variable_capacities() {
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let cfg = RandomInstanceConfig {
+            num_sets: 25,
+            num_elements: 60,
+            load: LoadModel::Uniform { lo: 2, hi: 6 },
+            weights: WeightModel::Unit,
+            capacities: CapacityModel::Uniform { lo: 1, hi: 3 },
+        };
+        let inst = random_instance(&cfg, &mut rng).unwrap();
+        let st = InstanceStats::compute(&inst);
+        let ratio = exact_opt(&inst) / mean_benefit(&inst, 300);
+        let b4 = bounds::theorem_4(&st);
+        assert!(ratio <= b4, "seed {seed}: ratio {ratio} vs thm4 {b4}");
+    }
+}
+
+#[test]
+fn corollary_7_on_biregular_instances() {
+    for (m, k, sigma) in [(18usize, 3u32, 2u32), (24, 4, 3), (20, 5, 4)] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let inst = biregular_instance(m, k, sigma, &mut rng).unwrap();
+        let st = InstanceStats::compute(&inst);
+        let bound = bounds::corollary_7(&st).expect("doubly uniform");
+        let ratio = exact_opt(&inst) / mean_benefit(&inst, 400);
+        assert!(
+            ratio <= bound * 1.05,
+            "m={m} k={k} σ={sigma}: ratio {ratio} vs k {bound}"
+        );
+    }
+}
+
+#[test]
+fn theorem_5_on_skewed_fixed_size_instances() {
+    for skew in [0.0, 1.0, 1.8] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let inst = fixed_size_instance(24, 3, 50, skew, &mut rng).unwrap();
+        let st = InstanceStats::compute(&inst);
+        let bound = bounds::theorem_5(&st).expect("uniform size");
+        let ratio = exact_opt(&inst) / mean_benefit(&inst, 400);
+        assert!(ratio <= bound * 1.05, "skew {skew}: ratio {ratio} vs {bound}");
+    }
+}
+
+#[test]
+fn theorem_6_on_uniform_load_instances() {
+    for sigma in [2u32, 4, 6] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = RandomInstanceConfig::unweighted(25, 50, sigma);
+        let inst = random_instance(&cfg, &mut rng).unwrap();
+        let st = InstanceStats::compute(&inst);
+        let bound = bounds::theorem_6(&st).expect("uniform load");
+        let ratio = exact_opt(&inst) / mean_benefit(&inst, 400);
+        assert!(ratio <= bound * 1.05, "σ={sigma}: ratio {ratio} vs {bound}");
+    }
+}
+
+#[test]
+fn opt_bracket_always_contains_exact_value() {
+    // Cross-check the solver ladder: greedy ≤ exact ≤ dual bounds.
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let cfg = RandomInstanceConfig::unweighted(18, 35, 3);
+        let inst = random_instance(&cfg, &mut rng).unwrap();
+        let exact = exact_opt(&inst);
+        let (greedy, _) = best_greedy(&inst);
+        let dual = density_dual_bound(&inst);
+        let mwu = fractional_packing(&inst, 0.1);
+        assert!(greedy <= exact + 1e-9);
+        assert!(exact <= dual + 1e-9);
+        assert!(exact <= mwu.dual + 1e-6);
+        assert!(mwu.primal <= mwu.dual + 1e-9);
+    }
+}
