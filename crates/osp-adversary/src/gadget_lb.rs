@@ -56,7 +56,11 @@ impl GadgetLowerBound {
 
     /// Number of elements contributed by stage `i` (0-based).
     pub fn stage_len(&self, stage: usize) -> usize {
-        let start = if stage == 0 { 0 } else { self.stage_ends[stage - 1] };
+        let start = if stage == 0 {
+            0
+        } else {
+            self.stage_ends[stage - 1]
+        };
         self.stage_ends[stage] - start
     }
 }
@@ -281,7 +285,11 @@ mod tests {
         // opt ≥ ℓ³ = 125; deterministic baselines should complete a
         // polylog number. Generous threshold: ℓ³ / 4.
         let g = sample(5, 4);
-        for policy in [TieBreak::ByIndex, TieBreak::ByWeight, TieBreak::ByFewestRemaining] {
+        for policy in [
+            TieBreak::ByIndex,
+            TieBreak::ByWeight,
+            TieBreak::ByFewestRemaining,
+        ] {
             let out = run(&g.instance, &mut GreedyOnline::new(policy)).unwrap();
             assert!(
                 out.completed().len() < 125 / 4,

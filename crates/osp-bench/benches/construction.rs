@@ -18,7 +18,10 @@ fn bench_constructions(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 let mut rng = StdRng::seed_from_u64(seed);
-                gadget_lower_bound(ell, &mut rng).unwrap().instance.num_elements()
+                gadget_lower_bound(ell, &mut rng)
+                    .unwrap()
+                    .instance
+                    .num_elements()
             })
         });
     }
@@ -29,7 +32,10 @@ fn bench_constructions(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 let mut rng = StdRng::seed_from_u64(seed);
-                weak_lower_bound(t, &mut rng).unwrap().instance.num_elements()
+                weak_lower_bound(t, &mut rng)
+                    .unwrap()
+                    .instance
+                    .num_elements()
             })
         });
     }
@@ -39,7 +45,9 @@ fn bench_constructions(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             let mut rng = StdRng::seed_from_u64(seed);
-            biregular_instance(60, 5, 4, &mut rng).unwrap().num_elements()
+            biregular_instance(60, 5, 4, &mut rng)
+                .unwrap()
+                .num_elements()
         })
     });
 

@@ -18,7 +18,11 @@ fn workload(m: usize, n: usize, sigma: u32) -> Instance {
 
 fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_run");
-    for (m, n, sigma) in [(100usize, 1_000usize, 4u32), (500, 5_000, 8), (2_000, 20_000, 16)] {
+    for (m, n, sigma) in [
+        (100usize, 1_000usize, 4u32),
+        (500, 5_000, 8),
+        (2_000, 20_000, 16),
+    ] {
         let inst = workload(m, n, sigma);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(

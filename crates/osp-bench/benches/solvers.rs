@@ -24,9 +24,7 @@ fn bench_solvers(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("branch_and_bound", format!("m{m}")),
             &inst,
-            |b, inst| {
-                b.iter(|| branch_and_bound(inst, &BnbConfig::default()).value)
-            },
+            |b, inst| b.iter(|| branch_and_bound(inst, &BnbConfig::default()).value),
         );
     }
 
@@ -34,9 +32,7 @@ fn bench_solvers(c: &mut Criterion) {
     group.bench_function("greedy_offline_m400", |b| {
         b.iter(|| greedy_offline(&big, GreedyOrder::ByDensity).0)
     });
-    group.bench_function("density_dual_m400", |b| {
-        b.iter(|| density_dual_bound(&big))
-    });
+    group.bench_function("density_dual_m400", |b| b.iter(|| density_dual_bound(&big)));
     group.bench_function("mwu_eps0.1_m400", |b| {
         b.iter(|| fractional_packing(&big, 0.1).dual)
     });

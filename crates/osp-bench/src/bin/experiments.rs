@@ -61,8 +61,7 @@ fn main() -> ExitCode {
                 if let Some(dir) = &json_dir {
                     let path = format!("{dir}/{id}.json");
                     match std::fs::File::create(&path).map(|mut f| {
-                        serde_json::to_string_pretty(&report)
-                            .map(|s| f.write_all(s.as_bytes()))
+                        serde_json::to_string_pretty(&report).map(|s| f.write_all(s.as_bytes()))
                     }) {
                         Ok(Ok(Ok(()))) => {}
                         _ => eprintln!("warning: failed to write {path}"),
@@ -70,7 +69,10 @@ fn main() -> ExitCode {
                 }
             }
             None => {
-                eprintln!("unknown experiment id: {id} (known: {:?})", experiments::ALL);
+                eprintln!(
+                    "unknown experiment id: {id} (known: {:?})",
+                    experiments::ALL
+                );
                 failures += 1;
             }
         }

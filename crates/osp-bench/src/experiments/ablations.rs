@@ -49,17 +49,22 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         &["variant", "mean benefit", "±", "vs randPr"],
     );
     let mut results: Vec<(String, Summary)> = Vec::new();
-    let mut measure_variant = |name: &str,
-                               mut factory: Box<dyn FnMut(u64) -> Box<dyn osp_core::OnlineAlgorithm>>,
-                               seeds: &mut SeedSequence| {
-        let mut s = Summary::new();
-        for _ in 0..trials {
-            let mut alg = factory(seeds.next_seed());
-            s.add(engine_run(&inst, alg.as_mut()).unwrap().benefit());
-        }
-        results.push((name.to_string(), s));
-    };
-    measure_variant("randPr (paper)", Box::new(|s| Box::new(RandPr::from_seed(s))), &mut seeds);
+    let mut measure_variant =
+        |name: &str,
+         mut factory: Box<dyn FnMut(u64) -> Box<dyn osp_core::OnlineAlgorithm>>,
+         seeds: &mut SeedSequence| {
+            let mut s = Summary::new();
+            for _ in 0..trials {
+                let mut alg = factory(seeds.next_seed());
+                s.add(engine_run(&inst, alg.as_mut()).unwrap().benefit());
+            }
+            results.push((name.to_string(), s));
+        };
+    measure_variant(
+        "randPr (paper)",
+        Box::new(|s| Box::new(RandPr::from_seed(s))),
+        &mut seeds,
+    );
     measure_variant(
         "randPr + active filter",
         Box::new(|s| Box::new(RandPr::with_active_filter(s))),
@@ -101,7 +106,13 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     // randPr survives ~1/(1+k(σ−1)); fresh coins survive σ^{-k}.
     let mut collapse = NamedTable::new(
         "Consistency collapse: frame survival probability (k elements, σ=4 everywhere)",
-        &["k", "randPr empirical", "randPr theory", "fresh-coin empirical", "fresh-coin theory"],
+        &[
+            "k",
+            "randPr empirical",
+            "randPr theory",
+            "fresh-coin empirical",
+            "fresh-coin theory",
+        ],
     );
     for &k in scale.pick(&[2u32, 4][..], &[2u32, 3, 4, 6][..]) {
         let mut b = InstanceBuilder::new();
@@ -143,7 +154,7 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         gop: osp_net::GopConfig::standard(),
         frame_interval: 8,
         capacity: 3,
-            jitter: 0,
+        jitter: 0,
     };
     let mut rng = StdRng::seed_from_u64(seeds.next_seed());
     let trace = video_trace(&vcfg, &mut rng);
@@ -154,7 +165,10 @@ pub fn run(scale: Scale, seed: u64) -> Report {
             "randPr",
             engine_run(&mapped.instance, &mut RandPr::from_seed(seeds.next_seed())).unwrap(),
         ),
-        ("tail-drop", engine_run(&mapped.instance, &mut TailDrop::new()).unwrap()),
+        (
+            "tail-drop",
+            engine_run(&mapped.instance, &mut TailDrop::new()).unwrap(),
+        ),
     ] {
         let mut row = vec![name.to_string()];
         for &theta in &thetas {
@@ -178,8 +192,8 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         &["algorithm", "mean", "min", "max", "spread (max−min)"],
     );
     let mut rng = StdRng::seed_from_u64(seeds.next_seed());
-    let base = random_instance(&RandomInstanceConfig::unweighted(40, 90, 4), &mut rng)
-        .expect("feasible");
+    let base =
+        random_instance(&RandomInstanceConfig::unweighted(40, 90, 4), &mut rng).expect("feasible");
     let fixed_seed = seeds.next_seed();
     type AlgFactory = Box<dyn Fn() -> Box<dyn osp_core::OnlineAlgorithm>>;
     let order_algs: Vec<(&str, AlgFactory)> = vec![

@@ -31,11 +31,16 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     let mut table = NamedTable::new(
         "Buffered router (8 sources, capacity 3, standard GOP; means over traces)",
         &[
-            "buffer B", "drop-tail frames", "drop-tail weight", "priority-evict frames",
-            "priority-evict weight", "offered frames",
+            "buffer B",
+            "drop-tail frames",
+            "drop-tail weight",
+            "priority-evict frames",
+            "priority-evict weight",
+            "offered frames",
         ],
     );
-    let buffer_sizes: &[usize] = scale.pick(&[0usize, 4, 16][..], &[0usize, 1, 2, 4, 8, 16, 32, 64][..]);
+    let buffer_sizes: &[usize] =
+        scale.pick(&[0usize, 4, 16][..], &[0usize, 1, 2, 4, 8, 16, 32, 64][..]);
     for &b in buffer_sizes {
         let mut dt_frames = Summary::new();
         let mut dt_weight = Summary::new();
@@ -49,7 +54,7 @@ pub fn run(scale: Scale, seed: u64) -> Report {
                 gop: osp_net::GopConfig::standard(),
                 frame_interval: 8,
                 capacity: 3,
-            jitter: 0,
+                jitter: 0,
             };
             let mut rng = StdRng::seed_from_u64(seeds.next_seed());
             let trace = video_trace(&cfg, &mut rng);
@@ -85,7 +90,13 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     // exceeds any affordable buffer.
     let mut onoff_table = NamedTable::new(
         "On-off traffic (burst rate 4, p_on→off = p_off→on = 0.05, capacity 2)",
-        &["buffer B", "drop-tail frames", "dropped", "offered frames", "max burst"],
+        &[
+            "buffer B",
+            "drop-tail frames",
+            "dropped",
+            "offered frames",
+            "max burst",
+        ],
     );
     for &b in buffer_sizes {
         let mut frames = Summary::new();

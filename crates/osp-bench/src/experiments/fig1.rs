@@ -39,8 +39,19 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     let mut anatomy = NamedTable::new(
         "Construction anatomy per ℓ",
         &[
-            "ℓ", "sets", "elements", "k (=2ℓ²+ℓ+1)", "σ_max (ℓ²)", "σ̄/ℓ", "σ²/ℓ³",
-            "stage I", "stage II", "stage III", "stage IV", "planted", "planted feasible",
+            "ℓ",
+            "sets",
+            "elements",
+            "k (=2ℓ²+ℓ+1)",
+            "σ_max (ℓ²)",
+            "σ̄/ℓ",
+            "σ²/ℓ³",
+            "stage I",
+            "stage II",
+            "stage III",
+            "stage IV",
+            "planted",
+            "planted feasible",
         ],
     );
 
@@ -54,7 +65,11 @@ pub fn run(scale: Scale, seed: u64) -> Report {
             ell.to_string(),
             st.m.to_string(),
             st.n.to_string(),
-            format!("{} ({})", st.uniform_size.map_or("-".into(), |k| k.to_string()), g.set_size()),
+            format!(
+                "{} ({})",
+                st.uniform_size.map_or("-".into(), |k| k.to_string()),
+                g.set_size()
+            ),
             format!("{} ({})", st.sigma_max, ell * ell),
             format!("{:.3}", st.sigma_mean / l),
             format!("{:.3}", st.sigma_sq_mean / (l * l * l)),

@@ -39,7 +39,10 @@ fn fixtures() -> Vec<(&'static str, Instance)> {
     let r1 = b.add_set(1.5, 1);
     b.add_element(1, &[frame, r0]);
     b.add_element(1, &[frame, r1]);
-    out.push(("frame vs fresh rivals (w = 2 vs 1, 1.5)", b.build().unwrap()));
+    out.push((
+        "frame vs fresh rivals (w = 2 vs 1, 1.5)",
+        b.build().unwrap(),
+    ));
 
     out
 }
@@ -64,13 +67,25 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         for _ in 0..trials {
             let out = engine_run(&inst, &mut RandPr::from_seed(seeds.next_seed())).unwrap();
             for (i, s) in completions.iter_mut().enumerate() {
-                s.add(if out.is_completed(SetId(i as u32)) { 1.0 } else { 0.0 });
+                s.add(if out.is_completed(SetId(i as u32)) {
+                    1.0
+                } else {
+                    0.0
+                });
             }
         }
 
         let mut table = NamedTable::new(
             &format!("{name} — {trials} trials"),
-            &["set", "w(S)", "w(N[S])", "predicted", "empirical", "99% CI", "CI hit"],
+            &[
+                "set",
+                "w(S)",
+                "w(N[S])",
+                "predicted",
+                "empirical",
+                "99% CI",
+                "CI hit",
+            ],
         );
         for i in 0..m {
             let sid = SetId(i as u32);

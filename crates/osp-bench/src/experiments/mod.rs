@@ -18,8 +18,18 @@ use crate::Scale;
 
 /// All experiment ids, in presentation order.
 pub const ALL: [&str; 12] = [
-    "fig1", "lemma1", "thm1", "thm2", "thm3", "thm4", "thm5", "thm6", "video", "multihop",
-    "buffers", "ablations",
+    "fig1",
+    "lemma1",
+    "thm1",
+    "thm2",
+    "thm3",
+    "thm4",
+    "thm5",
+    "thm6",
+    "video",
+    "multihop",
+    "buffers",
+    "ablations",
 ];
 
 /// Runs one experiment by id.

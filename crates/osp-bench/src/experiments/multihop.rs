@@ -31,7 +31,11 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     let mut table = NamedTable::new(
         "Line networks (60 packets, window 30, capacity 1; means over traces × seeds)",
         &[
-            "hops", "elements", "federated = centralized", "hashPr delivered", "tail-drop delivered",
+            "hops",
+            "elements",
+            "federated = centralized",
+            "hashPr delivered",
+            "tail-drop delivered",
         ],
     );
     for &hops in scale.pick(&[2u32, 4][..], &[2u32, 3, 4, 6][..]) {

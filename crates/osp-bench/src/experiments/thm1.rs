@@ -53,8 +53,16 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     let mut table = NamedTable::new(
         "Measured ratio vs bounds (unit capacity)",
         &[
-            "workload", "weights", "k_max", "σ_max", "opt bracket", "E[randPr] (95% CI)",
-            "measured ≤", "Thm1 bound", "Cor6 bound", "holds",
+            "workload",
+            "weights",
+            "k_max",
+            "σ_max",
+            "opt bracket",
+            "E[randPr] (95% CI)",
+            "measured ≤",
+            "Thm1 bound",
+            "Cor6 bound",
+            "holds",
         ],
     );
     let mut all_hold = true;
@@ -71,7 +79,12 @@ pub fn run(scale: Scale, seed: u64) -> Report {
             let inst = random_instance(&cfg, &mut rng).expect("feasible config");
             let st = InstanceStats::compute(&inst);
             let bracket = opt_bracket(&inst);
-            let meas = measure(&inst, |s| Box::new(RandPr::from_seed(s)), trials, &mut seeds);
+            let meas = measure(
+                &inst,
+                |s| Box::new(RandPr::from_seed(s)),
+                trials,
+                &mut seeds,
+            );
             let measured = conservative_ratio(&bracket, &meas);
             let b1 = bounds::theorem_1(&st);
             let b6 = bounds::corollary_6(&st);

@@ -38,8 +38,15 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     let mut table = NamedTable::new(
         "Lemma 9 distribution — mean completed sets over samples",
         &[
-            "ℓ", "opt (ℓ³)", "first-fit", "by-weight", "fewest-rem", "randPr",
-            "ratio (ff)", "Thm2 trend", "polylog² (log ℓ/log log ℓ)²",
+            "ℓ",
+            "opt (ℓ³)",
+            "first-fit",
+            "by-weight",
+            "fewest-rem",
+            "randPr",
+            "ratio (ff)",
+            "Thm2 trend",
+            "polylog² (log ℓ/log log ℓ)²",
         ],
     );
     for &ell in ells {
@@ -64,9 +71,12 @@ pub fn run(scale: Scale, seed: u64) -> Report {
                     .benefit(),
             );
             fr.add(
-                engine_run(&g.instance, &mut GreedyOnline::new(TieBreak::ByFewestRemaining))
-                    .unwrap()
-                    .benefit(),
+                engine_run(
+                    &g.instance,
+                    &mut GreedyOnline::new(TieBreak::ByFewestRemaining),
+                )
+                .unwrap()
+                .benefit(),
             );
             rp.add(
                 engine_run(&g.instance, &mut RandPr::from_seed(seeds.next_seed()))
@@ -95,7 +105,14 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     let ts: &[usize] = scale.pick(&[8, 16], &[8, 16, 32, 64]);
     let mut weak_table = NamedTable::new(
         "Weak §4.2 construction (t² sets, opt = t)",
-        &["t", "opt", "first-fit completed", "randPr completed", "ratio (ff)", "ln t"],
+        &[
+            "t",
+            "opt",
+            "first-fit completed",
+            "randPr completed",
+            "ratio (ff)",
+            "ln t",
+        ],
     );
     for &t in ts {
         let mut ff = Summary::new();

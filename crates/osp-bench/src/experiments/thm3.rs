@@ -36,8 +36,14 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     let mut table = NamedTable::new(
         "Adversary runs",
         &[
-            "σ", "k", "algorithm", "alg benefit", "certified opt", "witnessed ratio",
-            "Thm3 bound σ^(k−1)", "meets bound",
+            "σ",
+            "k",
+            "algorithm",
+            "alg benefit",
+            "certified opt",
+            "witnessed ratio",
+            "Thm3 bound σ^(k−1)",
+            "meets bound",
         ],
     );
     let mut all_meet = true;
@@ -50,8 +56,8 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         let mut anti_greedy_instance = None;
         for mut alg in det_algs {
             let name = alg.name();
-            let res = run_deterministic_adversary(sigma, k, alg.as_mut())
-                .expect("parameters validated");
+            let res =
+                run_deterministic_adversary(sigma, k, alg.as_mut()).expect("parameters validated");
             let ratio = res.witnessed_ratio();
             let meets = ratio >= bound - 1e-9;
             all_meet &= meets;

@@ -48,7 +48,12 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     let mut table = NamedTable::new(
         "Capacity sweep (m=40, n=100, σ(u) ∈ [2,8])",
         &[
-            "capacities", "weights", "ν_max", "measured ≤", "Thm4 bound", "Thm1 (unit-cap form)",
+            "capacities",
+            "weights",
+            "ν_max",
+            "measured ≤",
+            "Thm4 bound",
+            "Thm1 (unit-cap form)",
             "holds",
         ],
     );
@@ -67,7 +72,12 @@ pub fn run(scale: Scale, seed: u64) -> Report {
             let inst = random_instance(&cfg, &mut rng).expect("feasible config");
             let st = InstanceStats::compute(&inst);
             let bracket = opt_bracket(&inst);
-            let meas = measure(&inst, |s| Box::new(RandPr::from_seed(s)), trials, &mut seeds);
+            let meas = measure(
+                &inst,
+                |s| Box::new(RandPr::from_seed(s)),
+                trials,
+                &mut seeds,
+            );
             let measured = conservative_ratio(&bracket, &meas);
             let b4 = bounds::theorem_4(&st);
             let b1 = bounds::theorem_1(&st);

@@ -33,11 +33,27 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     // Corollary 7: bi-regular sweep with growing load.
     let biregular_params: &[(usize, u32, u32)] = scale.pick(
         &[(24usize, 3u32, 2u32), (24, 3, 6)][..],
-        &[(24, 3, 2), (24, 3, 6), (24, 3, 12), (40, 5, 4), (40, 5, 10), (40, 5, 20)][..],
+        &[
+            (24, 3, 2),
+            (24, 3, 6),
+            (24, 3, 12),
+            (40, 5, 4),
+            (40, 5, 10),
+            (40, 5, 20),
+        ][..],
     );
     let mut cor7 = NamedTable::new(
         "Corollary 7 — bi-regular (uniform k and σ): ratio ≤ k regardless of σ",
-        &["m", "k", "σ", "opt bracket", "E[randPr]", "measured ≤", "Cor7 bound k", "holds"],
+        &[
+            "m",
+            "k",
+            "σ",
+            "opt bracket",
+            "E[randPr]",
+            "measured ≤",
+            "Cor7 bound k",
+            "holds",
+        ],
     );
     let mut all_hold = true;
     for &(m, k, sigma) in biregular_params {
@@ -45,7 +61,12 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         let inst = biregular_instance(m, k, sigma, &mut rng).expect("feasible bi-regular");
         let st = InstanceStats::compute(&inst);
         let bracket = opt_bracket(&inst);
-        let meas = measure(&inst, |s| Box::new(RandPr::from_seed(s)), trials, &mut seeds);
+        let meas = measure(
+            &inst,
+            |s| Box::new(RandPr::from_seed(s)),
+            trials,
+            &mut seeds,
+        );
         let measured = conservative_ratio(&bracket, &meas);
         let bound = bounds::corollary_7(&st).expect("bi-regular is doubly uniform");
         let holds = measured <= bound + 1e-9;
@@ -72,14 +93,27 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     let skews: &[f64] = scale.pick(&[0.0, 1.2][..], &[0.0, 0.6, 1.2, 1.8][..]);
     let mut t5 = NamedTable::new(
         "Theorem 5 — fixed size k=4 (m=50, n=120), skewed loads: ratio ≤ k·σ²/σ̄²",
-        &["skew", "σ̄", "σ²/σ̄²", "measured ≤", "Thm5 bound", "Cor7-style k", "holds"],
+        &[
+            "skew",
+            "σ̄",
+            "σ²/σ̄²",
+            "measured ≤",
+            "Thm5 bound",
+            "Cor7-style k",
+            "holds",
+        ],
     );
     for &skew in skews {
         let mut rng = StdRng::seed_from_u64(seeds.next_seed());
         let inst = fixed_size_instance(50, 4, 120, skew, &mut rng).expect("feasible");
         let st = InstanceStats::compute(&inst);
         let bracket = opt_bracket(&inst);
-        let meas = measure(&inst, |s| Box::new(RandPr::from_seed(s)), trials, &mut seeds);
+        let meas = measure(
+            &inst,
+            |s| Box::new(RandPr::from_seed(s)),
+            trials,
+            &mut seeds,
+        );
         let measured = conservative_ratio(&bracket, &meas);
         let bound = bounds::theorem_5(&st).expect("uniform size by construction");
         let holds = measured <= bound + 1e-9;

@@ -31,7 +31,15 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     let sigmas: &[u32] = scale.pick(&[2, 4][..], &[2, 3, 4, 6, 8, 12][..]);
     let mut table = NamedTable::new(
         "Uniform-load sweep (m=40, n=90)",
-        &["σ", "k̄", "k_max", "measured ≤", "Thm6 bound k̄√σ", "Cor6 (k_max√σ)", "holds"],
+        &[
+            "σ",
+            "k̄",
+            "k_max",
+            "measured ≤",
+            "Thm6 bound k̄√σ",
+            "Cor6 (k_max√σ)",
+            "holds",
+        ],
     );
     let mut all_hold = true;
     for &sigma in sigmas {
@@ -46,7 +54,12 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         let inst = random_instance(&cfg, &mut rng).expect("feasible");
         let st = InstanceStats::compute(&inst);
         let bracket = opt_bracket(&inst);
-        let meas = measure(&inst, |s| Box::new(RandPr::from_seed(s)), trials, &mut seeds);
+        let meas = measure(
+            &inst,
+            |s| Box::new(RandPr::from_seed(s)),
+            trials,
+            &mut seeds,
+        );
         let measured = conservative_ratio(&bracket, &meas);
         let bound = bounds::theorem_6(&st).expect("uniform load by construction");
         let cor6 = bounds::corollary_6(&st);

@@ -36,7 +36,14 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     for &sources in scale.pick(&[6usize, 10][..], &[4usize, 6, 8, 12][..]) {
         let mut table = NamedTable::new(
             &format!("{sources} sources, capacity 4, standard GOP (means over {repeats} traces)"),
-            &["policy", "frame rate", "weight rate", "packet rate", "I-frames", "B-frames"],
+            &[
+                "policy",
+                "frame rate",
+                "weight rate",
+                "packet rate",
+                "I-frames",
+                "B-frames",
+            ],
         );
         // Policy name -> aggregated metrics.
         let mut rows: Vec<(String, Summary, Summary, Summary, Summary, Summary)> = Vec::new();
@@ -47,7 +54,7 @@ pub fn run(scale: Scale, seed: u64) -> Report {
                 gop: osp_net::GopConfig::standard(),
                 frame_interval: 8,
                 capacity: 4,
-            jitter: 0,
+                jitter: 0,
             };
             let mut rng = StdRng::seed_from_u64(seeds.next_seed());
             let trace = video_trace(&cfg, &mut rng);

@@ -81,7 +81,12 @@ pub struct AlgMeasurement {
 ///
 /// Panics if a trial returns an engine error (the built-in algorithms
 /// never emit invalid decisions) or if `trials == 0`.
-pub fn measure<F>(instance: &Instance, factory: F, trials: u32, seeds: &mut SeedSequence) -> AlgMeasurement
+pub fn measure<F>(
+    instance: &Instance,
+    factory: F,
+    trials: u32,
+    seeds: &mut SeedSequence,
+) -> AlgMeasurement
 where
     F: Fn(u64) -> Box<dyn OnlineAlgorithm>,
 {

@@ -35,9 +35,8 @@ impl NamedTable {
     }
 
     fn to_markdown(&self) -> String {
-        let mut t = osp_stats::Table::new(
-            &self.headers.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
-        );
+        let mut t =
+            osp_stats::Table::new(&self.headers.iter().map(|s| s.as_str()).collect::<Vec<_>>());
         for r in &self.rows {
             t.row_owned(r.clone());
         }

@@ -93,9 +93,7 @@ fn rank(policy: TieBreak, s: SetId, view: &EngineView<'_>) -> (u64, u32) {
         TieBreak::ByWeight => view.set(s).weight().to_bits(),
         TieBreak::ByFewestRemaining => u64::from(u32::MAX - view.remaining(s)),
         TieBreak::ByMostProgress => u64::from(view.assigned(s)),
-        TieBreak::ByDensity => {
-            (view.set(s).weight() / f64::from(view.set(s).size())).to_bits()
-        }
+        TieBreak::ByDensity => (view.set(s).weight() / f64::from(view.set(s).size())).to_bits(),
         TieBreak::ByIndex => 0,
     };
     (key, id_asc)

@@ -134,7 +134,9 @@ mod tests {
         let inst = star(12);
         let winners: std::collections::HashSet<SetId> = (0..40)
             .map(|seed| {
-                run(&inst, &mut HashRandPr::new(4, seed)).unwrap().completed()[0]
+                run(&inst, &mut HashRandPr::new(4, seed))
+                    .unwrap()
+                    .completed()[0]
             })
             .collect();
         assert!(winners.len() > 3);

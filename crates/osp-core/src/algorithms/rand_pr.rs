@@ -146,7 +146,11 @@ mod tests {
     fn different_seeds_eventually_pick_different_winners() {
         let (inst, _) = star_instance(10);
         let winners: std::collections::HashSet<SetId> = (0..50)
-            .map(|seed| run(&inst, &mut RandPr::from_seed(seed)).unwrap().completed()[0])
+            .map(|seed| {
+                run(&inst, &mut RandPr::from_seed(seed))
+                    .unwrap()
+                    .completed()[0]
+            })
             .collect();
         assert!(winners.len() > 3, "only {} distinct winners", winners.len());
     }
@@ -236,7 +240,10 @@ mod tests {
             // wasted: if s0 died, s2 completes.
             let s0_died = !out.is_completed(s0);
             if s0_died {
-                assert!(out.is_completed(s2), "seed {seed}: filtered randPr wasted e1");
+                assert!(
+                    out.is_completed(s2),
+                    "seed {seed}: filtered randPr wasted e1"
+                );
             }
         }
     }

@@ -103,14 +103,20 @@ mod tests {
         for seed in 0..trials {
             let out = run(&inst, &mut RandomAssign::from_seed(seed as u64)).unwrap();
             naive += u32::from(out.is_completed(frame));
-            let out = run(&inst, &mut crate::algorithms::RandPr::from_seed(seed as u64))
-                .unwrap();
+            let out = run(
+                &inst,
+                &mut crate::algorithms::RandPr::from_seed(seed as u64),
+            )
+            .unwrap();
             consistent += u32::from(out.is_completed(frame));
         }
         let naive_rate = naive as f64 / trials as f64;
         let consistent_rate = consistent as f64 / trials as f64;
         assert!((naive_rate - 1.0 / 64.0).abs() < 0.01, "naive {naive_rate}");
-        assert!((consistent_rate - 0.1).abs() < 0.015, "randPr {consistent_rate}");
+        assert!(
+            (consistent_rate - 0.1).abs() < 0.015,
+            "randPr {consistent_rate}"
+        );
         assert!(consistent_rate > 3.0 * naive_rate);
     }
 

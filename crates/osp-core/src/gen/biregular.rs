@@ -52,7 +52,9 @@ pub fn biregular_instance<R: Rng + ?Sized>(
     let sigma = sigma as usize;
 
     // Deal shuffled set-stubs; element j owns stubs[j*σ .. (j+1)*σ].
-    let mut stubs: Vec<u32> = (0..m as u32).flat_map(|s| std::iter::repeat_n(s, k as usize)).collect();
+    let mut stubs: Vec<u32> = (0..m as u32)
+        .flat_map(|s| std::iter::repeat_n(s, k as usize))
+        .collect();
 
     const MAX_RESTARTS: usize = 50;
     'restart: for _ in 0..MAX_RESTARTS {
@@ -80,8 +82,10 @@ pub fn biregular_instance<R: Rng + ?Sized>(
                     builder.add_set(1.0, k);
                 }
                 for j in 0..n {
-                    let members: Vec<SetId> =
-                        stubs[j * sigma..(j + 1) * sigma].iter().map(|&s| SetId(s)).collect();
+                    let members: Vec<SetId> = stubs[j * sigma..(j + 1) * sigma]
+                        .iter()
+                        .map(|&s| SetId(s))
+                        .collect();
                     builder.add_element(1, &members);
                 }
                 return Ok(builder
@@ -189,7 +193,10 @@ mod tests {
     fn many_seeds_all_succeed() {
         for seed in 0..30 {
             let mut rng = StdRng::seed_from_u64(seed);
-            assert!(biregular_instance(24, 6, 4, &mut rng).is_ok(), "seed {seed}");
+            assert!(
+                biregular_instance(24, 6, 4, &mut rng).is_ok(),
+                "seed {seed}"
+            );
         }
     }
 }

@@ -4,7 +4,9 @@ use std::fmt;
 
 /// Identifier of a set (a data frame / multi-part task) within an
 /// [`Instance`](crate::Instance); dense indices `0..m`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct SetId(pub u32);
 
 impl SetId {
@@ -28,7 +30,9 @@ impl From<SetId> for usize {
 
 /// Identifier of an element (a time slot / served unit) within an
 /// [`Instance`](crate::Instance); dense indices `0..n` in arrival order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ElementId(pub u32);
 
 impl ElementId {

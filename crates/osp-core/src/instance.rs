@@ -456,7 +456,10 @@ mod tests {
         let mut b = InstanceBuilder::new();
         let s = b.add_set(1.0, 2);
         b.add_element(1, &[s, s]);
-        assert!(matches!(b.build().unwrap_err(), Error::DuplicateMember { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            Error::DuplicateMember { .. }
+        ));
     }
 
     #[test]

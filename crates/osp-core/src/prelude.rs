@@ -6,7 +6,9 @@
 //! ```
 
 pub use crate::algorithm::{EngineView, OnlineAlgorithm};
-pub use crate::algorithms::{GreedyOnline, HashRandPr, OracleOnline, RandPr, RandomAssign, TieBreak};
+pub use crate::algorithms::{
+    GreedyOnline, HashRandPr, OracleOnline, RandPr, RandomAssign, TieBreak,
+};
 pub use crate::engine::{run, Outcome, Session};
 pub use crate::error::Error;
 pub use crate::ids::{ElementId, SetId};

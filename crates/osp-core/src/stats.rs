@@ -87,11 +87,7 @@ impl InstanceStats {
         let mut uniform_load_ok = true;
         for a in instance.arrivals() {
             let sigma = a.load();
-            let sigma_w: f64 = a
-                .members()
-                .iter()
-                .map(|&s| instance.set(s).weight())
-                .sum();
+            let sigma_w: f64 = a.members().iter().map(|&s| instance.set(s).weight()).sum();
             let nu = f64::from(sigma) / f64::from(a.capacity());
             sigma_max = sigma_max.max(sigma);
             sigma_sum += f64::from(sigma);
@@ -116,7 +112,11 @@ impl InstanceStats {
             n,
             m,
             k_max,
-            k_mean: if m == 0 { 0.0 } else { size_sum as f64 / m as f64 },
+            k_mean: if m == 0 {
+                0.0
+            } else {
+                size_sum as f64 / m as f64
+            },
             sigma_max,
             sigma_mean: sigma_sum / nf,
             sigma_sq_mean: sigma_sq_sum / nf,
@@ -224,8 +224,6 @@ mod tests {
         // m·k̄ = n·σ̄ always (both count incidences).
         let inst = sample_instance();
         let st = InstanceStats::compute(&inst);
-        assert!(
-            (st.m as f64 * st.k_mean - st.n as f64 * st.sigma_mean).abs() < 1e-9
-        );
+        assert!((st.m as f64 * st.k_mean - st.n as f64 * st.sigma_mean).abs() < 1e-9);
     }
 }

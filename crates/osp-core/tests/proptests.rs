@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 
-use osp_core::gen::{biregular_instance, fixed_size_instance, random_instance, RandomInstanceConfig};
+use osp_core::gen::{
+    biregular_instance, fixed_size_instance, random_instance, RandomInstanceConfig,
+};
 use osp_core::prelude::*;
 use osp_core::priority::{Priority, Rw};
 use rand::rngs::StdRng;

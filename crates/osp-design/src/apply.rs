@@ -28,11 +28,7 @@ pub struct LineElements {
 /// # Panics
 ///
 /// Panics if the bijection shape does not match the gadget shape.
-pub fn apply_gadget(
-    gadget: &Gadget,
-    bijection: &Bijection,
-    with_rows: bool,
-) -> Vec<LineElements> {
+pub fn apply_gadget(gadget: &Gadget, bijection: &Bijection, with_rows: bool) -> Vec<LineElements> {
     assert_eq!(
         (bijection.rows(), bijection.cols()),
         (gadget.rows(), gadget.cols()),
@@ -76,7 +72,9 @@ mod tests {
         let b = Bijection::identity(m, n);
         let lines = apply_gadget(&g, &b, true);
         assert_eq!(lines.len() as u64, n * n + m);
-        let affine = lines.iter().filter(|l| matches!(l.line, Line::Affine { .. }));
+        let affine = lines
+            .iter()
+            .filter(|l| matches!(l.line, Line::Affine { .. }));
         for l in affine {
             assert_eq!(l.members.len() as u64, m);
         }

@@ -92,7 +92,10 @@ impl Bijection {
     ///
     /// Panics if the position is out of range.
     pub fn set_at(&self, row: u64, col: u64) -> usize {
-        assert!(row < self.m && col < self.n, "position ({row},{col}) out of range");
+        assert!(
+            row < self.m && col < self.n,
+            "position ({row},{col}) out of range"
+        );
         self.from_pos[(row * self.n + col) as usize] as usize
     }
 

@@ -188,8 +188,14 @@ mod tests {
             Gadget::new(6, 5).unwrap_err(),
             GadgetError::BadRowCount { m: 6, n: 5 }
         );
-        assert_eq!(Gadget::new(0, 5).unwrap_err(), GadgetError::BadRowCount { m: 0, n: 5 });
-        assert_eq!(Gadget::new(2, 6).unwrap_err(), GadgetError::NotPrimePower(6));
+        assert_eq!(
+            Gadget::new(0, 5).unwrap_err(),
+            GadgetError::BadRowCount { m: 0, n: 5 }
+        );
+        assert_eq!(
+            Gadget::new(2, 6).unwrap_err(),
+            GadgetError::NotPrimePower(6)
+        );
     }
 
     #[test]

@@ -58,14 +58,18 @@ pub fn check_proposition_2(g: &Gadget) -> Result<(), String> {
                 .filter(|&b| g.on_line(item, Line::Affine { a, b }))
                 .count();
             if count != 1 {
-                return Err(format!("Prop 2 fails: item {item:?} lies on {count} lines of slope {a}"));
+                return Err(format!(
+                    "Prop 2 fails: item {item:?} lies on {count} lines of slope {a}"
+                ));
             }
         }
         let rows = (0..g.rows())
             .filter(|&c| g.on_line(item, Line::Row { c }))
             .count();
         if rows != 1 {
-            return Err(format!("Prop 2 fails: item {item:?} lies on {rows} row lines"));
+            return Err(format!(
+                "Prop 2 fails: item {item:?} lies on {rows} row lines"
+            ));
         }
     }
     Ok(())
@@ -111,7 +115,9 @@ pub fn check_lemma_8_counts(
     let expected_app = g.cols() + if with_rows { 1 } else { 0 };
     for (s, &a) in appearances.iter().enumerate() {
         if a != expected_app {
-            return Err(format!("set {s} appears {a} times, expected {expected_app}"));
+            return Err(format!(
+                "set {s} appears {a} times, expected {expected_app}"
+            ));
         }
     }
     Ok(())
@@ -126,7 +132,15 @@ mod tests {
     #[test]
     fn propositions_hold_across_field_types() {
         // Prime, prime-power even, prime-power odd, full square.
-        for (m, n) in [(2u64, 2u64), (3, 5), (4, 4), (3, 9), (8, 8), (5, 11), (7, 8)] {
+        for (m, n) in [
+            (2u64, 2u64),
+            (3, 5),
+            (4, 4),
+            (3, 9),
+            (8, 8),
+            (5, 11),
+            (7, 8),
+        ] {
             let g = Gadget::new(m, n).unwrap();
             check_proposition_1(&g).unwrap();
             check_proposition_2(&g).unwrap();

@@ -295,7 +295,16 @@ mod tests {
 
     #[test]
     fn find_irreducible_is_irreducible() {
-        for (p, m) in [(2u64, 2u32), (2, 3), (2, 8), (3, 2), (3, 3), (5, 2), (7, 2), (11, 2)] {
+        for (p, m) in [
+            (2u64, 2u32),
+            (2, 3),
+            (2, 8),
+            (3, 2),
+            (3, 3),
+            (5, 2),
+            (7, 2),
+            (11, 2),
+        ] {
             let f = find_irreducible(p, m);
             assert_eq!(degree(&f), Some(m as usize));
             assert_eq!(f[m as usize], 1);

@@ -79,14 +79,13 @@ pub fn simulate_buffered(trace: &Trace, buffer_size: usize, policy: BufferPolicy
     let mut packets_served = 0usize;
     let mut packets_dropped = 0usize;
 
-    let drain =
-        |queue: &mut Vec<usize>, served: &mut Vec<u32>, packets_served: &mut usize| {
-            let take = capacity.min(queue.len());
-            for f in queue.drain(..take) {
-                served[f] += 1;
-                *packets_served += 1;
-            }
-        };
+    let drain = |queue: &mut Vec<usize>, served: &mut Vec<u32>, packets_served: &mut usize| {
+        let take = capacity.min(queue.len());
+        for f in queue.drain(..take) {
+            served[f] += 1;
+            *packets_served += 1;
+        }
+    };
 
     for slot in trace.slots() {
         // Arrivals enqueue; overflow resolved per policy.

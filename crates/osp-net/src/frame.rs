@@ -75,13 +75,8 @@ impl GopConfig {
     ///
     /// Returns `None` if the pattern is empty, contains characters other
     /// than `IPB`, or a range is inverted/zero.
-    pub fn new(
-        pattern: &str,
-        packet_range: [(u32, u32); 3],
-        weights: [f64; 3],
-    ) -> Option<Self> {
-        let classes: Option<Vec<FrameClass>> =
-            pattern.chars().map(FrameClass::from_char).collect();
+    pub fn new(pattern: &str, packet_range: [(u32, u32); 3], weights: [f64; 3]) -> Option<Self> {
+        let classes: Option<Vec<FrameClass>> = pattern.chars().map(FrameClass::from_char).collect();
         let classes = classes?;
         if classes.is_empty() {
             return None;

@@ -103,12 +103,7 @@ mod tests {
         let st = InstanceStats::compute(&mapped.instance);
         assert_eq!(st.sigma_max as usize, trace.max_burst());
         // Incidence count is preserved: packets = Σ loads.
-        let total_load: u32 = mapped
-            .instance
-            .arrivals()
-            .iter()
-            .map(|a| a.load())
-            .sum();
+        let total_load: u32 = mapped.instance.arrivals().iter().map(|a| a.load()).sum();
         assert_eq!(total_load as usize, trace.total_packets());
     }
 
@@ -118,9 +113,6 @@ mod tests {
         let trace = video_trace(&VideoTraceConfig::small(), &mut rng);
         let mapped = trace_to_instance(&trace);
         assert!(mapped.element_slots.windows(2).all(|w| w[0] < w[1]));
-        assert_eq!(
-            mapped.element_slots.len(),
-            mapped.instance.num_elements()
-        );
+        assert_eq!(mapped.element_slots.len(), mapped.instance.num_elements());
     }
 }

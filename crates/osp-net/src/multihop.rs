@@ -185,7 +185,11 @@ mod tests {
         for seed in 0..10 {
             let centralized = run(&mh.instance, &mut HashRandPr::new(8, seed)).unwrap();
             let federated = federated_run(&mh, 8, seed).unwrap();
-            assert_eq!(centralized.completed(), federated.completed(), "seed {seed}");
+            assert_eq!(
+                centralized.completed(),
+                federated.completed(),
+                "seed {seed}"
+            );
             assert_eq!(centralized.decisions(), federated.decisions());
         }
     }
@@ -204,10 +208,22 @@ mod tests {
     fn parameters_validated() {
         let mut rng = StdRng::seed_from_u64(4);
         for bad in [
-            MultihopConfig { hops: 0, ..config() },
-            MultihopConfig { packets: 0, ..config() },
-            MultihopConfig { launch_window: 0, ..config() },
-            MultihopConfig { capacity: 0, ..config() },
+            MultihopConfig {
+                hops: 0,
+                ..config()
+            },
+            MultihopConfig {
+                packets: 0,
+                ..config()
+            },
+            MultihopConfig {
+                launch_window: 0,
+                ..config()
+            },
+            MultihopConfig {
+                capacity: 0,
+                ..config()
+            },
         ] {
             assert!(multihop_instance(&bad, &mut rng).is_err());
         }

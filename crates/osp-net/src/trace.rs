@@ -39,11 +39,7 @@ impl Trace {
                 counts[f] += 1;
             }
         }
-        if counts
-            .iter()
-            .zip(&frames)
-            .any(|(&c, f)| c != f.packets)
-        {
+        if counts.iter().zip(&frames).any(|(&c, f)| c != f.packets) {
             return None;
         }
         Some(Trace {
@@ -128,7 +124,10 @@ impl VideoTraceConfig {
 pub fn video_trace<R: Rng + ?Sized>(config: &VideoTraceConfig, rng: &mut R) -> Trace {
     assert!(config.sources >= 1, "need at least one source");
     assert!(config.frames_per_source >= 1, "need at least one frame");
-    assert!(config.frame_interval >= 1, "frame interval must be positive");
+    assert!(
+        config.frame_interval >= 1,
+        "frame interval must be positive"
+    );
     assert!(config.capacity >= 1, "capacity must be positive");
 
     let mut frames: Vec<Frame> = Vec::new();
@@ -237,8 +236,14 @@ pub fn onoff_trace<R: Rng + ?Sized>(
     capacity: u32,
     rng: &mut R,
 ) -> Trace {
-    assert!((0.0..=1.0).contains(&p_on_off) && p_on_off > 0.0, "p_on_off in (0,1]");
-    assert!((0.0..=1.0).contains(&p_off_on) && p_off_on > 0.0, "p_off_on in (0,1]");
+    assert!(
+        (0.0..=1.0).contains(&p_on_off) && p_on_off > 0.0,
+        "p_on_off in (0,1]"
+    );
+    assert!(
+        (0.0..=1.0).contains(&p_off_on) && p_off_on > 0.0,
+        "p_off_on in (0,1]"
+    );
     assert!(burst_rate >= 1 && horizon >= 1 && capacity >= 1);
     let (lo, hi) = packet_range;
     assert!(lo >= 1 && lo <= hi, "invalid packet range");

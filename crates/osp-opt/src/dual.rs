@@ -31,11 +31,7 @@ pub fn density_dual_bound(instance: &Instance) -> f64 {
 /// with per-element residual capacities — the pruning bound used inside
 /// branch-and-bound. `candidate[s]` marks sets still available; `residual`
 /// holds the remaining capacity of each element (by arrival index).
-pub fn residual_density_bound(
-    instance: &Instance,
-    candidate: &[bool],
-    residual: &[u32],
-) -> f64 {
+pub fn residual_density_bound(instance: &Instance, candidate: &[bool], residual: &[u32]) -> f64 {
     instance
         .arrivals()
         .iter()

@@ -198,7 +198,9 @@ mod tests {
     use super::*;
     use crate::brute::brute_force;
     use crate::conflict::is_feasible;
-    use osp_core::gen::{random_instance, CapacityModel, LoadModel, RandomInstanceConfig, WeightModel};
+    use osp_core::gen::{
+        random_instance, CapacityModel, LoadModel, RandomInstanceConfig, WeightModel,
+    };
     use osp_core::InstanceBuilder;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -218,7 +220,11 @@ mod tests {
             let (bv, _) = brute_force(&inst);
             let sol = branch_and_bound(&inst, &BnbConfig::default());
             assert!(sol.optimal, "trial {trial}");
-            assert!((sol.value - bv).abs() < 1e-9, "trial {trial}: {} vs {bv}", sol.value);
+            assert!(
+                (sol.value - bv).abs() < 1e-9,
+                "trial {trial}: {} vs {bv}",
+                sol.value
+            );
             assert!(is_feasible(&inst, &sol.chosen));
             assert_eq!(sol.upper_bound, sol.value);
         }

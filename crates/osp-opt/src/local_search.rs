@@ -188,7 +188,10 @@ mod tests {
                 matched += 1;
             }
         }
-        assert!(matched >= trials / 2, "local search matched opt only {matched}/{trials}");
+        assert!(
+            matched >= trials / 2,
+            "local search matched opt only {matched}/{trials}"
+        );
     }
 
     #[test]

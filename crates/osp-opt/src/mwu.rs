@@ -85,11 +85,7 @@ pub fn fractional_packing(instance: &Instance, epsilon: f64) -> FractionalSoluti
     let max_iters = ((n as f64) * (1.0 / epsilon).ceil() * 64.0) as usize + 1024;
     let mut iterations = 0;
     while iterations < max_iters {
-        let dual_obj: f64 = price
-            .iter()
-            .zip(&capacities)
-            .map(|(&y, &b)| y * b)
-            .sum();
+        let dual_obj: f64 = price.iter().zip(&capacities).map(|(&y, &b)| y * b).sum();
         if dual_obj >= 1.0 {
             break;
         }
@@ -99,10 +95,7 @@ pub fn fractional_packing(instance: &Instance, epsilon: f64) -> FractionalSoluti
             if weights[s] <= 0.0 {
                 continue;
             }
-            let path_price: f64 = members_by_set[s]
-                .iter()
-                .map(|e| price[e.index()])
-                .sum();
+            let path_price: f64 = members_by_set[s].iter().map(|e| price[e.index()]).sum();
             let ratio = weights[s] / path_price;
             if best.map(|(_, r)| ratio > r).unwrap_or(true) {
                 best = Some((s, ratio));
@@ -145,10 +138,7 @@ pub fn fractional_packing(instance: &Instance, epsilon: f64) -> FractionalSoluti
         if weights[s] <= 0.0 {
             continue;
         }
-        let path_price: f64 = members_by_set[s]
-            .iter()
-            .map(|e| price[e.index()])
-            .sum();
+        let path_price: f64 = members_by_set[s].iter().map(|e| price[e.index()]).sum();
         lambda = lambda.max(weights[s] / path_price);
     }
     let dual: f64 = price

@@ -224,7 +224,13 @@ impl ConfidenceInterval {
 
 impl fmt::Display for ConfidenceInterval {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:.6}, {:.6}]@{:.0}%", self.lo, self.hi, self.level * 100.0)
+        write!(
+            f,
+            "[{:.6}, {:.6}]@{:.0}%",
+            self.lo,
+            self.hi,
+            self.level * 100.0
+        )
     }
 }
 
@@ -317,8 +323,7 @@ mod tests {
         let data: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 100.0 + 1e6).collect();
         let s: Summary = data.iter().copied().collect();
         let mean = data.iter().sum::<f64>() / data.len() as f64;
-        let var =
-            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
         assert!((s.mean() - mean).abs() < 1e-6);
         assert!((s.sample_variance() - var).abs() / var < 1e-9);
     }
@@ -370,9 +375,7 @@ mod tests {
     fn confidence_interval_shrinks_with_n() {
         let small: Summary = (0..100).map(|i| (i % 7) as f64).collect();
         let large: Summary = (0..10_000).map(|i| (i % 7) as f64).collect();
-        assert!(
-            large.confidence_interval(0.95).width() < small.confidence_interval(0.95).width()
-        );
+        assert!(large.confidence_interval(0.95).width() < small.confidence_interval(0.95).width());
     }
 
     #[test]

@@ -19,7 +19,10 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Part 1: Theorem 3, adaptively. -------------------------------
     let (sigma, k) = (3u32, 3u32);
-    println!("Theorem 3 adversary (σ={sigma}, k={k}; bound σ^(k-1) = {}):", sigma.pow(k - 1));
+    println!(
+        "Theorem 3 adversary (σ={sigma}, k={k}; bound σ^(k-1) = {}):",
+        sigma.pow(k - 1)
+    );
     for policy in TieBreak::all() {
         let mut alg = GreedyOnline::new(policy);
         let name = alg.name();
@@ -48,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         g.instance.num_elements(),
         g.planted.len()
     );
-    for policy in [TieBreak::ByIndex, TieBreak::ByWeight, TieBreak::ByFewestRemaining] {
+    for policy in [
+        TieBreak::ByIndex,
+        TieBreak::ByWeight,
+        TieBreak::ByFewestRemaining,
+    ] {
         let mut alg = GreedyOnline::new(policy);
         let name = alg.name();
         let out = run(&g.instance, &mut alg)?;

@@ -20,7 +20,7 @@ fn main() {
         gop: GopConfig::standard(),
         frame_interval: 8,
         capacity: 3,
-            jitter: 0,
+        jitter: 0,
     };
     let mut rng = StdRng::seed_from_u64(21);
     let trace = video_trace(&config, &mut rng);

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     builder.add_element(1, &[b, c]); // burst: B and C collide
     let instance = builder.build()?;
 
-    println!("instance: {} sets, {} elements", instance.num_sets(), instance.num_elements());
+    println!(
+        "instance: {} sets, {} elements",
+        instance.num_sets(),
+        instance.num_elements()
+    );
 
     // The exact offline optimum, for reference.
     let solution = branch_and_bound(&instance, &BnbConfig::default());

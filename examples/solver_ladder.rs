@@ -17,7 +17,12 @@ use rand::SeedableRng;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  m |    n | greedy | +local |   exact (nodes)   | density dual | LP dual");
     println!("----|------|--------|--------|-------------------|--------------|--------");
-    for (m, n, sigma) in [(20usize, 40usize, 3u32), (60, 140, 4), (200, 500, 6), (600, 1500, 8)] {
+    for (m, n, sigma) in [
+        (20usize, 40usize, 3u32),
+        (60, 140, 4),
+        (200, 500, 6),
+        (600, 1500, 8),
+    ] {
         let mut rng = StdRng::seed_from_u64(11);
         let cfg = RandomInstanceConfig::unweighted(m, n, sigma);
         let inst = random_instance(&cfg, &mut rng)?;

@@ -21,7 +21,10 @@ fn theorem_3_holds_for_every_deterministic_baseline() {
         for mut alg in algs {
             let name = alg.name();
             let res = run_deterministic_adversary(sigma, k, alg.as_mut()).unwrap();
-            assert!(res.outcome.benefit() <= 1.0, "{name} completed more than one set");
+            assert!(
+                res.outcome.benefit() <= 1.0,
+                "{name} completed more than one set"
+            );
             assert!(
                 res.witnessed_ratio() >= bound,
                 "{name}: σ={sigma} k={k} ratio {} < {bound}",

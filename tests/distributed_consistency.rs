@@ -20,7 +20,11 @@ fn federated_equals_centralized_across_topologies_and_seeds() {
         for seed in 0..8u64 {
             let fed = federated_run(&mh, 8, seed).unwrap();
             let central = run(&mh.instance, &mut HashRandPr::new(8, seed)).unwrap();
-            assert_eq!(fed.decisions(), central.decisions(), "hops {hops} seed {seed}");
+            assert_eq!(
+                fed.decisions(),
+                central.decisions(),
+                "hops {hops} seed {seed}"
+            );
             assert_eq!(fed.completed(), central.completed());
             assert_eq!(fed.benefit(), central.benefit());
         }
@@ -32,7 +36,9 @@ fn replicas_agree_regardless_of_instantiation_order() {
     // Build the same algorithm twice in different orders and interleave —
     // the priorities depend only on (independence, seed, set id).
     let mut b = InstanceBuilder::new();
-    let ids: Vec<SetId> = (0..20).map(|i| b.add_set(1.0 + f64::from(i % 3), 1)).collect();
+    let ids: Vec<SetId> = (0..20)
+        .map(|i| b.add_set(1.0 + f64::from(i % 3), 1))
+        .collect();
     b.add_element(2, &ids);
     let inst = b.build().unwrap();
 

@@ -44,8 +44,14 @@ fn theorem_1_and_corollary_6_on_random_instances() {
         let ratio = exact_opt(&inst) / mean_benefit(&inst, 300);
         let b1 = bounds::theorem_1(&st);
         let b6 = bounds::corollary_6(&st);
-        assert!(ratio <= b1 * 1.05, "seed {seed}: ratio {ratio} vs thm1 {b1}");
-        assert!(b1 <= b6 + 1e-9, "refined bound must not exceed coarse bound");
+        assert!(
+            ratio <= b1 * 1.05,
+            "seed {seed}: ratio {ratio} vs thm1 {b1}"
+        );
+        assert!(
+            b1 <= b6 + 1e-9,
+            "refined bound must not exceed coarse bound"
+        );
     }
 }
 
@@ -91,7 +97,10 @@ fn theorem_5_on_skewed_fixed_size_instances() {
         let st = InstanceStats::compute(&inst);
         let bound = bounds::theorem_5(&st).expect("uniform size");
         let ratio = exact_opt(&inst) / mean_benefit(&inst, 400);
-        assert!(ratio <= bound * 1.05, "skew {skew}: ratio {ratio} vs {bound}");
+        assert!(
+            ratio <= bound * 1.05,
+            "skew {skew}: ratio {ratio} vs {bound}"
+        );
     }
 }
 

@@ -16,7 +16,7 @@ fn config(sources: usize) -> VideoTraceConfig {
         gop: GopConfig::standard(),
         frame_interval: 8,
         capacity: 4,
-            jitter: 0,
+        jitter: 0,
     }
 }
 
@@ -90,10 +90,7 @@ fn goodput_classes_sum_to_totals() {
     let mapped = trace_to_instance(&trace);
     let out = run(&mapped.instance, &mut RandPr::from_seed(0)).unwrap();
     let g = goodput(&trace, &mapped.instance, &out);
-    assert_eq!(
-        g.per_class_offered.iter().sum::<usize>(),
-        g.frames_offered
-    );
+    assert_eq!(g.per_class_offered.iter().sum::<usize>(), g.frames_offered);
     assert_eq!(
         g.per_class_delivered.iter().sum::<usize>(),
         g.frames_delivered

@@ -1,0 +1,48 @@
+//! Default strategies for plain types, backing the `arg: Type` sugar in
+//! [`proptest!`](crate::proptest).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (full value range for integers/bool).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);

@@ -1,0 +1,163 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! vendored stub implements the property-testing surface the workspace
+//! uses: the [`proptest!`] macro (both `pat in strategy` and `arg: Type`
+//! argument forms), `prop_assert*` macros, the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, range/tuple strategies, [`collection::vec`]
+//! and [`sample::select`].
+//!
+//! Differences from real proptest: inputs are drawn from a deterministic
+//! per-test RNG (seeded from the test name) instead of an adaptive search,
+//! and there is no shrinking — a failing case panics with the values baked
+//! into the assertion message.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::Strategy;
+
+/// FNV-1a, usable in `const` position; seeds each test's RNG from its name
+/// so runs are deterministic but tests are decorrelated.
+#[must_use]
+pub const fn fnv1a(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        i += 1;
+    }
+    hash
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ...)`
+/// item runs its body for `cases` randomly drawn inputs. Arguments may
+/// also be written `name: Type`, meaning `name in any::<Type>()`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_funcs!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_funcs!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: splits a block of test fns.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_funcs {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+    )*) => {$(
+        $crate::__proptest_parse!(
+            [$config; [$(#[$meta])*] $name $body] [] $($args)*
+        );
+    )*};
+}
+
+/// Implementation detail of [`proptest!`]: a token muncher normalizing the
+/// argument list into `(pattern, strategy)` pairs, then emitting the test.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_parse {
+    // `pat in strategy` argument, more to come.
+    ([$($ctx:tt)*] [$($acc:tt)*] $pat:pat_param in $strategy:expr, $($rest:tt)*) => {
+        $crate::__proptest_parse!([$($ctx)*] [$($acc)* ($pat, $strategy)] $($rest)*);
+    };
+    // `pat in strategy`, final argument.
+    ([$($ctx:tt)*] [$($acc:tt)*] $pat:pat_param in $strategy:expr) => {
+        $crate::__proptest_parse!([$($ctx)*] [$($acc)* ($pat, $strategy)]);
+    };
+    // `name: Type` argument (sugar for `name in any::<Type>()`), more to come.
+    ([$($ctx:tt)*] [$($acc:tt)*] $arg:ident: $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_parse!(
+            [$($ctx)*] [$($acc)* ($arg, $crate::arbitrary::any::<$ty>())] $($rest)*
+        );
+    };
+    // `name: Type`, final argument.
+    ([$($ctx:tt)*] [$($acc:tt)*] $arg:ident: $ty:ty) => {
+        $crate::__proptest_parse!(
+            [$($ctx)*] [$($acc)* ($arg, $crate::arbitrary::any::<$ty>())]
+        );
+    };
+    // All arguments consumed: emit the test function.
+    (
+        [$config:expr; [$(#[$meta:meta])*] $name:ident $body:block]
+        [$(($pat:pat_param, $strategy:expr))*]
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::new_rng($crate::fnv1a(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            )));
+            for case in 0..config.cases {
+                let ($($pat,)*) = (
+                    $($crate::strategy::Strategy::sample_value(&($strategy), &mut rng),)*
+                );
+                let run = || -> ::core::result::Result<(), ::std::string::String> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                if let Err(message) = run() {
+                    panic!("proptest case {case}/{} failed: {message}", config.cases);
+                }
+            }
+        }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}

@@ -1,0 +1,31 @@
+//! Sampling strategies over explicit value lists.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::seq::SliceRandom;
+
+/// Uniformly selects one of the given values.
+///
+/// # Panics
+///
+/// [`Strategy::sample_value`] panics if `values` is empty.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    Select { values }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        self.values
+            .choose(rng)
+            .expect("select requires at least one value")
+            .clone()
+    }
+}

@@ -1,0 +1,31 @@
+//! Test-runner configuration and RNG plumbing for the [`proptest!`] macro.
+
+/// The RNG handed to strategies.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Creates the deterministic RNG for one test.
+#[must_use]
+pub fn new_rng(seed: u64) -> TestRng {
+    <TestRng as rand::SeedableRng>::seed_from_u64(seed)
+}
+
+/// How a [`proptest!`](crate::proptest) block runs its cases.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}

@@ -1,0 +1,389 @@
+//! Offline, API-compatible subset of `serde_json`: [`to_string`],
+//! [`to_string_pretty`] and [`from_str`] over the vendored serde stub's
+//! [`Value`] tree.
+
+pub use serde::Error;
+use serde::{Deserialize, Serialize, Value};
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::msg(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    T::from_value(&value)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Seq(items) => write_sequence(out, indent, depth, items.len(), '[', ']', |out, i| {
+            write_value(out, &items[i], indent, depth + 1)
+        }),
+        Value::Map(fields) => {
+            write_sequence(out, indent, depth, fields.len(), '{', '}', |out, i| {
+                let (k, v) = &fields[i];
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, depth + 1);
+            })
+        }
+    }
+}
+
+fn write_sequence(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    len: usize,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        write_item(out, i);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // `{:?}` prints the shortest representation that round-trips, and
+        // always includes a `.` or exponent so the value re-parses as F64.
+        out.push_str(&format!("{x:?}"));
+    } else {
+        // JSON has no NaN/Infinity; match serde_json's lossy `null`.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::msg(format!(
+                "unexpected input {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error::msg(format!("bad array at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(fields));
+                }
+                _ => return Err(Error::msg(format!("bad object at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn read_hex4(&self, at: usize) -> Result<u32, Error> {
+        self.bytes
+            .get(at..at + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| Error::msg(format!("bad \\u escape at byte {at}")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let mut code = self.read_hex4(self.pos + 1)?;
+                            self.pos += 4;
+                            if (0xD800..0xDC00).contains(&code) {
+                                // High surrogate: a `\uXXXX` low surrogate
+                                // must follow; combine the pair.
+                                if self.bytes.get(self.pos + 1) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 2) != Some(&b'u')
+                                {
+                                    return Err(Error::msg(format!(
+                                        "unpaired surrogate at byte {}",
+                                        self.pos
+                                    )));
+                                }
+                                let low = self.read_hex4(self.pos + 3)?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error::msg(format!(
+                                        "invalid low surrogate at byte {}",
+                                        self.pos
+                                    )));
+                                }
+                                code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                self.pos += 6;
+                            }
+                            out.push(char::from_u32(code).ok_or_else(|| {
+                                Error::msg(format!("bad codepoint at byte {}", self.pos))
+                            })?);
+                        }
+                        other => {
+                            return Err(Error::msg(format!(
+                                "bad escape {other:?} at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded char.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::msg("invalid utf-8"))?;
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::msg("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid utf-8 in number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|e| Error::msg(format!("bad number `{text}`: {e}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|e| Error::msg(format!("bad number `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|e| Error::msg(format!("bad number `{text}`: {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_values() {
+        let v = Value::Map(vec![
+            ("a".to_string(), Value::U64(3)),
+            ("b".to_string(), Value::F64(2.5)),
+            (
+                "c".to_string(),
+                Value::Seq(vec![Value::Str("x\"y\n".to_string()), Value::Bool(true)]),
+            ),
+            ("d".to_string(), Value::Null),
+            ("e".to_string(), Value::I64(-7)),
+        ]);
+        let compact = to_string(&v).unwrap();
+        let back: Value = from_str(&compact).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [0.1, 1.0, -3.25e-9, 123_456_789.123_456, f64::MIN_POSITIVE] {
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back, x, "via {s}");
+        }
+    }
+
+    #[test]
+    fn parses_surrogate_pair_escapes() {
+        // U+1F600 as emitted by JSON encoders that escape non-BMP chars.
+        let s: String = from_str(r#""\ud83d\ude00 ok""#).unwrap();
+        assert_eq!(s, "\u{1F600} ok");
+        assert!(from_str::<String>(r#""\ud83d oops""#).is_err());
+        assert!(from_str::<String>(r#""\ud83dA""#).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{bad}").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
