@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use osp_core::algorithms::{GreedyOnline, HashRandPr, RandPr, TieBreak};
 use osp_core::gen::{random_instance, RandomInstanceConfig};
-use osp_core::{run, Instance};
+use osp_core::{derive_seed, run, Instance, ReplayPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -55,6 +55,22 @@ fn bench_engine(c: &mut Criterion) {
                     run(inst, &mut GreedyOnline::new(TieBreak::ByFewestRemaining))
                         .unwrap()
                         .benefit()
+                })
+            },
+        );
+        // Batch path: 32 randPr replays per iteration through the pool
+        // (scratch-reused shards), the unit the experiment harness spends.
+        group.bench_with_input(
+            BenchmarkId::new("randPr_batch32", format!("m{m}_n{n}_s{sigma}")),
+            &inst,
+            |b, inst| {
+                let pool = ReplayPool::from_env();
+                let mut round = 0u64;
+                b.iter(|| {
+                    round += 1;
+                    let seeds: Vec<u64> = (0..32).map(|i| derive_seed(round, i)).collect();
+                    pool.run_seeds(inst, &seeds, &|s| Box::new(RandPr::from_seed(s)))
+                        .len()
                 })
             },
         );

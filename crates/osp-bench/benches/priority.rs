@@ -26,7 +26,24 @@ fn bench_priority(c: &mut Criterion) {
                 h.eval(black_box(x))
             })
         });
+        // The precomputed-powers reference, kept benched so the fast
+        // path's margin is tracked PR-over-PR.
+        group.bench_function(format!("poly_hash_eval_naive_{independence}wise"), |b| {
+            let h = PolyHash::new(independence, 1);
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                h.eval_naive(black_box(x))
+            })
+        });
     }
+
+    group.bench_function("alias_table_sample_4096", |b| {
+        let weights: Vec<f64> = (0..4096).map(|j| ((j + 1) as f64).powf(-1.2)).collect();
+        let table = osp_stats::AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| black_box(table.sample(&mut rng)))
+    });
 
     group.bench_function("hash_priority_pipeline", |b| {
         // hash -> unit interval -> R_w quantile: one distributed priority.

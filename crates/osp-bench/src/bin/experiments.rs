@@ -5,7 +5,8 @@
 //! ```
 //!
 //! Prints each experiment's report as markdown (the tables recorded in
-//! EXPERIMENTS.md) and optionally dumps the reports as JSON artifacts.
+//! EXPERIMENTS.md) and optionally dumps the reports as JSON artifacts
+//! named `BENCH_<id>.json` (the tracked-baseline naming from ROADMAP.md).
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -59,7 +60,7 @@ fn main() -> ExitCode {
                     started.elapsed().as_secs_f64()
                 );
                 if let Some(dir) = &json_dir {
-                    let path = format!("{dir}/{id}.json");
+                    let path = format!("{dir}/BENCH_{id}.json");
                     match std::fs::File::create(&path).map(|mut f| {
                         serde_json::to_string_pretty(&report).map(|s| f.write_all(s.as_bytes()))
                     }) {

@@ -13,7 +13,7 @@
 
 use osp_core::algorithms::{HashRandPr, RandPr, RandomAssign};
 use osp_core::gen::{random_instance, RandomInstanceConfig};
-use osp_core::{run as engine_run, InstanceBuilder, SetId};
+use osp_core::{run as engine_run, InstanceBuilder, OnlineAlgorithm, SetId};
 use osp_net::partial::partial_benefit;
 use osp_net::policy::TailDrop;
 use osp_net::trace::{video_trace, VideoTraceConfig};
@@ -22,6 +22,7 @@ use osp_stats::{SeedSequence, Summary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::pool::{draw_seeds, pool};
 use crate::report::{NamedTable, Report};
 use crate::Scale;
 
@@ -49,47 +50,27 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         &["variant", "mean benefit", "±", "vs randPr"],
     );
     let mut results: Vec<(String, Summary)> = Vec::new();
-    let mut measure_variant =
-        |name: &str,
-         mut factory: Box<dyn FnMut(u64) -> Box<dyn osp_core::OnlineAlgorithm>>,
-         seeds: &mut SeedSequence| {
-            let mut s = Summary::new();
-            for _ in 0..trials {
-                let mut alg = factory(seeds.next_seed());
-                s.add(engine_run(&inst, alg.as_mut()).unwrap().benefit());
-            }
-            results.push((name.to_string(), s));
-        };
-    measure_variant(
-        "randPr (paper)",
-        Box::new(|s| Box::new(RandPr::from_seed(s))),
-        &mut seeds,
-    );
-    measure_variant(
-        "randPr + active filter",
-        Box::new(|s| Box::new(RandPr::with_active_filter(s))),
-        &mut seeds,
-    );
-    measure_variant(
-        "hashPr 2-wise",
-        Box::new(|s| Box::new(HashRandPr::new(2, s))),
-        &mut seeds,
-    );
-    measure_variant(
-        "hashPr 4-wise",
-        Box::new(|s| Box::new(HashRandPr::new(4, s))),
-        &mut seeds,
-    );
-    measure_variant(
-        "hashPr 32-wise",
-        Box::new(|s| Box::new(HashRandPr::new(32, s))),
-        &mut seeds,
-    );
-    measure_variant(
-        "fresh coin per element",
-        Box::new(|s| Box::new(RandomAssign::from_seed(s))),
-        &mut seeds,
-    );
+    type VariantFactory = fn(u64) -> Box<dyn OnlineAlgorithm>;
+    let variant_specs: &[(&str, VariantFactory)] = &[
+        ("randPr (paper)", |s| Box::new(RandPr::from_seed(s))),
+        ("randPr + active filter", |s| {
+            Box::new(RandPr::with_active_filter(s))
+        }),
+        ("hashPr 2-wise", |s| Box::new(HashRandPr::new(2, s))),
+        ("hashPr 4-wise", |s| Box::new(HashRandPr::new(4, s))),
+        ("hashPr 32-wise", |s| Box::new(HashRandPr::new(32, s))),
+        ("fresh coin per element", |s| {
+            Box::new(RandomAssign::from_seed(s))
+        }),
+    ];
+    for &(name, factory) in variant_specs {
+        let trial_seeds = draw_seeds(&mut seeds, trials as usize);
+        let mut s = Summary::new();
+        for out in pool().run_seeds(&inst, &trial_seeds, &factory) {
+            s.add(out.benefit());
+        }
+        results.push((name.to_string(), s));
+    }
     let baseline = results[0].1.mean();
     for (name, s) in &results {
         variants.row(vec![
@@ -127,10 +108,17 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         let deep = b.build().unwrap();
         let mut rp = Summary::new();
         let mut rc = Summary::new();
+        // Seeds interleave (randPr, fresh-coin) per trial, as before.
+        let mut rp_seeds = Vec::with_capacity(trials as usize);
+        let mut rc_seeds = Vec::with_capacity(trials as usize);
         for _ in 0..trials {
-            let out = engine_run(&deep, &mut RandPr::from_seed(seeds.next_seed())).unwrap();
+            rp_seeds.push(seeds.next_seed());
+            rc_seeds.push(seeds.next_seed());
+        }
+        for out in pool().run_seeds(&deep, &rp_seeds, &|s| Box::new(RandPr::from_seed(s))) {
             rp.add(f64::from(u8::from(out.is_completed(SetId(0)))));
-            let out = engine_run(&deep, &mut RandomAssign::from_seed(seeds.next_seed())).unwrap();
+        }
+        for out in pool().run_seeds(&deep, &rc_seeds, &|s| Box::new(RandomAssign::from_seed(s))) {
             rc.add(f64::from(u8::from(out.is_completed(SetId(0)))));
         }
         collapse.row(vec![
@@ -195,40 +183,38 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     let base =
         random_instance(&RandomInstanceConfig::unweighted(40, 90, 4), &mut rng).expect("feasible");
     let fixed_seed = seeds.next_seed();
-    type AlgFactory = Box<dyn Fn() -> Box<dyn osp_core::OnlineAlgorithm>>;
-    let order_algs: Vec<(&str, AlgFactory)> = vec![
-        (
-            "randPr (fixed draw)",
-            Box::new(move || Box::new(RandPr::from_seed(fixed_seed))),
-        ),
-        (
-            "hashPr 8-wise (fixed seed)",
-            Box::new(move || Box::new(HashRandPr::new(8, fixed_seed))),
-        ),
-        (
-            "greedy[fewest-remaining]",
-            Box::new(|| {
-                Box::new(osp_core::algorithms::GreedyOnline::new(
-                    osp_core::algorithms::TieBreak::ByFewestRemaining,
-                ))
-            }),
-        ),
-        (
-            "greedy[first-fit]",
-            Box::new(|| {
-                Box::new(osp_core::algorithms::GreedyOnline::new(
-                    osp_core::algorithms::TieBreak::ByIndex,
-                ))
-            }),
-        ),
+    type OrderFactory = fn(u64) -> Box<dyn OnlineAlgorithm>;
+    let order_algs: &[(&str, OrderFactory)] = &[
+        ("randPr (fixed draw)", |s| Box::new(RandPr::from_seed(s))),
+        ("hashPr 8-wise (fixed seed)", |s| {
+            Box::new(HashRandPr::new(8, s))
+        }),
+        ("greedy[fewest-remaining]", |_| {
+            Box::new(osp_core::algorithms::GreedyOnline::new(
+                osp_core::algorithms::TieBreak::ByFewestRemaining,
+            ))
+        }),
+        ("greedy[first-fit]", |_| {
+            Box::new(osp_core::algorithms::GreedyOnline::new(
+                osp_core::algorithms::TieBreak::ByIndex,
+            ))
+        }),
     ];
-    for (name, factory) in order_algs {
+    for &(name, factory) in order_algs {
+        // Shuffle seeds are drawn per algorithm, as before; the fixed
+        // algorithm seed is shared so randomized policies replay one draw.
+        let shuffled: Vec<_> = (0..shuffles)
+            .map(|_| {
+                let mut rng = StdRng::seed_from_u64(seeds.next_seed());
+                base.shuffle_arrivals(&mut rng)
+            })
+            .collect();
         let mut s = Summary::new();
-        for _ in 0..shuffles {
-            let mut rng = StdRng::seed_from_u64(seeds.next_seed());
-            let shuffled = base.shuffle_arrivals(&mut rng);
-            let mut alg = factory();
-            s.add(engine_run(&shuffled, alg.as_mut()).unwrap().benefit());
+        for out in pool().map(&shuffled, |_, inst| {
+            let mut alg = factory(fixed_seed);
+            engine_run(inst, alg.as_mut()).unwrap()
+        }) {
+            s.add(out.benefit());
         }
         order_table.row(vec![
             name.to_string(),

@@ -11,6 +11,7 @@ use osp_stats::{SeedSequence, Summary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::pool::{draw_seeds, pool};
 use crate::report::{NamedTable, Report};
 use crate::Scale;
 
@@ -47,7 +48,17 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         let mut pe_frames = Summary::new();
         let mut pe_weight = Summary::new();
         let mut offered = 0usize;
-        for _ in 0..repeats {
+        // Per repeat: one trace seed, then the eviction seeds — drawn
+        // sequentially (the pre-batching order), simulated in parallel.
+        let repeat_seeds: Vec<(u64, Vec<u64>)> = (0..repeats)
+            .map(|_| {
+                (
+                    seeds.next_seed(),
+                    draw_seeds(&mut seeds, evict_seeds as usize),
+                )
+            })
+            .collect();
+        let per_repeat = pool().map(&repeat_seeds, |_, (trace_seed, pe_seeds)| {
             let cfg = VideoTraceConfig {
                 sources: 8,
                 frames_per_source: 30,
@@ -56,22 +67,22 @@ pub fn run(scale: Scale, seed: u64) -> Report {
                 capacity: 3,
                 jitter: 0,
             };
-            let mut rng = StdRng::seed_from_u64(seeds.next_seed());
+            let mut rng = StdRng::seed_from_u64(*trace_seed);
             let trace = video_trace(&cfg, &mut rng);
-            offered = trace.frames().len();
             let dt = simulate_buffered(&trace, b, BufferPolicy::DropTail);
+            let pe: Vec<_> = pe_seeds
+                .iter()
+                .map(|&seed| simulate_buffered(&trace, b, BufferPolicy::PriorityEvict { seed }))
+                .collect();
+            (trace.frames().len(), dt, pe)
+        });
+        for (frames, dt, pe) in per_repeat {
+            offered = frames;
             dt_frames.add(dt.frames_delivered as f64);
             dt_weight.add(dt.weight_delivered);
-            for _ in 0..evict_seeds {
-                let pe = simulate_buffered(
-                    &trace,
-                    b,
-                    BufferPolicy::PriorityEvict {
-                        seed: seeds.next_seed(),
-                    },
-                );
-                pe_frames.add(pe.frames_delivered as f64);
-                pe_weight.add(pe.weight_delivered);
+            for r in pe {
+                pe_frames.add(r.frames_delivered as f64);
+                pe_weight.add(r.weight_delivered);
             }
         }
         table.row(vec![
@@ -103,12 +114,15 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         let mut dropped = Summary::new();
         let mut offered = 0usize;
         let mut max_burst = 0usize;
-        for _ in 0..repeats {
-            let mut rng = StdRng::seed_from_u64(seeds.next_seed());
+        let trace_seeds = draw_seeds(&mut seeds, repeats);
+        for (n, burst, r) in pool().map(&trace_seeds, |_, &seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
             let trace = onoff_trace(4, 0.05, 0.05, 300, (1, 3), 2, &mut rng);
-            offered = trace.frames().len();
-            max_burst = max_burst.max(trace.max_burst());
             let r = simulate_buffered(&trace, b, BufferPolicy::DropTail);
+            (trace.frames().len(), trace.max_burst(), r)
+        }) {
+            offered = n;
+            max_burst = max_burst.max(burst);
             frames.add(r.frames_delivered as f64);
             dropped.add(r.packets_dropped as f64);
         }

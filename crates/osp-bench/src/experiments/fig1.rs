@@ -13,6 +13,7 @@ use osp_stats::SeedSequence;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::pool::{draw_seeds, pool};
 use crate::report::{NamedTable, Report};
 use crate::Scale;
 
@@ -55,12 +56,18 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         ],
     );
 
-    for &ell in ells {
-        let mut rng = StdRng::seed_from_u64(seeds.next_seed());
+    // Construction + feasibility checks are independent per ℓ: build them
+    // in parallel, then assert and render rows in sweep order.
+    let gen_seeds = draw_seeds(&mut seeds, ells.len());
+    let built = pool().map(ells, |i, &ell| {
+        let mut rng = StdRng::seed_from_u64(gen_seeds[i]);
         let g = gadget_lower_bound(ell, &mut rng).expect("ℓ is a prime power");
         let st = InstanceStats::compute(&g.instance);
-        let l = ell as f64;
         let feasible = is_feasible(&g.instance, &g.planted);
+        (g, st, feasible)
+    });
+    for (&ell, (g, st, feasible)) in ells.iter().zip(built) {
+        let l = ell as f64;
         anatomy.row(vec![
             ell.to_string(),
             st.m.to_string(),

@@ -6,9 +6,11 @@
 //! with 99% confidence intervals.
 
 use osp_core::algorithms::RandPr;
-use osp_core::{run as engine_run, Instance, InstanceBuilder, SetId};
+use osp_core::{Instance, InstanceBuilder, SetId};
 use osp_opt::conflict::neighborhood_weights;
 use osp_stats::{SeedSequence, Summary};
+
+use crate::pool::{draw_seeds, pool};
 
 use crate::report::{NamedTable, Report};
 use crate::Scale;
@@ -64,8 +66,8 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         let nbw = neighborhood_weights(&inst);
         let m = inst.num_sets();
         let mut completions: Vec<Summary> = vec![Summary::new(); m];
-        for _ in 0..trials {
-            let out = engine_run(&inst, &mut RandPr::from_seed(seeds.next_seed())).unwrap();
+        let trial_seeds = draw_seeds(&mut seeds, trials as usize);
+        for out in pool().run_seeds(&inst, &trial_seeds, &|s| Box::new(RandPr::from_seed(s))) {
             for (i, s) in completions.iter_mut().enumerate() {
                 s.add(if out.is_completed(SetId(i as u32)) {
                     1.0

@@ -5,6 +5,7 @@ mod buffers;
 mod fig1;
 mod lemma1;
 mod multihop;
+mod replay;
 mod thm1;
 mod thm2;
 mod thm3;
@@ -17,7 +18,7 @@ use crate::report::Report;
 use crate::Scale;
 
 /// All experiment ids, in presentation order.
-pub const ALL: [&str; 12] = [
+pub const ALL: [&str; 13] = [
     "fig1",
     "lemma1",
     "thm1",
@@ -30,6 +31,7 @@ pub const ALL: [&str; 12] = [
     "multihop",
     "buffers",
     "ablations",
+    "replay",
 ];
 
 /// Runs one experiment by id.
@@ -50,6 +52,7 @@ pub fn run(id: &str, scale: Scale, seed: u64) -> Option<Report> {
         "multihop" => multihop::run(scale, seed),
         "buffers" => buffers::run(scale, seed),
         "ablations" => ablations::run(scale, seed),
+        "replay" => replay::run(scale, seed),
         _ => return None,
     };
     Some(report)

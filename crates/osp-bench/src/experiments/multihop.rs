@@ -10,6 +10,7 @@ use osp_stats::{SeedSequence, Summary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::pool::{draw_seeds, pool};
 use crate::report::{NamedTable, Report};
 use crate::Scale;
 
@@ -53,12 +54,19 @@ pub fn run(scale: Scale, seed: u64) -> Report {
             let mut rng = StdRng::seed_from_u64(seeds.next_seed());
             let mh = multihop_instance(&cfg, &mut rng).expect("valid config");
             elements = mh.instance.num_elements();
-            for _ in 0..hash_trials {
-                let s = seeds.next_seed();
+            // Each trial runs the federated replicas *and* the centralized
+            // reference; trials are independent, so fan them out.
+            let trial_seeds = draw_seeds(&mut seeds, hash_trials as usize);
+            for (agreed, delivered) in pool().map(&trial_seeds, |_, &s| {
                 let fed = federated_run(&mh, 8, s).unwrap();
                 let central = engine_run(&mh.instance, &mut HashRandPr::new(8, s)).unwrap();
-                consistent &= fed.decisions() == central.decisions();
-                hash_delivered.add(fed.completed().len() as f64);
+                (
+                    fed.decisions() == central.decisions(),
+                    fed.completed().len(),
+                )
+            }) {
+                consistent &= agreed;
+                hash_delivered.add(delivered as f64);
             }
             let tail = engine_run(&mh.instance, &mut TailDrop::new()).unwrap();
             tail_delivered.add(tail.completed().len() as f64);

@@ -11,14 +11,30 @@ use osp_adversary::gadget_lb::gadget_lower_bound;
 use osp_adversary::weak::weak_lower_bound;
 use osp_core::algorithms::{GreedyOnline, RandPr, TieBreak};
 use osp_core::bounds::theorem_2_lower;
-use osp_core::run as engine_run;
 use osp_core::stats::InstanceStats;
+use osp_core::OnlineAlgorithm;
 use osp_stats::{SeedSequence, Summary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::pool::{pool, ReplayJob};
 use crate::report::{NamedTable, Report};
 use crate::Scale;
+
+/// Algorithm selectors for the batched replay jobs.
+const FIRST_FIT: usize = 0;
+const BY_WEIGHT: usize = 1;
+const FEWEST_REMAINING: usize = 2;
+const RAND_PR: usize = 3;
+
+fn alg_factory(alg: usize, seed: u64) -> Box<dyn OnlineAlgorithm> {
+    match alg {
+        FIRST_FIT => Box::new(GreedyOnline::new(TieBreak::ByIndex)),
+        BY_WEIGHT => Box::new(GreedyOnline::new(TieBreak::ByWeight)),
+        FEWEST_REMAINING => Box::new(GreedyOnline::new(TieBreak::ByFewestRemaining)),
+        _ => Box::new(RandPr::from_seed(seed)),
+    }
+}
 
 /// Runs the experiment.
 pub fn run(scale: Scale, seed: u64) -> Report {
@@ -55,34 +71,39 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         let mut fr = Summary::new();
         let mut rp = Summary::new();
         let mut trend = 0.0;
+        // Draw all seeds sequentially (generation seed, then randPr seed,
+        // per sample — the pre-batching order), then fan the replays out.
+        let mut instances = Vec::with_capacity(samples);
+        let mut rp_seeds = Vec::with_capacity(samples);
         for _ in 0..samples {
             let mut rng = StdRng::seed_from_u64(seeds.next_seed());
             let g = gadget_lower_bound(ell, &mut rng).expect("prime power");
             let st = InstanceStats::compute(&g.instance);
             trend = theorem_2_lower(st.k_max, st.sigma_max);
-            ff.add(
-                engine_run(&g.instance, &mut GreedyOnline::new(TieBreak::ByIndex))
-                    .unwrap()
-                    .benefit(),
-            );
-            bw.add(
-                engine_run(&g.instance, &mut GreedyOnline::new(TieBreak::ByWeight))
-                    .unwrap()
-                    .benefit(),
-            );
-            fr.add(
-                engine_run(
-                    &g.instance,
-                    &mut GreedyOnline::new(TieBreak::ByFewestRemaining),
-                )
-                .unwrap()
-                .benefit(),
-            );
-            rp.add(
-                engine_run(&g.instance, &mut RandPr::from_seed(seeds.next_seed()))
-                    .unwrap()
-                    .benefit(),
-            );
+            instances.push(g.instance);
+            rp_seeds.push(seeds.next_seed());
+        }
+        let jobs: Vec<ReplayJob<'_>> = instances
+            .iter()
+            .zip(&rp_seeds)
+            .flat_map(|(instance, &seed)| {
+                [FIRST_FIT, BY_WEIGHT, FEWEST_REMAINING, RAND_PR]
+                    .into_iter()
+                    .map(move |algorithm| ReplayJob {
+                        instance,
+                        algorithm,
+                        seed,
+                    })
+            })
+            .collect();
+        for (job, out) in jobs.iter().zip(pool().run_jobs(&jobs, &alg_factory)) {
+            let benefit = out.expect("built-in algorithms are valid").benefit();
+            match job.algorithm {
+                FIRST_FIT => ff.add(benefit),
+                BY_WEIGHT => bw.add(benefit),
+                FEWEST_REMAINING => fr.add(benefit),
+                _ => rp.add(benefit),
+            }
         }
         let opt = ell.pow(3) as f64;
         let l = ell as f64;
@@ -117,19 +138,33 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     for &t in ts {
         let mut ff = Summary::new();
         let mut rp = Summary::new();
+        let mut instances = Vec::with_capacity(samples);
+        let mut rp_seeds = Vec::with_capacity(samples);
         for _ in 0..samples {
             let mut rng = StdRng::seed_from_u64(seeds.next_seed());
             let w = weak_lower_bound(t, &mut rng).expect("valid t");
-            ff.add(
-                engine_run(&w.instance, &mut GreedyOnline::new(TieBreak::ByIndex))
-                    .unwrap()
-                    .benefit(),
-            );
-            rp.add(
-                engine_run(&w.instance, &mut RandPr::from_seed(seeds.next_seed()))
-                    .unwrap()
-                    .benefit(),
-            );
+            instances.push(w.instance);
+            rp_seeds.push(seeds.next_seed());
+        }
+        let jobs: Vec<ReplayJob<'_>> = instances
+            .iter()
+            .zip(&rp_seeds)
+            .flat_map(|(instance, &seed)| {
+                [FIRST_FIT, RAND_PR]
+                    .into_iter()
+                    .map(move |algorithm| ReplayJob {
+                        instance,
+                        algorithm,
+                        seed,
+                    })
+            })
+            .collect();
+        for (job, out) in jobs.iter().zip(pool().run_jobs(&jobs, &alg_factory)) {
+            let benefit = out.expect("built-in algorithms are valid").benefit();
+            match job.algorithm {
+                FIRST_FIT => ff.add(benefit),
+                _ => rp.add(benefit),
+            }
         }
         weak_table.row(vec![
             t.to_string(),

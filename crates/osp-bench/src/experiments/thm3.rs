@@ -9,10 +9,10 @@
 use osp_adversary::deterministic::run_deterministic_adversary;
 use osp_core::algorithms::{GreedyOnline, RandPr, TieBreak};
 use osp_core::bounds::theorem_3_lower;
-use osp_core::run as engine_run;
 use osp_net::policy::TailDrop;
 use osp_stats::{SeedSequence, Summary};
 
+use crate::pool::{draw_seeds, pool};
 use crate::report::{NamedTable, Report};
 use crate::Scale;
 
@@ -78,8 +78,9 @@ pub fn run(scale: Scale, seed: u64) -> Report {
         // randPr on the anti-first-fit instance.
         if let Some(inst) = anti_greedy_instance {
             let mut s = Summary::new();
-            for _ in 0..randpr_trials {
-                let out = engine_run(&inst, &mut RandPr::from_seed(seeds.next_seed())).unwrap();
+            let trial_seeds = draw_seeds(&mut seeds, randpr_trials as usize);
+            for out in pool().run_seeds(&inst, &trial_seeds, &|sd| Box::new(RandPr::from_seed(sd)))
+            {
                 s.add(out.benefit());
             }
             table.row(vec![

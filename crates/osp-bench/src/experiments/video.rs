@@ -7,7 +7,7 @@
 //! rate yet lose badly on frame goodput, and the gap widens with load.
 
 use osp_core::algorithms::{GreedyOnline, HashRandPr, RandPr, TieBreak};
-use osp_core::{run as engine_run, OnlineAlgorithm};
+use osp_core::OnlineAlgorithm;
 use osp_net::metrics::goodput;
 use osp_net::policy::{RandomDrop, TailDrop};
 use osp_net::trace::{video_trace, VideoTraceConfig};
@@ -16,8 +16,36 @@ use osp_stats::{SeedSequence, Summary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::pool::{pool, ReplayJob};
 use crate::report::{NamedTable, Report};
 use crate::Scale;
+
+/// Policy selectors for the batched replay jobs.
+const TAIL_DROP: usize = 0;
+const RANDOM_DROP: usize = 1;
+const GREEDY_FR: usize = 2;
+const RAND_PR: usize = 3;
+const HASH_PR: usize = 4;
+
+fn policy_factory(alg: usize, seed: u64) -> Box<dyn OnlineAlgorithm> {
+    match alg {
+        TAIL_DROP => Box::new(TailDrop::new()),
+        RANDOM_DROP => Box::new(RandomDrop::from_seed(seed)),
+        GREEDY_FR => Box::new(GreedyOnline::new(TieBreak::ByFewestRemaining)),
+        RAND_PR => Box::new(RandPr::from_seed(seed)),
+        _ => Box::new(HashRandPr::new(8, seed)),
+    }
+}
+
+fn policy_name(alg: usize) -> &'static str {
+    match alg {
+        TAIL_DROP => "tail-drop",
+        RANDOM_DROP => "random-drop",
+        GREEDY_FR => "greedy[fewest-remaining]",
+        RAND_PR => "randPr",
+        _ => "hashPr(8-wise)",
+    }
+}
 
 /// Runs the experiment.
 pub fn run(scale: Scale, seed: u64) -> Report {
@@ -60,46 +88,29 @@ pub fn run(scale: Scale, seed: u64) -> Report {
             let trace = video_trace(&cfg, &mut rng);
             let mapped = trace_to_instance(&trace);
 
-            let mut policies: Vec<(String, Vec<Box<dyn OnlineAlgorithm>>)> = vec![
-                ("tail-drop".into(), vec![Box::new(TailDrop::new())]),
-                (
-                    "random-drop".into(),
-                    (0..randomized_trials)
-                        .map(|_| {
-                            Box::new(RandomDrop::from_seed(seeds.next_seed()))
-                                as Box<dyn OnlineAlgorithm>
-                        })
-                        .collect(),
-                ),
-                (
-                    "greedy[fewest-remaining]".into(),
-                    vec![Box::new(GreedyOnline::new(TieBreak::ByFewestRemaining))],
-                ),
-                (
-                    "randPr".into(),
-                    (0..randomized_trials)
-                        .map(|_| {
-                            Box::new(RandPr::from_seed(seeds.next_seed()))
-                                as Box<dyn OnlineAlgorithm>
-                        })
-                        .collect(),
-                ),
-                (
-                    "hashPr(8-wise)".into(),
-                    (0..randomized_trials)
-                        .map(|_| {
-                            Box::new(HashRandPr::new(8, seeds.next_seed()))
-                                as Box<dyn OnlineAlgorithm>
-                        })
-                        .collect(),
-                ),
-            ];
-            for (name, algs) in policies.iter_mut() {
-                let idx = match rows.iter().position(|r| &r.0 == name) {
+            // One batched work-list per trace; seeds are drawn here in the
+            // same order the old per-policy loops drew them.
+            let mut specs: Vec<(usize, u64)> = vec![(TAIL_DROP, 0)];
+            specs.extend((0..randomized_trials).map(|_| (RANDOM_DROP, seeds.next_seed())));
+            specs.push((GREEDY_FR, 0));
+            specs.extend((0..randomized_trials).map(|_| (RAND_PR, seeds.next_seed())));
+            specs.extend((0..randomized_trials).map(|_| (HASH_PR, seeds.next_seed())));
+            let jobs: Vec<ReplayJob<'_>> = specs
+                .iter()
+                .map(|&(algorithm, seed)| ReplayJob {
+                    instance: &mapped.instance,
+                    algorithm,
+                    seed,
+                })
+                .collect();
+            let outcomes = pool().run_jobs(&jobs, &policy_factory);
+            for (job, out) in jobs.iter().zip(outcomes) {
+                let name = policy_name(job.algorithm);
+                let idx = match rows.iter().position(|r| r.0 == name) {
                     Some(i) => i,
                     None => {
                         rows.push((
-                            name.clone(),
+                            name.to_string(),
                             Summary::new(),
                             Summary::new(),
                             Summary::new(),
@@ -109,19 +120,17 @@ pub fn run(scale: Scale, seed: u64) -> Report {
                         rows.len() - 1
                     }
                 };
-                for alg in algs.iter_mut() {
-                    let out = engine_run(&mapped.instance, alg.as_mut()).unwrap();
-                    let g = goodput(&trace, &mapped.instance, &out);
-                    rows[idx].1.add(g.frame_rate());
-                    rows[idx].2.add(g.weight_rate());
-                    rows[idx].3.add(g.packet_rate());
-                    rows[idx].4.add(
-                        g.per_class_delivered[0] as f64 / g.per_class_offered[0].max(1) as f64,
-                    );
-                    rows[idx].5.add(
-                        g.per_class_delivered[2] as f64 / g.per_class_offered[2].max(1) as f64,
-                    );
-                }
+                let out = out.expect("built-in policies are valid");
+                let g = goodput(&trace, &mapped.instance, &out);
+                rows[idx].1.add(g.frame_rate());
+                rows[idx].2.add(g.weight_rate());
+                rows[idx].3.add(g.packet_rate());
+                rows[idx]
+                    .4
+                    .add(g.per_class_delivered[0] as f64 / g.per_class_offered[0].max(1) as f64);
+                rows[idx]
+                    .5
+                    .add(g.per_class_delivered[2] as f64 / g.per_class_offered[2].max(1) as f64);
             }
         }
         for (name, fr, wr, pr, ifr, bfr) in &rows {

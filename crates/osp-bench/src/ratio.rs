@@ -1,6 +1,6 @@
 //! Shared measurement machinery: `opt` brackets and algorithm trials.
 
-use osp_core::{run, Instance, OnlineAlgorithm};
+use osp_core::{Instance, OnlineAlgorithm};
 use osp_opt::dual::density_dual_bound;
 use osp_opt::greedy::best_greedy;
 use osp_opt::mwu::fractional_packing;
@@ -77,6 +77,11 @@ pub struct AlgMeasurement {
 /// Runs `trials` independent executions of the algorithm produced by
 /// `factory(seed)` and summarizes the benefit.
 ///
+/// Trials fan out across the shared [`crate::pool`] replay pool; the
+/// per-trial seeds are drawn from `seeds` up front in the same order the
+/// old sequential loop drew them, so measurements are bit-identical to
+/// sequential replay (and to this function's pre-batching behavior).
+///
 /// # Panics
 ///
 /// Panics if a trial returns an engine error (the built-in algorithms
@@ -88,17 +93,14 @@ pub fn measure<F>(
     seeds: &mut SeedSequence,
 ) -> AlgMeasurement
 where
-    F: Fn(u64) -> Box<dyn OnlineAlgorithm>,
+    F: Fn(u64) -> Box<dyn OnlineAlgorithm> + Sync,
 {
     assert!(trials >= 1, "need at least one trial");
+    let trial_seeds = crate::pool::draw_seeds(seeds, trials as usize);
+    let name = factory(trial_seeds[0]).name();
+    let outcomes = crate::pool::pool().run_seeds(instance, &trial_seeds, &factory);
     let mut summary = Summary::new();
-    let mut name = String::new();
-    for _ in 0..trials {
-        let mut alg = factory(seeds.next_seed());
-        if name.is_empty() {
-            name = alg.name();
-        }
-        let outcome = run(instance, &mut alg).expect("built-in algorithms are valid");
+    for outcome in &outcomes {
         summary.add(outcome.benefit());
     }
     AlgMeasurement {

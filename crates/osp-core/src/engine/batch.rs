@@ -1,0 +1,391 @@
+//! Sharded batch replay: many `(instance × seed × algorithm)` jobs at once.
+//!
+//! The experiment harness replays the same frozen [`Instance`]s thousands
+//! of times under different seeds and algorithms. [`ReplayPool`] fans such
+//! a work-list across `std::thread` shards while keeping the results
+//! **bit-identical to sequential replay**:
+//!
+//! * every job's seed is fixed *before* fan-out (either by the caller or
+//!   via [`derive_seed`]'s O(1) SplitMix64 stream access), so no job's
+//!   randomness depends on which shard runs it or in which order;
+//! * every shard executes the one and only engine implementation
+//!   ([`Session`](super::Session), via
+//!   [`run_with_scratch`](super::run_with_scratch)) — there is no second
+//!   "parallel" code path to drift;
+//! * results are returned in job order regardless of shard interleaving.
+//!
+//! Each shard owns a [`ReplayScratch`], so consecutive jobs on a shard
+//! reuse the engine's bookkeeping buffers and the per-arrival hot path
+//! performs no allocations of its own.
+//!
+//! The `tests/batch_equivalence.rs` conformance suite in the workspace
+//! root pins the bit-identical claim for every built-in algorithm at shard
+//! counts 1, 2 and 8.
+
+use crate::algorithm::OnlineAlgorithm;
+use crate::error::Error;
+use crate::instance::Instance;
+
+use super::{run_with_scratch, Outcome};
+
+/// Reusable engine buffers for one replay shard.
+///
+/// Holds the per-set bookkeeping (`assigned`, `alive`) and the decision
+/// validation scratch; [`Session::with_scratch`](super::Session::with_scratch)
+/// borrows them for a run and [`Session::finish_into`](super::Session::finish_into)
+/// hands them back.
+#[derive(Debug, Default)]
+pub struct ReplayScratch {
+    pub(super) assigned: Vec<u32>,
+    pub(super) alive: Vec<bool>,
+    pub(super) sorted: Vec<crate::SetId>,
+}
+
+impl ReplayScratch {
+    /// Creates empty scratch buffers (they grow to instance size on first
+    /// use and are reused afterwards).
+    pub fn new() -> Self {
+        ReplayScratch::default()
+    }
+}
+
+/// The SplitMix64 golden-gamma increment (also used by the vendored
+/// `StdRng` seeding and `osp_stats::SeedSequence`).
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 finalizer: the same pre-mix `StdRng::seed_from_u64` applies.
+#[inline]
+fn splitmix_finalize(state: u64) -> u64 {
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed of job `index` from a `root` seed in O(1).
+///
+/// This is random access into the SplitMix64 stream rooted at `root`:
+/// `derive_seed(root, i)` equals the `(i+1)`-th output of
+/// `osp_stats::SeedSequence::new(root)` (the workspace's sequential seed
+/// fan-out), so batch work-lists and sequential trial loops can share one
+/// seed universe. Crucially the value depends only on `(root, index)` —
+/// never on shard count or scheduling.
+pub fn derive_seed(root: u64, index: u64) -> u64 {
+    splitmix_finalize(root.wrapping_add(GOLDEN_GAMMA.wrapping_mul(index.wrapping_add(1))))
+}
+
+/// One replay job: which instance to replay, which algorithm family
+/// (an index the caller's factory interprets), and the seed for the
+/// algorithm's randomness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayJob<'a> {
+    /// The frozen instance to replay.
+    pub instance: &'a Instance,
+    /// Caller-defined algorithm selector, passed through to the factory.
+    pub algorithm: usize,
+    /// Seed handed to the factory (ignore it for deterministic algorithms).
+    pub seed: u64,
+}
+
+/// A sharded replay pool.
+///
+/// # Examples
+///
+/// ```
+/// use osp_core::prelude::*;
+/// use osp_core::engine::batch::{derive_seed, ReplayJob, ReplayPool};
+///
+/// let mut b = InstanceBuilder::new();
+/// let s = b.add_set(1.0, 1);
+/// b.add_element(1, &[s]);
+/// let inst = b.build()?;
+///
+/// let pool = ReplayPool::new(2);
+/// let jobs: Vec<ReplayJob> = (0..8)
+///     .map(|i| ReplayJob { instance: &inst, algorithm: 0, seed: derive_seed(7, i) })
+///     .collect();
+/// let outcomes = pool.run_jobs(&jobs, &|_, seed| Box::new(RandPr::from_seed(seed)));
+/// assert!(outcomes.iter().all(|o| o.as_ref().unwrap().benefit() == 1.0));
+/// # Ok::<(), osp_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayPool {
+    shards: usize,
+}
+
+impl ReplayPool {
+    /// Creates a pool with the given shard (thread) count; zero is treated
+    /// as one.
+    pub fn new(shards: usize) -> Self {
+        ReplayPool {
+            shards: shards.max(1),
+        }
+    }
+
+    /// A pool sized to the machine: the `OSP_REPLAY_SHARDS` environment
+    /// variable if set, otherwise `std::thread::available_parallelism`.
+    pub fn from_env() -> Self {
+        let shards = std::env::var("OSP_REPLAY_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        ReplayPool::new(shards)
+    }
+
+    /// Number of shards this pool fans work across.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The one sharding kernel both public entry points ride: splits
+    /// `items` into contiguous chunks (one per shard), gives every shard
+    /// its own state from `init`, applies `f` to each item, and returns
+    /// the results **in item order** regardless of which shard computed
+    /// what. With one shard (or one item) it degenerates to a plain
+    /// sequential loop on the caller's thread.
+    fn shard_map<T, S, R, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        if self.shards == 1 || items.len() <= 1 {
+            let mut state = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| f(&mut state, i, t))
+                .collect();
+        }
+        let chunk = items.len().div_ceil(self.shards);
+        let mut results: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .enumerate()
+                .map(|(shard, slice)| {
+                    let f = &f;
+                    let init = &init;
+                    let base = shard * chunk;
+                    scope.spawn(move || {
+                        let mut state = init();
+                        slice
+                            .iter()
+                            .enumerate()
+                            .map(|(j, t)| f(&mut state, base + j, t))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            results = handles
+                .into_iter()
+                .map(|h| h.join().expect("replay shard panicked"))
+                .collect();
+        });
+        results.into_iter().flatten().collect()
+    }
+
+    /// Deterministic parallel map: applies `f` to every item and returns
+    /// the results **in item order**, regardless of which shard computed
+    /// what. `f` receives the item's index alongside the item, so callers
+    /// can derive per-item seeds without any shared mutable state.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.shard_map(items, || (), |(), i, t| f(i, t))
+    }
+
+    /// Replays every job and returns the outcomes in job order.
+    ///
+    /// `factory(algorithm, seed)` constructs the job's algorithm *inside
+    /// the shard that runs it*; each shard reuses one [`ReplayScratch`]
+    /// across its jobs. A job whose algorithm emits an invalid decision
+    /// yields that job's `Err` without disturbing the others.
+    pub fn run_jobs<F>(&self, jobs: &[ReplayJob<'_>], factory: &F) -> Vec<Result<Outcome, Error>>
+    where
+        F: Fn(usize, u64) -> Box<dyn OnlineAlgorithm> + Sync,
+    {
+        self.shard_map(jobs, ReplayScratch::new, |scratch, _, job| {
+            let mut alg = factory(job.algorithm, job.seed);
+            run_with_scratch(job.instance, alg.as_mut(), scratch)
+        })
+    }
+
+    /// Convenience for the common one-instance/one-algorithm case: replays
+    /// `instance` once per seed and returns the outcomes in seed order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the algorithm emits an invalid decision (the built-in
+    /// algorithms never do); use [`run_jobs`](Self::run_jobs) to observe
+    /// per-job errors instead.
+    pub fn run_seeds<F>(&self, instance: &Instance, seeds: &[u64], factory: &F) -> Vec<Outcome>
+    where
+        F: Fn(u64) -> Box<dyn OnlineAlgorithm> + Sync,
+    {
+        let jobs: Vec<ReplayJob<'_>> = seeds
+            .iter()
+            .map(|&seed| ReplayJob {
+                instance,
+                algorithm: 0,
+                seed,
+            })
+            .collect();
+        self.run_jobs(&jobs, &|_, seed| factory(seed))
+            .into_iter()
+            .map(|r| r.expect("batch algorithm emitted an invalid decision"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{GreedyOnline, RandPr, TieBreak};
+    use crate::engine::run;
+    use crate::gen::{random_instance, RandomInstanceConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload() -> Instance {
+        let mut rng = StdRng::seed_from_u64(5);
+        random_instance(&RandomInstanceConfig::unweighted(30, 80, 4), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn derive_seed_matches_sequential_splitmix_stream() {
+        // Reimplementation of SeedSequence's sequential walk.
+        let root = 1234u64;
+        let mut state = root;
+        for i in 0..20u64 {
+            state = state.wrapping_add(GOLDEN_GAMMA);
+            assert_eq!(derive_seed(root, i), splitmix_finalize(state), "index {i}");
+        }
+    }
+
+    #[test]
+    fn derive_seed_is_index_stable() {
+        assert_eq!(derive_seed(9, 3), derive_seed(9, 3));
+        assert_ne!(derive_seed(9, 3), derive_seed(9, 4));
+        assert_ne!(derive_seed(9, 3), derive_seed(10, 3));
+    }
+
+    #[test]
+    fn pool_matches_sequential_for_every_shard_count() {
+        let inst = workload();
+        let seeds: Vec<u64> = (0..17).map(|i| derive_seed(42, i)).collect();
+        let sequential: Vec<Outcome> = seeds
+            .iter()
+            .map(|&s| run(&inst, &mut RandPr::from_seed(s)).unwrap())
+            .collect();
+        for shards in [1usize, 2, 3, 8, 32] {
+            let pool = ReplayPool::new(shards);
+            let batch = pool.run_seeds(&inst, &seeds, &|s| Box::new(RandPr::from_seed(s)));
+            assert_eq!(batch, sequential, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn jobs_can_mix_instances_and_algorithms() {
+        let a = workload();
+        let b = {
+            let mut rng = StdRng::seed_from_u64(6);
+            random_instance(&RandomInstanceConfig::unweighted(10, 25, 3), &mut rng).unwrap()
+        };
+        let jobs = vec![
+            ReplayJob {
+                instance: &a,
+                algorithm: 0,
+                seed: 1,
+            },
+            ReplayJob {
+                instance: &b,
+                algorithm: 1,
+                seed: 0,
+            },
+            ReplayJob {
+                instance: &a,
+                algorithm: 1,
+                seed: 0,
+            },
+            ReplayJob {
+                instance: &b,
+                algorithm: 0,
+                seed: 2,
+            },
+        ];
+        let factory = |alg: usize, seed: u64| -> Box<dyn OnlineAlgorithm> {
+            match alg {
+                0 => Box::new(RandPr::from_seed(seed)),
+                _ => Box::new(GreedyOnline::new(TieBreak::ByWeight)),
+            }
+        };
+        let pooled = ReplayPool::new(3).run_jobs(&jobs, &factory);
+        for (job, got) in jobs.iter().zip(&pooled) {
+            let mut alg = factory(job.algorithm, job.seed);
+            let want = run(job.instance, alg.as_mut()).unwrap();
+            assert_eq!(got.as_ref().unwrap(), &want);
+        }
+    }
+
+    #[test]
+    fn map_preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for shards in [1usize, 2, 7, 16] {
+            let out = ReplayPool::new(shards).map(&items, |i, &x| (i as u64) * 1000 + x);
+            let want: Vec<u64> = (0..100).map(|i| i * 1000 + i).collect();
+            assert_eq!(out, want, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn zero_shards_is_one() {
+        assert_eq!(ReplayPool::new(0).shards(), 1);
+    }
+
+    #[test]
+    fn empty_job_list_is_empty_result() {
+        let pool = ReplayPool::new(4);
+        assert!(pool
+            .run_jobs(&[], &|_, s| Box::new(RandPr::from_seed(s)))
+            .is_empty());
+        let empty: [u8; 0] = [];
+        assert!(pool.map(&empty, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn invalid_decisions_fail_only_their_job() {
+        use crate::algorithms::OracleOnline;
+        let mut b = crate::InstanceBuilder::new();
+        let s0 = b.add_set(1.0, 1);
+        let s1 = b.add_set(1.0, 1);
+        b.add_element(1, &[s0, s1]);
+        let inst = b.build().unwrap();
+        let jobs = vec![
+            ReplayJob {
+                instance: &inst,
+                algorithm: 0, // feasible: pick s0 only
+                seed: 0,
+            },
+            ReplayJob {
+                instance: &inst,
+                algorithm: 1, // infeasible: oracle wants both, capacity 1
+                seed: 0,
+            },
+        ];
+        let out = ReplayPool::new(2).run_jobs(&jobs, &|alg, _| match alg {
+            0 => Box::new(OracleOnline::new(vec![s0])),
+            _ => Box::new(OracleOnline::new(vec![s0, s1])),
+        });
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(Error::DecisionOverCapacity { .. })));
+    }
+}

@@ -1,6 +1,6 @@
 //! The online execution engine.
 //!
-//! Two entry points:
+//! Three entry points:
 //!
 //! * [`run`] replays a frozen [`Instance`]'s arrival sequence against an
 //!   [`OnlineAlgorithm`] — the standard evaluation path.
@@ -8,17 +8,26 @@
 //!   pre-built instance, which is what adaptive adversaries (Theorem 3)
 //!   need: they decide the next element only after seeing the algorithm's
 //!   previous choice.
+//! * [`batch`] fans a `(instance × seed × algorithm)` work-list across
+//!   threads ([`batch::ReplayPool`]) with per-shard reusable
+//!   [`batch::ReplayScratch`] buffers; its outcomes are bit-identical to
+//!   sequential [`run`] because both paths execute this module's
+//!   [`Session`] logic.
 //!
-//! Both enforce the model's rules (§2): each decision must pick at most
-//! `b(u)` distinct sets from `C(u)`. A set is **completed** iff it was
+//! All paths enforce the model's rules (§2): each decision must pick at
+//! most `b(u)` distinct sets from `C(u)`. A set is **completed** iff it was
 //! chosen for every one of its elements; the [`Outcome`] records the
 //! completed sets, the benefit, every decision, and when each
 //! non-surviving set died.
+
+pub mod batch;
 
 use crate::algorithm::{EngineView, OnlineAlgorithm};
 use crate::error::Error;
 use crate::ids::{ElementId, SetId};
 use crate::instance::{Arrival, Instance, SetMeta};
+
+pub use batch::{derive_seed, ReplayPool, ReplayScratch};
 
 /// The result of one online run.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,8 +56,12 @@ impl Outcome {
 
     /// For each set, the element at which it died (its first element *not*
     /// assigned to it), or `None` if it never missed an element.
+    ///
+    /// Querying a [`SetId`] that does not belong to the replayed instance
+    /// (e.g. an id minted for a different, larger instance) returns `None`
+    /// rather than panicking.
     pub fn died_at(&self, set: SetId) -> Option<ElementId> {
-        self.died_at[set.index()]
+        self.died_at.get(set.index()).copied().flatten()
     }
 
     /// Whether the given set was completed.
@@ -79,20 +92,45 @@ pub struct Session<'a> {
     alive: Vec<bool>,
     died_at: Vec<Option<ElementId>>,
     decisions: Vec<Vec<SetId>>,
+    /// Validation scratch reused across arrivals (sorted decision copy),
+    /// so the per-arrival hot path allocates nothing of its own.
+    sorted: Vec<SetId>,
 }
 
 impl<'a> Session<'a> {
     /// Starts a session over the declared sets and announces them to the
     /// algorithm (calls [`OnlineAlgorithm::begin`]).
     pub fn new<A: OnlineAlgorithm + ?Sized>(sets: &'a [SetMeta], algorithm: &mut A) -> Self {
+        let mut scratch = ReplayScratch::new();
+        Session::with_scratch(sets, algorithm, &mut scratch)
+    }
+
+    /// Like [`new`](Self::new), but recycles the buffers held by `scratch`
+    /// instead of allocating fresh ones — the batch replay path calls this
+    /// once per job so consecutive replays on a shard reuse one set of
+    /// buffers. Return them with [`finish_into`](Self::finish_into).
+    pub fn with_scratch<A: OnlineAlgorithm + ?Sized>(
+        sets: &'a [SetMeta],
+        algorithm: &mut A,
+        scratch: &mut ReplayScratch,
+    ) -> Self {
         algorithm.begin(sets);
         let m = sets.len();
+        let mut assigned = std::mem::take(&mut scratch.assigned);
+        assigned.clear();
+        assigned.resize(m, 0);
+        let mut alive = std::mem::take(&mut scratch.alive);
+        alive.clear();
+        alive.resize(m, true);
+        let mut sorted = std::mem::take(&mut scratch.sorted);
+        sorted.clear();
         Session {
             sets,
-            assigned: vec![0; m],
-            alive: vec![true; m],
+            assigned,
+            alive,
             died_at: vec![None; m],
             decisions: Vec::new(),
+            sorted,
         }
     }
 
@@ -148,6 +186,30 @@ impl<'a> Session<'a> {
         self.apply_external(arrival, decision)
     }
 
+    /// Like [`offer`](Self::offer), but does not echo a copy of the
+    /// decision back — the replay paths ([`run`], [`batch`]) use this so
+    /// the engine allocates nothing per arrival beyond the decision the
+    /// algorithm itself produced (which is moved, not cloned, into the
+    /// [`Outcome`]'s decision log).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`offer`](Self::offer); the session state is
+    /// unchanged on error.
+    pub fn step<A: OnlineAlgorithm + ?Sized>(
+        &mut self,
+        arrival: &Arrival,
+        algorithm: &mut A,
+    ) -> Result<(), Error> {
+        let decision = {
+            let view = EngineView::new(self.sets, &self.assigned, &self.alive);
+            algorithm.decide(arrival, &view)
+        };
+        self.validate(arrival, &decision)?;
+        self.apply_unchecked(arrival, decision);
+        Ok(())
+    }
+
     /// Validates and applies a decision computed outside this session
     /// (e.g. by a per-hop replica in the distributed implementation).
     /// Returns the decision back on success.
@@ -161,6 +223,15 @@ impl<'a> Session<'a> {
         arrival: &Arrival,
         decision: Vec<SetId>,
     ) -> Result<Vec<SetId>, Error> {
+        self.validate(arrival, &decision)?;
+        let echoed = decision.clone();
+        self.apply_unchecked(arrival, decision);
+        Ok(echoed)
+    }
+
+    /// Checks the model's rules without touching session state. On success
+    /// `self.sorted` holds the decision sorted ascending.
+    fn validate(&mut self, arrival: &Arrival, decision: &[SetId]) -> Result<(), Error> {
         if decision.len() > arrival.capacity() as usize {
             return Err(Error::DecisionOverCapacity {
                 element: arrival.element(),
@@ -168,9 +239,10 @@ impl<'a> Session<'a> {
                 chosen: decision.len(),
             });
         }
-        let mut sorted = decision.clone();
-        sorted.sort_unstable();
-        for w in sorted.windows(2) {
+        self.sorted.clear();
+        self.sorted.extend_from_slice(decision);
+        self.sorted.sort_unstable();
+        for w in self.sorted.windows(2) {
             if w[0] == w[1] {
                 return Err(Error::DecisionDuplicate {
                     element: arrival.element(),
@@ -178,7 +250,7 @@ impl<'a> Session<'a> {
                 });
             }
         }
-        for &s in &sorted {
+        for &s in &self.sorted {
             if !arrival.contains(s) {
                 return Err(Error::DecisionNotMember {
                     element: arrival.element(),
@@ -186,23 +258,38 @@ impl<'a> Session<'a> {
                 });
             }
         }
+        Ok(())
+    }
 
+    /// Applies a decision that [`validate`](Self::validate) just accepted
+    /// (`self.sorted` still holds its sorted copy).
+    fn apply_unchecked(&mut self, arrival: &Arrival, decision: Vec<SetId>) {
         // Apply: chosen member sets advance; unchosen member sets die.
         for &s in arrival.members() {
-            if sorted.binary_search(&s).is_ok() {
+            if self.sorted.binary_search(&s).is_ok() {
                 self.assigned[s.index()] += 1;
             } else if self.alive[s.index()] {
                 self.alive[s.index()] = false;
                 self.died_at[s.index()] = Some(arrival.element());
             }
         }
-        self.decisions.push(decision.clone());
-        Ok(decision)
+        self.decisions.push(decision);
     }
 
     /// Ends the session: a set is completed iff it is alive *and* has
     /// received its full declared size.
     pub fn finish(self) -> Outcome {
+        self.finish_impl(None)
+    }
+
+    /// Like [`finish`](Self::finish), but hands the session's reusable
+    /// buffers back to `scratch` so the next
+    /// [`with_scratch`](Self::with_scratch) session can recycle them.
+    pub fn finish_into(self, scratch: &mut ReplayScratch) -> Outcome {
+        self.finish_impl(Some(scratch))
+    }
+
+    fn finish_impl(mut self, scratch: Option<&mut ReplayScratch>) -> Outcome {
         let completed: Vec<SetId> = (0..self.sets.len())
             .filter(|&i| self.alive[i] && self.assigned[i] == self.sets[i].size())
             .map(|i| SetId(i as u32))
@@ -211,6 +298,11 @@ impl<'a> Session<'a> {
             .iter()
             .map(|&s| self.sets[s.index()].weight())
             .sum();
+        if let Some(scratch) = scratch {
+            scratch.assigned = std::mem::take(&mut self.assigned);
+            scratch.alive = std::mem::take(&mut self.alive);
+            scratch.sorted = std::mem::take(&mut self.sorted);
+        }
         Outcome {
             completed,
             benefit,
@@ -244,11 +336,27 @@ pub fn run<A: OnlineAlgorithm + ?Sized>(
     instance: &Instance,
     algorithm: &mut A,
 ) -> Result<Outcome, Error> {
-    let mut session = Session::new(instance.sets(), algorithm);
+    let mut scratch = ReplayScratch::new();
+    run_with_scratch(instance, algorithm, &mut scratch)
+}
+
+/// [`run`] with caller-provided [`ReplayScratch`], so consecutive replays
+/// reuse the engine's bookkeeping buffers. The batch shards call this in a
+/// loop; the outcome is identical to [`run`]'s.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_with_scratch<A: OnlineAlgorithm + ?Sized>(
+    instance: &Instance,
+    algorithm: &mut A,
+    scratch: &mut ReplayScratch,
+) -> Result<Outcome, Error> {
+    let mut session = Session::with_scratch(instance.sets(), algorithm, scratch);
     for arrival in instance.arrivals() {
-        session.offer(arrival, algorithm)?;
+        session.step(arrival, algorithm)?;
     }
-    Ok(session.finish())
+    Ok(session.finish_into(scratch))
 }
 
 #[cfg(test)]
@@ -444,6 +552,31 @@ mod tests {
         let out = session.finish();
         assert_eq!(out.completed(), &[SetId(1)]);
         assert_eq!(out.benefit(), 1.0);
+    }
+
+    #[test]
+    fn died_at_foreign_set_id_is_none() {
+        // An id minted for a different (larger) instance must not panic.
+        let (inst, [s0, _, _]) = three_set_instance();
+        let mut alg = Scripted::new(vec![vec![s0], vec![s0], vec![]]);
+        let out = run(&inst, &mut alg).unwrap();
+        assert_eq!(out.died_at(SetId(999)), None);
+        assert_eq!(out.died_at(SetId(3)), None); // one past the end
+        assert_eq!(out.died_at(s0), None); // in-range still works
+    }
+
+    #[test]
+    fn scratch_reuse_is_outcome_identical() {
+        let (inst, [s0, _, s2]) = three_set_instance();
+        let script = vec![vec![s0], vec![s0], vec![s2]];
+        let mut scratch = ReplayScratch::new();
+        // Run twice through the same scratch, compare against fresh runs.
+        for _ in 0..2 {
+            let fresh = run(&inst, &mut Scripted::new(script.clone())).unwrap();
+            let reused =
+                run_with_scratch(&inst, &mut Scripted::new(script.clone()), &mut scratch).unwrap();
+            assert_eq!(fresh, reused);
+        }
     }
 
     #[test]

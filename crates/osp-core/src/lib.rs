@@ -55,7 +55,8 @@ pub mod priority;
 pub mod stats;
 
 pub use algorithm::{EngineView, OnlineAlgorithm};
-pub use engine::{run, Outcome, Session};
+pub use engine::batch::{derive_seed, ReplayJob, ReplayPool, ReplayScratch};
+pub use engine::{run, run_with_scratch, Outcome, Session};
 pub use error::Error;
 pub use ids::{ElementId, SetId};
 pub use instance::{Arrival, Instance, InstanceBuilder, SetMeta};

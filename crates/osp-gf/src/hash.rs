@@ -30,6 +30,14 @@ fn reduce128(mut x: u128) -> u64 {
     s
 }
 
+/// One branchless Mersenne fold: congruent mod `2^61 − 1`, shrinks the
+/// value by ~61 bits without the data-dependent loop of [`reduce128`].
+#[inline]
+fn fold61(x: u128) -> u128 {
+    const M: u128 = MERSENNE_61 as u128;
+    (x & M) + (x >> 61)
+}
+
 /// A member of the polynomial hash family `h(x) = Σ a_i x^i mod (2^61−1)`.
 ///
 /// A family with `independence = t` (polynomial degree `t − 1`) is exactly
@@ -67,18 +75,59 @@ impl PolyHash {
         PolyHash { coeffs }
     }
 
+    /// Builds a hash function directly from polynomial coefficients
+    /// (`coeffs[i]` multiplies `x^i`); coefficients are reduced modulo
+    /// `2^61 − 1`. Mainly for tests that need field-boundary coefficients;
+    /// experiments should draw members via [`new`](Self::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty.
+    pub fn from_coeffs(coeffs: Vec<u64>) -> Self {
+        assert!(!coeffs.is_empty(), "need at least one coefficient");
+        PolyHash {
+            coeffs: coeffs.into_iter().map(|c| c % MERSENNE_61).collect(),
+        }
+    }
+
     /// The independence level `t` of the family this function was drawn from.
     pub fn independence(&self) -> usize {
         self.coeffs.len()
     }
 
     /// Evaluates the hash at `x`, returning a value in `[0, 2^61 − 1)`.
+    ///
+    /// Fast path: Horner's rule with *lazy* Mersenne reduction — two
+    /// branchless [`fold61`] folds per coefficient keep the accumulator
+    /// below `2^62` (entering a step `acc < 2^62`, so
+    /// `acc·x + c < 2^123 + 2^61`; one fold brings that under `2^64`, a
+    /// second under `2^62`), and the value is canonicalized once at the
+    /// end. This replaces a data-dependent reduction loop plus conditional
+    /// subtraction per coefficient; [`eval_naive`](Self::eval_naive) keeps
+    /// the straightforward evaluation as the conformance reference.
     pub fn eval(&self, x: u64) -> u64 {
-        let x = x % MERSENNE_61;
-        // Horner's rule, highest coefficient first.
-        let mut acc = 0u64;
+        let x = (x % MERSENNE_61) as u128;
+        let mut acc: u128 = 0; // invariant: acc < 2^62
         for &c in self.coeffs.iter().rev() {
-            acc = reduce128(acc as u128 * x as u128 + c as u128);
+            acc = fold61(fold61(acc * x + c as u128));
+        }
+        reduce128(acc)
+    }
+
+    /// Reference evaluation: explicit precomputed powers of `x`, each term
+    /// fully reduced — `Σ a_i·x^i mod (2^61 − 1)` the naive way. Slower
+    /// than [`eval`](Self::eval) but obviously correct; the proptests
+    /// assert the two agree everywhere.
+    pub fn eval_naive(&self, x: u64) -> u64 {
+        let x = x % MERSENNE_61;
+        let mut power = 1u64; // x^i, canonical
+        let mut acc = 0u64;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if i > 0 {
+                power = reduce128(power as u128 * x as u128);
+            }
+            let term = reduce128(c as u128 * power as u128);
+            acc = reduce128(acc as u128 + term as u128);
         }
         acc
     }
@@ -106,6 +155,31 @@ mod tests {
         ] {
             assert_eq!(reduce128(x) as u128, x % MERSENNE_61 as u128, "x={x}");
         }
+    }
+
+    #[test]
+    fn fast_path_agrees_with_naive_on_boundaries() {
+        let m = MERSENNE_61;
+        // Field-boundary coefficients: 0, 1, p−1 in every position.
+        let hashes = [
+            PolyHash::from_coeffs(vec![m - 1, m - 1, m - 1, m - 1]),
+            PolyHash::from_coeffs(vec![0, 0, 0, m - 1]),
+            PolyHash::from_coeffs(vec![m - 1]),
+            PolyHash::from_coeffs(vec![1, 0, m - 1, 0, 1]),
+        ];
+        for h in &hashes {
+            for x in [0u64, 1, 2, m - 2, m - 1, m, m + 1, u64::MAX] {
+                assert_eq!(h.eval(x), h.eval_naive(x), "{h:?} at {x}");
+                assert!(h.eval(x) < m);
+            }
+        }
+    }
+
+    #[test]
+    fn from_coeffs_reduces_and_rejects_empty() {
+        let h = PolyHash::from_coeffs(vec![MERSENNE_61 + 5]);
+        assert_eq!(h.eval(123), 5);
+        assert!(std::panic::catch_unwind(|| PolyHash::from_coeffs(vec![])).is_err());
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Walker/Vose alias tables: O(1) weighted discrete sampling.
+//!
+//! The experiment harness draws from fixed weight vectors millions of
+//! times (element popularity in the skewed generators, weighted trial
+//! mixes). A cumulative-sum scan costs O(n) — or O(log n) with binary
+//! search — *per draw*; an [`AliasTable`] preprocesses the weights once in
+//! O(n) and then answers every draw with one table row: one uniform index,
+//! one uniform coin.
+
+use rand::Rng;
+
+/// Error constructing an [`AliasTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AliasError {
+    /// The weight slice was empty.
+    Empty,
+    /// A weight was negative, NaN or infinite.
+    BadWeight,
+    /// All weights were zero.
+    ZeroTotal,
+}
+
+impl std::fmt::Display for AliasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AliasError::Empty => write!(f, "alias table needs at least one weight"),
+            AliasError::BadWeight => write!(f, "weights must be finite and non-negative"),
+            AliasError::ZeroTotal => write!(f, "weights must not all be zero"),
+        }
+    }
+}
+
+impl std::error::Error for AliasError {}
+
+/// A preprocessed weighted distribution over `0..len` supporting O(1)
+/// draws (Vose's stable construction of Walker's alias method).
+///
+/// Zero-weight entries are representable and are never drawn.
+///
+/// # Examples
+///
+/// ```
+/// use osp_stats::AliasTable;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let t = AliasTable::new(&[1.0, 3.0]).unwrap();
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut hits = [0u32; 2];
+/// for _ in 0..10_000 {
+///     hits[t.sample(&mut rng)] += 1;
+/// }
+/// // Index 1 carries 3/4 of the mass.
+/// assert!(hits[1] > hits[0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    /// Probability of keeping bucket `i` (vs. deferring to `alias[i]`).
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table in O(n).
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty input, non-finite or negative weights, and an
+    /// all-zero weight vector.
+    pub fn new(weights: &[f64]) -> Result<Self, AliasError> {
+        if weights.is_empty() {
+            return Err(AliasError::Empty);
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(AliasError::BadWeight);
+        }
+        let max = weights.iter().copied().fold(0.0f64, f64::max);
+        if max <= 0.0 {
+            return Err(AliasError::ZeroTotal);
+        }
+        // Normalize by the largest weight before summing, so vectors of
+        // huge-but-finite weights (e.g. several 1e300 entries) cannot
+        // overflow the total to infinity.
+        let inv_max = 1.0 / max;
+        let normalized: Vec<f64> = weights.iter().map(|w| w * inv_max).collect();
+        let total: f64 = normalized.iter().sum(); // in [1, n]: finite
+        let n = weights.len();
+        // Scale so the average bucket holds exactly 1.
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = normalized.iter().map(|w| w * scale).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        // Partition buckets by whether they are under- or over-full.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        // Pair each under-full bucket with an over-full donor.
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            // Donor gives away (1 - prob[s]) of its mass.
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers are exactly full modulo rounding.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Ok(AliasTable { prob, alias })
+    }
+
+    /// Number of buckets (the support is `0..len()`).
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Always `false`: construction rejects empty weight vectors.
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index in O(1): a uniform bucket, then a biased coin
+    /// between the bucket and its alias.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+
+    /// The exact probability mass the table assigns to `index` (for tests
+    /// and diagnostics; O(n)).
+    pub fn mass(&self, index: usize) -> f64 {
+        let n = self.prob.len() as f64;
+        let mut p = self.prob[index];
+        for (i, &a) in self.alias.iter().enumerate() {
+            if a as usize == index && i != index {
+                p += 1.0 - self.prob[i];
+            }
+        }
+        p / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(AliasTable::new(&[]), Err(AliasError::Empty));
+        assert_eq!(AliasTable::new(&[1.0, -1.0]), Err(AliasError::BadWeight));
+        assert_eq!(
+            AliasTable::new(&[f64::NAN, 1.0]),
+            Err(AliasError::BadWeight)
+        );
+        assert_eq!(
+            AliasTable::new(&[f64::INFINITY]),
+            Err(AliasError::BadWeight)
+        );
+        assert_eq!(AliasTable::new(&[0.0, 0.0]), Err(AliasError::ZeroTotal));
+    }
+
+    #[test]
+    fn single_bucket_always_wins() {
+        let t = AliasTable::new(&[0.25]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+        assert!((t.mass(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_entries_never_drawn() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 2.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let i = t.sample(&mut rng);
+            assert!(i == 1 || i == 3);
+        }
+        assert!(t.mass(0) < 1e-12);
+        assert!(t.mass(2) < 1e-12);
+    }
+
+    #[test]
+    fn masses_match_normalized_weights() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&w).unwrap();
+        let total: f64 = w.iter().sum();
+        for (i, &wi) in w.iter().enumerate() {
+            assert!(
+                (t.mass(i) - wi / total).abs() < 1e-12,
+                "bucket {i}: {} vs {}",
+                t.mass(i),
+                wi / total
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_track_weights() {
+        let w = [5.0, 1.0, 0.5, 3.5];
+        let t = AliasTable::new(&w).unwrap();
+        let total: f64 = w.iter().sum();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let mut hits = [0u32; 4];
+        for _ in 0..n {
+            hits[t.sample(&mut rng)] += 1;
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            let want = w[i] / total;
+            let got = f64::from(h) / n as f64;
+            assert!((got - want).abs() < 0.01, "bucket {i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn extreme_skew_does_not_panic_and_keeps_mass() {
+        let w = [1e-300, 1e300, 1e-300];
+        let t = AliasTable::new(&w).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert_eq!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn huge_weights_do_not_overflow_the_total() {
+        // Summing these directly would overflow to infinity; the table
+        // must still build and split the mass evenly.
+        let t = AliasTable::new(&[1e300, 1e300]).unwrap();
+        assert!((t.mass(0) - 0.5).abs() < 1e-12);
+        assert!((t.mass(1) - 0.5).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(6);
+        let ones: usize = (0..10_000).map(|_| t.sample(&mut rng)).sum();
+        assert!((3_000..=7_000).contains(&ones), "ones={ones}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let t = AliasTable::new(&[2.0, 1.0, 7.0]).unwrap();
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| t.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| t.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

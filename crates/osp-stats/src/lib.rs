@@ -3,8 +3,9 @@
 //! Small, dependency-free helpers used throughout the workspace to summarize
 //! randomized-trial output: streaming moments ([`Summary`]), normal-theory
 //! confidence intervals ([`ConfidenceInterval`]), empirical quantiles
-//! ([`quantile`]), fixed-width text tables ([`Table`]) and deterministic seed
-//! fan-out for reproducible experiments ([`SeedSequence`]).
+//! ([`quantile`]), fixed-width text tables ([`Table`]), deterministic seed
+//! fan-out for reproducible experiments ([`SeedSequence`]) and O(1)
+//! weighted discrete sampling ([`AliasTable`]).
 //!
 //! ```
 //! use osp_stats::Summary;
@@ -19,11 +20,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alias;
 mod quantile;
 mod rng;
 mod summary;
 mod table;
 
+pub use alias::{AliasError, AliasTable};
 pub use quantile::{median, quantile, Quantiles};
 pub use rng::SeedSequence;
 pub use summary::{ConfidenceInterval, Summary};

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 
-use osp_stats::{median, quantile, Quantiles, SeedSequence, Summary};
+use osp_stats::{median, quantile, AliasTable, Quantiles, SeedSequence, Summary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 proptest! {
     #[test]
@@ -59,6 +61,77 @@ proptest! {
         // median consistent with the batch struct.
         let batch = Quantiles::from_sample(&data).unwrap();
         prop_assert_eq!(median(&data).unwrap(), batch.p50);
+    }
+
+    #[test]
+    fn alias_sampled_frequencies_match_weights(
+        weights in proptest::collection::vec(0.0f64..100.0, 1..12),
+        seed in 0u64..1000,
+    ) {
+        let total: f64 = weights.iter().sum();
+        let table = AliasTable::new(&weights);
+        if total <= 0.0 {
+            prop_assert!(table.is_err());
+            return Ok(());
+        }
+        let table = table.unwrap();
+        prop_assert_eq!(table.len(), weights.len());
+        // Exact check: the table's analytic mass equals the normalized
+        // weight for every bucket (up to float rounding)…
+        for (i, &w) in weights.iter().enumerate() {
+            prop_assert!(
+                (table.mass(i) - w / total).abs() < 1e-9,
+                "bucket {} mass {} vs {}", i, table.mass(i), w / total
+            );
+        }
+        // …and an empirical spot check keeps the sampler honest.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 20_000;
+        let mut hits = vec![0u32; weights.len()];
+        for _ in 0..n {
+            hits[table.sample(&mut rng)] += 1;
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            let want = weights[i] / total;
+            let got = f64::from(h) / f64::from(n);
+            prop_assert!(
+                (got - want).abs() < 0.03,
+                "bucket {} freq {} vs {}", i, got, want
+            );
+        }
+    }
+
+    #[test]
+    fn alias_degenerate_cases_do_not_panic(
+        n in 1usize..30,
+        hot in 0usize..30,
+        skew in proptest::sample::select(vec![1.0f64, 1e-12, 1e12, 1e300]),
+    ) {
+        // Single bucket, zero-weight entries and huge skew all construct
+        // and sample without panicking, and zero-weight buckets never win.
+        let hot = hot % n;
+        let mut weights = vec![0.0f64; n];
+        weights[hot] = skew;
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            prop_assert_eq!(table.sample(&mut rng), hot);
+        }
+    }
+
+    #[test]
+    fn alias_same_seed_same_draw_sequence(
+        weights in proptest::collection::vec(0.1f64..10.0, 1..10),
+        seed in 0u64..u64::MAX,
+    ) {
+        // The sampler's API promise: a fixed table and a fixed RNG seed
+        // reproduce the draw sequence exactly.
+        let table = AliasTable::new(&weights).unwrap();
+        let mut a = StdRng::seed_from_u64(seed);
+        let mut b = StdRng::seed_from_u64(seed);
+        let da: Vec<usize> = (0..100).map(|_| table.sample(&mut a)).collect();
+        let db: Vec<usize> = (0..100).map(|_| table.sample(&mut b)).collect();
+        prop_assert_eq!(da, db);
     }
 
     #[test]
