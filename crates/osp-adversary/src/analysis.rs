@@ -82,13 +82,18 @@ pub fn audit_gadget_lower_bound(g: &GadgetLowerBound) -> ConstructionAudit {
 
     let arrivals = g.instance.arrivals();
     let stage_loads_ok = {
-        let stage_i_ii = arrivals[..g.stage_ends[1]]
+        let stage_i_ii = arrivals
+            .slice(..g.stage_ends[1])
             .iter()
             .all(|a| a.load() as usize == lu);
-        let stage_iii = arrivals[g.stage_ends[1]..g.stage_ends[2]]
+        let stage_iii = arrivals
+            .slice(g.stage_ends[1]..g.stage_ends[2])
             .iter()
             .all(|a| a.load() as usize == l2 - lu || a.load() as usize == l2);
-        let stage_iv = arrivals[g.stage_ends[2]..].iter().all(|a| a.load() == 1);
+        let stage_iv = arrivals
+            .slice(g.stage_ends[2]..)
+            .iter()
+            .all(|a| a.load() == 1);
         stage_i_ii && stage_iii && stage_iv
     };
 

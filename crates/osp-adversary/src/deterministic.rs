@@ -89,8 +89,12 @@ pub fn run_deterministic_adversary<A: OnlineAlgorithm + ?Sized>(
     let mut participation = vec![0u32; m];
     let mut certified_opt: Vec<SetId> = Vec::new();
 
+    // One buffer reused across phases (refilled from the session's active
+    // iterator) instead of a freshly materialized Vec per phase.
+    let mut active: Vec<SetId> = Vec::with_capacity(m);
     for phase in 1..=k {
-        let active = session.active_sets();
+        active.clear();
+        active.extend(session.active_sets_iter());
         // Partition the active sets into chunks of σ (last may be smaller).
         for group in active.chunks(sigma as usize) {
             let element = ElementId(next_element);
@@ -117,14 +121,15 @@ pub fn run_deterministic_adversary<A: OnlineAlgorithm + ?Sized>(
 
     // Top every set up to exactly k elements with private load-1 elements.
     for (s, &seen) in participation.iter().enumerate() {
+        let singleton = [SetId(s as u32)];
         for _ in seen..k {
             let element = ElementId(next_element);
             next_element += 1;
-            let arrival = Arrival::new(element, 1, &[SetId(s as u32)]);
+            let arrival = Arrival::new(element, 1, &singleton);
             session
                 .offer(&arrival, algorithm)
                 .map_err(|e| AdvError::Algorithm(e.to_string()))?;
-            builder.add_element(1, &[SetId(s as u32)]);
+            builder.add_element(1, &singleton);
         }
     }
 

@@ -230,17 +230,17 @@ mod tests {
         let l = 3u32;
         let arrivals = g.instance.arrivals();
         // Stage I and II: load ℓ.
-        for a in &arrivals[..g.stage_ends[1]] {
+        for a in arrivals.slice(..g.stage_ends[1]) {
             assert_eq!(a.load(), l);
         }
         // Stage III: affine lines load ℓ²−ℓ, rows load ℓ².
-        let stage_iii = &arrivals[g.stage_ends[1]..g.stage_ends[2]];
+        let stage_iii = arrivals.slice(g.stage_ends[1]..g.stage_ends[2]);
         let affine_count = stage_iii.iter().filter(|a| a.load() == l * l - l).count();
         let row_count = stage_iii.iter().filter(|a| a.load() == l * l).count();
         assert_eq!(affine_count, (l * l * l * l) as usize);
         assert_eq!(row_count, (l * l - l) as usize);
         // Stage IV: load 1.
-        for a in &arrivals[g.stage_ends[2]..] {
+        for a in arrivals.slice(g.stage_ends[2]..) {
             assert_eq!(a.load(), 1);
         }
         // σ_max = ℓ².

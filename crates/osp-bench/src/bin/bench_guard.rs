@@ -1,0 +1,68 @@
+//! CI bench-guard: compares freshly generated `BENCH_*.json` run(s)
+//! against the committed baseline and exits non-zero on any identity
+//! regression.
+//!
+//! ```sh
+//! bench_guard <committed-baseline.json> <current.json> [more-runs.json...]
+//! ```
+//!
+//! See [`osp_bench::guard`] for the exact rules: boolean identity columns
+//! must read `true` in every run, and the machine-portable algorithmic
+//! speedups (`poly_hash_eval`, `weighted sampling`; committed value ≥ 2×)
+//! must stay at ≥ 0.9× their committed value in the best run.
+
+use std::process::ExitCode;
+
+use osp_bench::guard;
+use osp_bench::report::Report;
+
+fn load(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, candidate_paths @ ..] = args.as_slice() else {
+        eprintln!("usage: bench_guard <committed-baseline.json> <current.json> [more.json...]");
+        return ExitCode::FAILURE;
+    };
+    if candidate_paths.is_empty() {
+        eprintln!("usage: bench_guard <committed-baseline.json> <current.json> [more.json...]");
+        return ExitCode::FAILURE;
+    }
+    let baseline = match load(baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_guard: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut candidates = Vec::new();
+    for path in candidate_paths {
+        match load(path) {
+            Ok(r) => candidates.push(r),
+            Err(e) => {
+                eprintln!("bench_guard: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let violations = guard::check_all(&baseline, &candidates);
+    if violations.is_empty() {
+        println!(
+            "bench_guard: OK — {} run(s) vs {} (identity columns true; guarded speedups ≥ {}× \
+             baseline)",
+            candidates.len(),
+            baseline_path,
+            guard::SPEEDUP_FLOOR
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_guard: {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,259 @@
+//! Bench-guard: regression checks over `BENCH_*.json` reports.
+//!
+//! CI regenerates `BENCH_replay.json` on every run and compares it against
+//! the committed baseline with two rules:
+//!
+//! 1. **Identity booleans** — every cell under a `bit-identical` or
+//!    `agree` header, in *every* candidate report, must read `true`. These
+//!    encode correctness (batch replay ≡ sequential, fast hash ≡ naive)
+//!    and must never regress, on any machine.
+//! 2. **Algorithmic speedups** — for tables whose comparison is
+//!    single-threaded and machine-portable (`poly_hash_eval`,
+//!    `weighted sampling`), each `speedup` cell must stay at ≥
+//!    [`SPEEDUP_FLOOR`] × its committed value, matched by table title and
+//!    row identity (the first column). Two deliberate exclusions keep the
+//!    check meaningful rather than noisy:
+//!    * committed ratios below [`RATIO_GUARD_MIN`] are informational only —
+//!      a 1.3× micro-ratio is dominated by loop overhead and alignment
+//!      luck, so "regressions" there are indistinguishable from jitter;
+//!    * thread-scaling tables (`engine_run`, `replay_throughput`) are
+//!      exempt — their speedups measure the host's core count, which CI
+//!      runners and the baseline machine don't share — but their identity
+//!      booleans are still enforced by rule 1.
+//!
+//! When several candidate reports are supplied (CI measures twice), a
+//! ratio cell passes if its **best** candidate meets the floor — the
+//! standard min-noise estimator for wall-clock ratios — while rule 1 must
+//! hold in every candidate.
+//!
+//! Rows or tables present only in the baseline are skipped (the
+//! quick-scale CI grid is a subset of the committed full-scale grid).
+
+use crate::report::Report;
+
+/// A guarded speedup may regress to this fraction of its committed value
+/// before the guard fails (absorbs benign machine-to-machine jitter).
+pub const SPEEDUP_FLOOR: f64 = 0.9;
+
+/// Committed ratios below this are informational, not guarded.
+pub const RATIO_GUARD_MIN: f64 = 2.0;
+
+/// Table-title prefixes whose `speedup` columns are machine-portable
+/// (single-threaded algorithmic ratios) and therefore ratio-guarded.
+const RATIO_GUARDED_TABLES: [&str; 2] = ["poly_hash_eval", "weighted sampling"];
+
+/// Headers holding boolean identity verdicts.
+const IDENTITY_HEADERS: [&str; 2] = ["bit-identical", "agree"];
+
+/// Headers holding guarded speedup ratios. (`unroll gain` is deliberately
+/// *not* guarded: below the unroll dispatch threshold both legs run the
+/// same code, so that ratio is ~1.0 and noise-dominated — informational
+/// only.)
+const RATIO_HEADERS: [&str; 1] = ["speedup"];
+
+/// Parses a `"1.36×"` (or plain `"1.36"`) speedup cell.
+fn parse_ratio(cell: &str) -> Option<f64> {
+    cell.trim().trim_end_matches('×').trim().parse::<f64>().ok()
+}
+
+/// Checks the candidate reports against `baseline`; returns every
+/// violation found (empty = pass).
+pub fn check_all(baseline: &Report, candidates: &[Report]) -> Vec<String> {
+    let mut violations = Vec::new();
+
+    // Rule 1: identity booleans, in every candidate.
+    for (i, current) in candidates.iter().enumerate() {
+        for table in &current.tables {
+            for (col, header) in table.headers.iter().enumerate() {
+                if !IDENTITY_HEADERS.contains(&header.as_str()) {
+                    continue;
+                }
+                for row in &table.rows {
+                    if row[col] != "true" {
+                        violations.push(format!(
+                            "[candidate {i}] [{}] row '{}': identity column '{}' is '{}', \
+                             expected 'true'",
+                            table.title, row[0], header, row[col]
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Rule 2: machine-portable speedups vs the committed baseline, taking
+    // the best candidate per cell.
+    for base_table in &baseline.tables {
+        if !RATIO_GUARDED_TABLES
+            .iter()
+            .any(|p| base_table.title.starts_with(p))
+        {
+            continue;
+        }
+        for (base_col, header) in base_table.headers.iter().enumerate() {
+            if !RATIO_HEADERS.contains(&header.as_str()) {
+                continue;
+            }
+            for base_row in &base_table.rows {
+                let Some(base) = parse_ratio(&base_row[base_col]) else {
+                    continue;
+                };
+                if base < RATIO_GUARD_MIN {
+                    continue;
+                }
+                // Collect this cell from every candidate that has it.
+                let measured: Vec<f64> = candidates
+                    .iter()
+                    .filter_map(|current| {
+                        let table = current
+                            .tables
+                            .iter()
+                            .find(|t| t.title == base_table.title)?;
+                        let col = table.headers.iter().position(|h| h == header)?;
+                        let row = table.rows.iter().find(|r| r[0] == base_row[0])?;
+                        parse_ratio(&row[col])
+                    })
+                    .collect();
+                let Some(best) = measured.iter().copied().fold(None, |acc: Option<f64>, v| {
+                    Some(acc.map_or(v, |a| a.max(v)))
+                }) else {
+                    continue; // cell absent from every candidate: skipped
+                };
+                if best < SPEEDUP_FLOOR * base {
+                    violations.push(format!(
+                        "[{}] row '{}': '{}' regressed to {best:.2}× \
+                         (best of {} run(s); < {SPEEDUP_FLOOR} × committed {base:.2}×)",
+                        base_table.title,
+                        base_row[0],
+                        header,
+                        measured.len(),
+                    ));
+                }
+            }
+        }
+    }
+
+    violations
+}
+
+/// Single-candidate convenience wrapper around [`check_all`].
+pub fn check(baseline: &Report, current: &Report) -> Vec<String> {
+    check_all(baseline, std::slice::from_ref(current))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::NamedTable;
+
+    fn report_with(title: &str, headers: &[&str], rows: Vec<Vec<&str>>) -> Report {
+        let mut r = Report::new("replay", "t", "c");
+        let mut t = NamedTable::new(title, headers);
+        for row in rows {
+            t.row(row.into_iter().map(String::from).collect());
+        }
+        r.table(t);
+        r
+    }
+
+    #[test]
+    fn passes_when_identical() {
+        let base = report_with(
+            "poly_hash_eval: x",
+            &["independence", "speedup", "agree"],
+            vec![vec!["8-wise", "3.44×", "true"]],
+        );
+        assert!(check(&base, &base.clone()).is_empty());
+    }
+
+    #[test]
+    fn false_identity_fails_in_any_candidate() {
+        let good = report_with(
+            "engine_run: x",
+            &["workload", "bit-identical"],
+            vec![vec!["w", "true"]],
+        );
+        let bad = report_with(
+            "engine_run: x",
+            &["workload", "bit-identical"],
+            vec![vec!["w", "false"]],
+        );
+        let v = check_all(&good, &[good.clone(), bad]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("bit-identical"));
+    }
+
+    #[test]
+    fn speedup_regression_fails_only_in_ratio_guarded_tables() {
+        let mk = |title: &str, speedup: &str| {
+            report_with(title, &["id", "speedup"], vec![vec!["row", speedup]])
+        };
+        // 3.0× committed, 1.0× now: fails in a hash table...
+        let v = check(
+            &mk("poly_hash_eval: x", "3.00×"),
+            &mk("poly_hash_eval: x", "1.00×"),
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("regressed"));
+        // ...but within the floor passes.
+        assert!(check(
+            &mk("poly_hash_eval: x", "3.00×"),
+            &mk("poly_hash_eval: x", "2.75×"),
+        )
+        .is_empty());
+        // Thread-scaling tables are exempt from the ratio rule.
+        assert!(check(&mk("engine_run: x", "8.00×"), &mk("engine_run: x", "0.90×"),).is_empty());
+        // Small committed ratios are informational, not guarded.
+        assert!(check(
+            &mk("poly_hash_eval: x", "1.40×"),
+            &mk("poly_hash_eval: x", "0.80×"),
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn best_of_candidates_wins() {
+        let base = report_with(
+            "poly_hash_eval: x",
+            &["id", "speedup"],
+            vec![vec!["8-wise", "3.60×"]],
+        );
+        let noisy = report_with(
+            "poly_hash_eval: x",
+            &["id", "speedup"],
+            vec![vec!["8-wise", "3.00×"]],
+        );
+        let quiet = report_with(
+            "poly_hash_eval: x",
+            &["id", "speedup"],
+            vec![vec!["8-wise", "3.55×"]],
+        );
+        // The noisy run alone fails; paired with the quiet run it passes.
+        assert_eq!(check(&base, &noisy).len(), 1);
+        assert!(check_all(&base, &[noisy, quiet]).is_empty());
+    }
+
+    #[test]
+    fn missing_rows_and_tables_are_skipped() {
+        let base = report_with(
+            "poly_hash_eval: x",
+            &["id", "speedup"],
+            vec![vec!["64-wise", "2.72×"]],
+        );
+        let cur = report_with(
+            "poly_hash_eval: x",
+            &["id", "speedup"],
+            vec![vec!["128-wise", "0.10×"]],
+        );
+        assert!(check(&base, &cur).is_empty());
+        let other = report_with("weighted sampling: y", &["id", "speedup"], vec![]);
+        assert!(check(&other, &base).is_empty());
+    }
+
+    #[test]
+    fn ratio_parsing() {
+        assert_eq!(parse_ratio("1.36×"), Some(1.36));
+        assert_eq!(parse_ratio(" 2.0 "), Some(2.0));
+        assert_eq!(parse_ratio("n/a"), None);
+    }
+}

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod guard;
 pub mod pool;
 pub mod ratio;
 pub mod report;

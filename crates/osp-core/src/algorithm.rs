@@ -8,6 +8,14 @@
 //! is still completable) — information any implementation could derive from
 //! its own decision history, offered centrally so baselines don't each
 //! re-implement the bookkeeping.
+//!
+//! The required decision method is [`decide_into`](OnlineAlgorithm::decide_into):
+//! the algorithm writes its choice into a caller-provided buffer, so a warm
+//! replay loop performs **zero heap allocations per arrival** — the engine
+//! recycles one decision buffer across all arrivals (and, via
+//! [`ReplayScratch`](crate::engine::batch::ReplayScratch), across all jobs
+//! of a shard). The allocating [`decide`](OnlineAlgorithm::decide) is a
+//! default-implemented convenience shim for external callers.
 
 use crate::instance::{Arrival, SetMeta};
 use crate::SetId;
@@ -55,9 +63,10 @@ impl<'a> EngineView<'a> {
 /// An online algorithm for OSP.
 ///
 /// The engine calls [`begin`](Self::begin) once, then
-/// [`decide`](Self::decide) for every arrival in order. Decisions must pick
-/// at most `arrival.capacity()` distinct sets from `arrival.members()`; the
-/// engine validates this and fails the run otherwise.
+/// [`decide_into`](Self::decide_into) for every arrival in order. Decisions
+/// must pick at most `arrival.capacity()` distinct sets from
+/// `arrival.members()`; the engine validates this and fails the run
+/// otherwise.
 pub trait OnlineAlgorithm {
     /// Human-readable name used in experiment reports.
     fn name(&self) -> String;
@@ -66,8 +75,22 @@ pub trait OnlineAlgorithm {
     /// size — the information the paper grants algorithms up front.
     fn begin(&mut self, sets: &[SetMeta]);
 
-    /// Decides which sets receive the arriving element.
-    fn decide(&mut self, arrival: &Arrival, view: &EngineView<'_>) -> Vec<SetId>;
+    /// Decides which sets receive the arriving element, appending them to
+    /// `out` (handed over empty by the engine, with warm capacity). This is
+    /// the allocation-free hot path: implementations must not assume `out`
+    /// has any particular capacity, but should write into it rather than
+    /// allocating buffers of their own.
+    fn decide_into(&mut self, arrival: &Arrival<'_>, view: &EngineView<'_>, out: &mut Vec<SetId>);
+
+    /// Allocating convenience wrapper around
+    /// [`decide_into`](Self::decide_into) for external callers (tests,
+    /// adversaries inspecting single decisions). The replay engine never
+    /// calls this.
+    fn decide(&mut self, arrival: &Arrival<'_>, view: &EngineView<'_>) -> Vec<SetId> {
+        let mut out = Vec::new();
+        self.decide_into(arrival, view, &mut out);
+        out
+    }
 }
 
 impl<T: OnlineAlgorithm + ?Sized> OnlineAlgorithm for Box<T> {
@@ -79,7 +102,11 @@ impl<T: OnlineAlgorithm + ?Sized> OnlineAlgorithm for Box<T> {
         (**self).begin(sets);
     }
 
-    fn decide(&mut self, arrival: &Arrival, view: &EngineView<'_>) -> Vec<SetId> {
+    fn decide_into(&mut self, arrival: &Arrival<'_>, view: &EngineView<'_>, out: &mut Vec<SetId>) {
+        (**self).decide_into(arrival, view, out);
+    }
+
+    fn decide(&mut self, arrival: &Arrival<'_>, view: &EngineView<'_>) -> Vec<SetId> {
         (**self).decide(arrival, view)
     }
 }

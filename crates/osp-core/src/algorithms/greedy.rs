@@ -10,7 +10,7 @@ use crate::algorithm::{EngineView, OnlineAlgorithm};
 use crate::instance::{Arrival, SetMeta};
 use crate::SetId;
 
-use super::top_b_by_key;
+use super::retain_top_b_by_key;
 
 /// Ranking policy for [`GreedyOnline`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,16 +106,17 @@ impl OnlineAlgorithm for GreedyOnline {
 
     fn begin(&mut self, _sets: &[SetMeta]) {}
 
-    fn decide(&mut self, arrival: &Arrival, view: &EngineView<'_>) -> Vec<SetId> {
-        let active: Vec<SetId> = arrival
-            .members()
-            .iter()
-            .copied()
-            .filter(|&s| view.is_active(s))
-            .collect();
-        top_b_by_key(&active, arrival.capacity() as usize, |s| {
+    fn decide_into(&mut self, arrival: &Arrival<'_>, view: &EngineView<'_>, out: &mut Vec<SetId>) {
+        out.extend(
+            arrival
+                .members()
+                .iter()
+                .copied()
+                .filter(|&s| view.is_active(s)),
+        );
+        retain_top_b_by_key(out, arrival.capacity() as usize, |s| {
             rank(self.policy, s, view)
-        })
+        });
     }
 }
 

@@ -21,7 +21,7 @@ use crate::instance::{Arrival, SetMeta};
 use crate::priority::{Priority, Rw};
 use crate::SetId;
 
-use super::top_b_by_key;
+use super::retain_top_b_by_key;
 
 /// Distributed `randPr`: priorities from a shared limited-independence
 /// polynomial hash instead of private randomness.
@@ -100,10 +100,11 @@ impl OnlineAlgorithm for HashRandPr {
             .collect();
     }
 
-    fn decide(&mut self, arrival: &Arrival, _view: &EngineView<'_>) -> Vec<SetId> {
-        top_b_by_key(arrival.members(), arrival.capacity() as usize, |s| {
+    fn decide_into(&mut self, arrival: &Arrival<'_>, _view: &EngineView<'_>, out: &mut Vec<SetId>) {
+        out.extend_from_slice(arrival.members());
+        retain_top_b_by_key(out, arrival.capacity() as usize, |s| {
             self.priorities[s.index()]
-        })
+        });
     }
 }
 

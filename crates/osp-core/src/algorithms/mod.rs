@@ -7,6 +7,11 @@
 //! | [`HashRandPr`] | §3.1 | same, but priorities from a shared limited-independence hash — runs identically on every distributed server |
 //! | [`GreedyOnline`] | folklore | deterministic; keeps the best *active* sets under a [`TieBreak`] policy; Theorem 3 victim |
 //! | [`RandomAssign`] | ablation | a fresh coin per element; shows why randPr's *consistent* priorities matter |
+//!
+//! All implementations write their decision through
+//! [`OnlineAlgorithm::decide_into`](crate::OnlineAlgorithm::decide_into)
+//! directly into the engine's recycled buffer — the per-arrival hot path
+//! allocates nothing.
 
 mod greedy;
 mod hash_pr;
@@ -22,22 +27,39 @@ pub use random_assign::RandomAssign;
 
 use crate::SetId;
 
-/// Picks the (up to) `b` member sets with the largest keys, deterministically
-/// (keys must be totally ordered and unique, which all callers guarantee via
-/// tiebreak tokens).
-pub(crate) fn top_b_by_key<K: Ord + Copy>(
-    members: &[SetId],
+/// Retains the (up to) `b` candidates with the largest keys, in place and
+/// without allocating, deterministically (keys must be totally ordered and
+/// unique, which all callers guarantee via tiebreak tokens). Callers stage
+/// the candidate list in `out` (the engine's recycled decision buffer) and
+/// this prunes it to the winners.
+pub(crate) fn retain_top_b_by_key<K: Ord>(
+    out: &mut Vec<SetId>,
     b: usize,
     mut key: impl FnMut(SetId) -> K,
-) -> Vec<SetId> {
-    if members.len() <= b {
-        return members.to_vec();
+) {
+    if out.len() <= b {
+        return;
     }
-    let mut keyed: Vec<(K, SetId)> = members.iter().map(|&s| (key(s), s)).collect();
     // Highest keys first; select the top b in O(σ) average time.
-    keyed.select_nth_unstable_by(b - 1, |x, y| y.0.cmp(&x.0));
-    keyed.truncate(b);
-    keyed.into_iter().map(|(_, s)| s).collect()
+    out.select_nth_unstable_by(b - 1, |&x, &y| key(y).cmp(&key(x)));
+    out.truncate(b);
+}
+
+/// In-place partial Fisher–Yates: prunes the staged candidates in `out` to
+/// a uniform random `min(b, out.len())`-subset, consuming exactly the RNG
+/// stream of the vendored `rand::seq::index::sample` — the
+/// allocation-free, seed-compatible replacement for `choose_multiple` that
+/// [`RandomAssign`] (and osp-net's `RandomDrop`) use in `decide_into`.
+/// Kept as the single canonical copy so the draw sequence cannot drift
+/// between call sites.
+pub fn sample_in_place<R: rand::RngCore + ?Sized>(out: &mut Vec<SetId>, b: usize, rng: &mut R) {
+    let n = out.len();
+    let b = b.min(n);
+    for i in 0..b {
+        let j = i + (rng.next_u64() % (n - i) as u64) as usize;
+        out.swap(i, j);
+    }
+    out.truncate(b);
 }
 
 #[cfg(test)]
@@ -45,25 +67,48 @@ mod tests {
     use super::*;
 
     #[test]
+    fn sample_in_place_matches_vendored_choose_multiple() {
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::{RngCore, SeedableRng};
+        let pool: Vec<SetId> = (0..9).map(SetId).collect();
+        for seed in 0..50u64 {
+            for b in [0usize, 1, 4, 9, 12] {
+                let mut reference_rng = StdRng::seed_from_u64(seed);
+                let want: Vec<SetId> = pool
+                    .choose_multiple(&mut reference_rng, b)
+                    .copied()
+                    .collect();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut got = pool.clone();
+                sample_in_place(&mut got, b, &mut rng);
+                assert_eq!(got, want, "seed {seed}, b {b}");
+                // And the two consumed the same number of draws.
+                assert_eq!(rng.next_u64(), reference_rng.next_u64());
+            }
+        }
+    }
+
+    #[test]
     fn top_b_selects_largest() {
-        let members: Vec<SetId> = (0..6).map(SetId).collect();
+        let mut picked: Vec<SetId> = (0..6).map(SetId).collect();
         let keys = [3u64, 9, 1, 7, 5, 2];
-        let mut picked = top_b_by_key(&members, 2, |s| keys[s.index()]);
+        retain_top_b_by_key(&mut picked, 2, |s| keys[s.index()]);
         picked.sort_unstable();
         assert_eq!(picked, vec![SetId(1), SetId(3)]);
     }
 
     #[test]
-    fn top_b_with_fewer_members_returns_all() {
-        let members = vec![SetId(4), SetId(2)];
-        let picked = top_b_by_key(&members, 5, |s| s.0);
-        assert_eq!(picked, members);
+    fn top_b_with_fewer_members_keeps_all() {
+        let mut picked = vec![SetId(4), SetId(2)];
+        retain_top_b_by_key(&mut picked, 5, |s| s.0);
+        assert_eq!(picked, vec![SetId(4), SetId(2)]);
     }
 
     #[test]
     fn top_b_exact_size() {
-        let members = vec![SetId(0), SetId(1)];
-        let picked = top_b_by_key(&members, 2, |s| s.0);
+        let mut picked = vec![SetId(0), SetId(1)];
+        retain_top_b_by_key(&mut picked, 2, |s| s.0);
         assert_eq!(picked.len(), 2);
     }
 }

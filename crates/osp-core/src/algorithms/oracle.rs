@@ -64,16 +64,17 @@ impl OnlineAlgorithm for OracleOnline {
         }
     }
 
-    fn decide(&mut self, arrival: &Arrival, _view: &EngineView<'_>) -> Vec<SetId> {
+    fn decide_into(&mut self, arrival: &Arrival<'_>, _view: &EngineView<'_>, out: &mut Vec<SetId>) {
         // Assign to target members only; if the plan is infeasible the
         // engine rejects the over-capacity decision, which is exactly the
         // verdict callers want.
-        arrival
-            .members()
-            .iter()
-            .copied()
-            .filter(|s| self.chosen[s.index()])
-            .collect()
+        out.extend(
+            arrival
+                .members()
+                .iter()
+                .copied()
+                .filter(|s| self.chosen[s.index()]),
+        );
     }
 }
 

@@ -8,7 +8,7 @@ use crate::instance::{Arrival, SetMeta};
 use crate::priority::{Priority, Rw};
 use crate::SetId;
 
-use super::top_b_by_key;
+use super::retain_top_b_by_key;
 
 /// The paper's randomized algorithm:
 ///
@@ -95,19 +95,22 @@ impl OnlineAlgorithm for RandPr {
             .collect();
     }
 
-    fn decide(&mut self, arrival: &Arrival, view: &EngineView<'_>) -> Vec<SetId> {
+    fn decide_into(&mut self, arrival: &Arrival<'_>, view: &EngineView<'_>, out: &mut Vec<SetId>) {
         let b = arrival.capacity() as usize;
         if self.active_filter {
-            let active: Vec<SetId> = arrival
-                .members()
-                .iter()
-                .copied()
-                .filter(|&s| view.is_active(s))
-                .collect();
-            top_b_by_key(&active, b, |s| self.priorities[s.index()])
+            // Stage the active members directly in the output buffer — no
+            // intermediate `Vec` per query.
+            out.extend(
+                arrival
+                    .members()
+                    .iter()
+                    .copied()
+                    .filter(|&s| view.is_active(s)),
+            );
         } else {
-            top_b_by_key(arrival.members(), b, |s| self.priorities[s.index()])
+            out.extend_from_slice(arrival.members());
         }
+        retain_top_b_by_key(out, b, |s| self.priorities[s.index()]);
     }
 }
 

@@ -9,8 +9,9 @@
 //! `A2` ablation experiment shows the resulting collapse.
 
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+use super::sample_in_place;
 
 use crate::algorithm::{EngineView, OnlineAlgorithm};
 use crate::instance::{Arrival, SetMeta};
@@ -52,15 +53,15 @@ impl OnlineAlgorithm for RandomAssign {
 
     fn begin(&mut self, _sets: &[SetMeta]) {}
 
-    fn decide(&mut self, arrival: &Arrival, view: &EngineView<'_>) -> Vec<SetId> {
-        let active: Vec<SetId> = arrival
-            .members()
-            .iter()
-            .copied()
-            .filter(|&s| view.is_active(s))
-            .collect();
-        let b = (arrival.capacity() as usize).min(active.len());
-        active.choose_multiple(&mut self.rng, b).copied().collect()
+    fn decide_into(&mut self, arrival: &Arrival<'_>, view: &EngineView<'_>, out: &mut Vec<SetId>) {
+        out.extend(
+            arrival
+                .members()
+                .iter()
+                .copied()
+                .filter(|&s| view.is_active(s)),
+        );
+        sample_in_place(out, arrival.capacity() as usize, &mut self.rng);
     }
 }
 

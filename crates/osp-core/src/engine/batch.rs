@@ -24,20 +24,27 @@
 
 use crate::algorithm::OnlineAlgorithm;
 use crate::error::Error;
+use crate::ids::ElementId;
 use crate::instance::Instance;
 
-use super::{run_with_scratch, Outcome};
+use super::{run_with_scratch, DecisionLog, Outcome};
 
 /// Reusable engine buffers for one replay shard.
 ///
-/// Holds the per-set bookkeeping (`assigned`, `alive`) and the decision
-/// validation scratch; [`Session::with_scratch`](super::Session::with_scratch)
-/// borrows them for a run and [`Session::finish_into`](super::Session::finish_into)
-/// hands them back.
+/// Holds the per-set bookkeeping (`assigned`, `alive`, `died_at`), the
+/// in-flight [`DecisionLog`] arena, the algorithm's decision buffer and the
+/// decision validation scratch;
+/// [`Session::with_scratch`](super::Session::with_scratch) borrows them for
+/// a run and [`Session::finish_into`](super::Session::finish_into) hands
+/// them back. With every per-arrival buffer recycled here, a warm shard
+/// performs zero heap allocations per arrival.
 #[derive(Debug, Default)]
 pub struct ReplayScratch {
     pub(super) assigned: Vec<u32>,
     pub(super) alive: Vec<bool>,
+    pub(super) died_at: Vec<Option<ElementId>>,
+    pub(super) decisions: DecisionLog,
+    pub(super) decision_buf: Vec<crate::SetId>,
     pub(super) sorted: Vec<crate::SetId>,
 }
 

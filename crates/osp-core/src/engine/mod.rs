@@ -17,8 +17,15 @@
 //! All paths enforce the model's rules (§2): each decision must pick at
 //! most `b(u)` distinct sets from `C(u)`. A set is **completed** iff it was
 //! chosen for every one of its elements; the [`Outcome`] records the
-//! completed sets, the benefit, every decision, and when each
-//! non-surviving set died.
+//! completed sets, the benefit, every decision (as a flat [`DecisionLog`]),
+//! and when each non-surviving set died.
+//!
+//! The per-arrival hot path is allocation-free: algorithms write decisions
+//! into a recycled buffer ([`OnlineAlgorithm::decide_into`]), the engine
+//! validates in another recycled buffer, and the decision log accumulates
+//! in two flat CSR vectors — all handed from job to job via
+//! [`batch::ReplayScratch`], so a warm shard performs zero heap
+//! allocations per arrival.
 
 pub mod batch;
 
@@ -29,12 +36,124 @@ use crate::instance::{Arrival, Instance, SetMeta};
 
 pub use batch::{derive_seed, ReplayPool, ReplayScratch};
 
+/// A flat record of every decision of a run: one CSR arena (offsets +
+/// data) instead of a `Vec<SetId>` per arrival, so logging a decision is
+/// two appends into warm buffers and reading the log back walks one
+/// contiguous allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionLog {
+    /// `offsets.len() == len() + 1`; arrival `i`'s decision is
+    /// `data[offsets[i]..offsets[i+1]]`.
+    offsets: Vec<u32>,
+    data: Vec<SetId>,
+}
+
+impl Default for DecisionLog {
+    fn default() -> Self {
+        DecisionLog {
+            offsets: vec![0],
+            data: Vec::new(),
+        }
+    }
+}
+
+impl DecisionLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        DecisionLog::default()
+    }
+
+    /// Number of decisions recorded (= arrivals replayed).
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether no decision has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The decision taken for arrival `i`, or `None` past the end.
+    pub fn get(&self, i: usize) -> Option<&[SetId]> {
+        if i >= self.len() {
+            return None;
+        }
+        Some(&self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize])
+    }
+
+    /// Total number of `(element, set)` assignments across all decisions.
+    pub fn total_assignments(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Iterates the decisions in arrival order.
+    pub fn iter(&self) -> DecisionLogIter<'_> {
+        DecisionLogIter { log: self, next: 0 }
+    }
+
+    /// Appends one decision.
+    fn push(&mut self, decision: &[SetId]) {
+        self.data.extend_from_slice(decision);
+        self.offsets.push(self.data.len() as u32);
+    }
+
+    /// Clears the log, keeping both buffers' capacity.
+    fn clear(&mut self) {
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.data.clear();
+    }
+
+    /// A right-sized deep copy (fresh exact-capacity allocations), leaving
+    /// `self` — and its warm capacity — in place for reuse.
+    fn snapshot(&self) -> DecisionLog {
+        DecisionLog {
+            offsets: self.offsets.as_slice().to_vec(),
+            data: self.data.as_slice().to_vec(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a DecisionLog {
+    type Item = &'a [SetId];
+    type IntoIter = DecisionLogIter<'a>;
+
+    fn into_iter(self) -> DecisionLogIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`DecisionLog`]'s per-arrival decision slices.
+#[derive(Debug, Clone)]
+pub struct DecisionLogIter<'a> {
+    log: &'a DecisionLog,
+    next: usize,
+}
+
+impl<'a> Iterator for DecisionLogIter<'a> {
+    type Item = &'a [SetId];
+
+    fn next(&mut self) -> Option<&'a [SetId]> {
+        let d = self.log.get(self.next)?;
+        self.next += 1;
+        Some(d)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.log.len() - self.next;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for DecisionLogIter<'_> {}
+impl std::iter::FusedIterator for DecisionLogIter<'_> {}
+
 /// The result of one online run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Outcome {
     completed: Vec<SetId>,
     benefit: f64,
-    decisions: Vec<Vec<SetId>>,
+    decisions: DecisionLog,
     died_at: Vec<Option<ElementId>>,
 }
 
@@ -49,8 +168,9 @@ impl Outcome {
         self.benefit
     }
 
-    /// The decision taken for each arrival, in arrival order.
-    pub fn decisions(&self) -> &[Vec<SetId>] {
+    /// The decision taken for each arrival, in arrival order, as a flat
+    /// [`DecisionLog`].
+    pub fn decisions(&self) -> &DecisionLog {
         &self.decisions
     }
 
@@ -91,7 +211,9 @@ pub struct Session<'a> {
     assigned: Vec<u32>,
     alive: Vec<bool>,
     died_at: Vec<Option<ElementId>>,
-    decisions: Vec<Vec<SetId>>,
+    decisions: DecisionLog,
+    /// The algorithm's decision target, reused across arrivals.
+    decision_buf: Vec<SetId>,
     /// Validation scratch reused across arrivals (sorted decision copy),
     /// so the per-arrival hot path allocates nothing of its own.
     sorted: Vec<SetId>,
@@ -122,14 +244,22 @@ impl<'a> Session<'a> {
         let mut alive = std::mem::take(&mut scratch.alive);
         alive.clear();
         alive.resize(m, true);
+        let mut died_at = std::mem::take(&mut scratch.died_at);
+        died_at.clear();
+        died_at.resize(m, None);
+        let mut decisions = std::mem::take(&mut scratch.decisions);
+        decisions.clear();
+        let mut decision_buf = std::mem::take(&mut scratch.decision_buf);
+        decision_buf.clear();
         let mut sorted = std::mem::take(&mut scratch.sorted);
         sorted.clear();
         Session {
             sets,
             assigned,
             alive,
-            died_at: vec![None; m],
-            decisions: Vec::new(),
+            died_at,
+            decisions,
+            decision_buf,
             sorted,
         }
     }
@@ -149,12 +279,26 @@ impl<'a> Session<'a> {
         self.assigned[set.index()]
     }
 
-    /// The ids of all currently active sets, ascending.
+    /// Number of currently active sets.
+    pub fn active_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Iterates the ids of all currently active sets, ascending, without
+    /// materializing them.
+    pub fn active_sets_iter(&self) -> impl Iterator<Item = SetId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &alive)| alive.then_some(SetId(i as u32)))
+    }
+
+    /// The ids of all currently active sets, ascending. Prefer
+    /// [`active_sets_iter`](Self::active_sets_iter) (or
+    /// [`active_count`](Self::active_count)) when a materialized vector is
+    /// not actually needed.
     pub fn active_sets(&self) -> Vec<SetId> {
-        (0..self.sets.len())
-            .filter(|&i| self.alive[i])
-            .map(|i| SetId(i as u32))
-            .collect()
+        self.active_sets_iter().collect()
     }
 
     /// A read-only [`EngineView`] of the current session state — what an
@@ -167,7 +311,7 @@ impl<'a> Session<'a> {
     }
 
     /// Offers the next arrival to the algorithm, validates its decision,
-    /// applies it, and returns the decision.
+    /// applies it, and returns a copy of the decision.
     ///
     /// # Errors
     ///
@@ -176,21 +320,23 @@ impl<'a> Session<'a> {
     /// The session state is unchanged on error.
     pub fn offer<A: OnlineAlgorithm + ?Sized>(
         &mut self,
-        arrival: &Arrival,
+        arrival: &Arrival<'_>,
         algorithm: &mut A,
     ) -> Result<Vec<SetId>, Error> {
-        let decision = {
-            let view = EngineView::new(self.sets, &self.assigned, &self.alive);
-            algorithm.decide(arrival, &view)
-        };
-        self.apply_external(arrival, decision)
+        self.step(arrival, algorithm)?;
+        Ok(self
+            .decisions
+            .get(self.decisions.len() - 1)
+            .expect("step just recorded a decision")
+            .to_vec())
     }
 
     /// Like [`offer`](Self::offer), but does not echo a copy of the
     /// decision back — the replay paths ([`run`], [`batch`]) use this so
-    /// the engine allocates nothing per arrival beyond the decision the
-    /// algorithm itself produced (which is moved, not cloned, into the
-    /// [`Outcome`]'s decision log).
+    /// a warm session performs zero heap allocations per arrival: the
+    /// algorithm writes into the session's recycled decision buffer
+    /// ([`OnlineAlgorithm::decide_into`]) and the decision is appended to
+    /// the flat [`DecisionLog`].
     ///
     /// # Errors
     ///
@@ -198,16 +344,23 @@ impl<'a> Session<'a> {
     /// unchanged on error.
     pub fn step<A: OnlineAlgorithm + ?Sized>(
         &mut self,
-        arrival: &Arrival,
+        arrival: &Arrival<'_>,
         algorithm: &mut A,
     ) -> Result<(), Error> {
-        let decision = {
+        // Take the buffer so the algorithm can borrow a view of `self`
+        // while writing into it (`mem::take` on a Vec never allocates).
+        let mut buf = std::mem::take(&mut self.decision_buf);
+        buf.clear();
+        {
             let view = EngineView::new(self.sets, &self.assigned, &self.alive);
-            algorithm.decide(arrival, &view)
-        };
-        self.validate(arrival, &decision)?;
-        self.apply_unchecked(arrival, decision);
-        Ok(())
+            algorithm.decide_into(arrival, &view, &mut buf);
+        }
+        let verdict = self.validate(arrival, &buf);
+        if verdict.is_ok() {
+            self.apply_validated(arrival, &buf);
+        }
+        self.decision_buf = buf;
+        verdict
     }
 
     /// Validates and applies a decision computed outside this session
@@ -220,18 +373,17 @@ impl<'a> Session<'a> {
     /// unchanged on error.
     pub fn apply_external(
         &mut self,
-        arrival: &Arrival,
+        arrival: &Arrival<'_>,
         decision: Vec<SetId>,
     ) -> Result<Vec<SetId>, Error> {
         self.validate(arrival, &decision)?;
-        let echoed = decision.clone();
-        self.apply_unchecked(arrival, decision);
-        Ok(echoed)
+        self.apply_validated(arrival, &decision);
+        Ok(decision)
     }
 
     /// Checks the model's rules without touching session state. On success
     /// `self.sorted` holds the decision sorted ascending.
-    fn validate(&mut self, arrival: &Arrival, decision: &[SetId]) -> Result<(), Error> {
+    fn validate(&mut self, arrival: &Arrival<'_>, decision: &[SetId]) -> Result<(), Error> {
         if decision.len() > arrival.capacity() as usize {
             return Err(Error::DecisionOverCapacity {
                 element: arrival.element(),
@@ -263,7 +415,7 @@ impl<'a> Session<'a> {
 
     /// Applies a decision that [`validate`](Self::validate) just accepted
     /// (`self.sorted` still holds its sorted copy).
-    fn apply_unchecked(&mut self, arrival: &Arrival, decision: Vec<SetId>) {
+    fn apply_validated(&mut self, arrival: &Arrival<'_>, decision: &[SetId]) {
         // Apply: chosen member sets advance; unchosen member sets die.
         for &s in arrival.members() {
             if self.sorted.binary_search(&s).is_ok() {
@@ -284,7 +436,10 @@ impl<'a> Session<'a> {
 
     /// Like [`finish`](Self::finish), but hands the session's reusable
     /// buffers back to `scratch` so the next
-    /// [`with_scratch`](Self::with_scratch) session can recycle them.
+    /// [`with_scratch`](Self::with_scratch) session can recycle them. The
+    /// returned [`Outcome`] owns right-sized copies of the decision log and
+    /// death records (one exact-size allocation each, per job — never per
+    /// arrival).
     pub fn finish_into(self, scratch: &mut ReplayScratch) -> Outcome {
         self.finish_impl(Some(scratch))
     }
@@ -298,16 +453,25 @@ impl<'a> Session<'a> {
             .iter()
             .map(|&s| self.sets[s.index()].weight())
             .sum();
-        if let Some(scratch) = scratch {
-            scratch.assigned = std::mem::take(&mut self.assigned);
-            scratch.alive = std::mem::take(&mut self.alive);
-            scratch.sorted = std::mem::take(&mut self.sorted);
-        }
+        let (decisions, died_at) = match scratch {
+            Some(scratch) => {
+                let decisions = self.decisions.snapshot();
+                let died_at = self.died_at.as_slice().to_vec();
+                scratch.assigned = std::mem::take(&mut self.assigned);
+                scratch.alive = std::mem::take(&mut self.alive);
+                scratch.died_at = std::mem::take(&mut self.died_at);
+                scratch.decisions = std::mem::take(&mut self.decisions);
+                scratch.decision_buf = std::mem::take(&mut self.decision_buf);
+                scratch.sorted = std::mem::take(&mut self.sorted);
+                (decisions, died_at)
+            }
+            None => (self.decisions, self.died_at),
+        };
         Outcome {
             completed,
             benefit,
-            decisions: self.decisions,
-            died_at: self.died_at,
+            decisions,
+            died_at,
         }
     }
 }
@@ -354,7 +518,7 @@ pub fn run_with_scratch<A: OnlineAlgorithm + ?Sized>(
 ) -> Result<Outcome, Error> {
     let mut session = Session::with_scratch(instance.sets(), algorithm, scratch);
     for arrival in instance.arrivals() {
-        session.step(arrival, algorithm)?;
+        session.step(&arrival, algorithm)?;
     }
     Ok(session.finish_into(scratch))
 }
@@ -385,10 +549,14 @@ mod tests {
             self.step = 0;
         }
 
-        fn decide(&mut self, _arrival: &Arrival, _view: &EngineView<'_>) -> Vec<SetId> {
-            let d = self.script[self.step].clone();
+        fn decide_into(
+            &mut self,
+            _arrival: &Arrival<'_>,
+            _view: &EngineView<'_>,
+            out: &mut Vec<SetId>,
+        ) {
+            out.extend_from_slice(&self.script[self.step]);
             self.step += 1;
-            d
         }
     }
 
@@ -437,6 +605,30 @@ mod tests {
         let out = run(&inst, &mut alg).unwrap();
         assert!(out.completed().is_empty());
         assert_eq!(out.decisions().len(), 3);
+        assert!(out.decisions().iter().all(|d| d.is_empty()));
+    }
+
+    #[test]
+    fn decision_log_records_per_arrival_slices() {
+        let (inst, [s0, _, s2]) = three_set_instance();
+        let mut alg = Scripted::new(vec![vec![s0], vec![], vec![s2]]);
+        let out = run(&inst, &mut alg).unwrap();
+        let log = out.decisions();
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+        assert_eq!(log.get(0), Some(&[s0][..]));
+        assert_eq!(log.get(1), Some(&[][..]));
+        assert_eq!(log.get(2), Some(&[s2][..]));
+        assert_eq!(log.get(3), None);
+        assert_eq!(log.total_assignments(), 2);
+        let collected: Vec<&[SetId]> = log.iter().collect();
+        assert_eq!(collected, vec![&[s0][..], &[][..], &[s2][..]]);
+        // IntoIterator for &DecisionLog drives plain `for` loops.
+        let mut count = 0;
+        for d in log {
+            count += d.len();
+        }
+        assert_eq!(count, 2);
     }
 
     #[test]
@@ -500,12 +692,11 @@ mod tests {
                 "checker".into()
             }
             fn begin(&mut self, _s: &[SetMeta]) {}
-            fn decide(&mut self, a: &Arrival, v: &EngineView<'_>) -> Vec<SetId> {
+            fn decide_into(&mut self, a: &Arrival<'_>, v: &EngineView<'_>, _out: &mut Vec<SetId>) {
                 let s0 = SetId(0);
                 self.seen.push((v.assigned(s0), v.is_active(s0)));
                 // Always refuse everything.
                 let _ = a;
-                vec![]
             }
         }
         let mut b = InstanceBuilder::new();
@@ -546,6 +737,11 @@ mod tests {
         assert_eq!(d0, vec![SetId(1)]);
         assert!(!session.is_active(SetId(0)));
         assert_eq!(session.active_sets(), vec![SetId(1)]);
+        assert_eq!(session.active_count(), 1);
+        assert_eq!(
+            session.active_sets_iter().collect::<Vec<_>>(),
+            vec![SetId(1)]
+        );
         let a1 = Arrival::new(ElementId(1), 1, &[SetId(1)]);
         session.offer(&a1, &mut alg).unwrap();
         assert_eq!(session.assigned(SetId(1)), 2);
@@ -570,13 +766,47 @@ mod tests {
         let (inst, [s0, _, s2]) = three_set_instance();
         let script = vec![vec![s0], vec![s0], vec![s2]];
         let mut scratch = ReplayScratch::new();
-        // Run twice through the same scratch, compare against fresh runs.
+        // Run twice through the same scratch, compare against fresh runs —
+        // field by field, covering the recycled died_at and DecisionLog
+        // buffers explicitly.
         for _ in 0..2 {
             let fresh = run(&inst, &mut Scripted::new(script.clone())).unwrap();
             let reused =
                 run_with_scratch(&inst, &mut Scripted::new(script.clone()), &mut scratch).unwrap();
+            assert_eq!(fresh.completed(), reused.completed());
+            assert_eq!(fresh.benefit().to_bits(), reused.benefit().to_bits());
+            assert_eq!(fresh.decisions(), reused.decisions());
+            for i in 0..inst.num_sets() {
+                let s = SetId(i as u32);
+                assert_eq!(fresh.died_at(s), reused.died_at(s), "died_at({s:?})");
+            }
             assert_eq!(fresh, reused);
         }
+    }
+
+    #[test]
+    fn scratch_reuse_shrinks_to_smaller_followup_job() {
+        // A big job then a small one through the same scratch: the recycled
+        // died_at / decision-log buffers must resize down correctly and not
+        // leak state from the previous job.
+        let mut b = InstanceBuilder::new();
+        let ids: Vec<SetId> = (0..8).map(|_| b.add_set(1.0, 1)).collect();
+        for &s in &ids {
+            b.add_element(1, &[s]);
+        }
+        let big = b.build().unwrap();
+        let big_script: Vec<Vec<SetId>> = ids.iter().map(|&s| vec![s]).collect();
+
+        let (small, [s0, _, s2]) = three_set_instance();
+        let small_script = vec![vec![s0], vec![s0], vec![s2]];
+
+        let mut scratch = ReplayScratch::new();
+        run_with_scratch(&big, &mut Scripted::new(big_script), &mut scratch).unwrap();
+        let fresh = run(&small, &mut Scripted::new(small_script.clone())).unwrap();
+        let reused =
+            run_with_scratch(&small, &mut Scripted::new(small_script), &mut scratch).unwrap();
+        assert_eq!(fresh, reused);
+        assert_eq!(reused.decisions().len(), 3);
     }
 
     #[test]

@@ -6,6 +6,15 @@
 //! [`Instance`] freezes exactly that information, validated so that every
 //! set's declared size matches the number of arrivals that list it — which
 //! is what makes "the set received all its elements" a well-defined event.
+//!
+//! # Flat-memory layout
+//!
+//! Membership is stored as one CSR arena: a single `Vec<SetId>` pool plus
+//! an offset table, so replaying the arrival sequence walks one contiguous
+//! buffer instead of chasing a heap pointer per arrival. [`Arrival`] is a
+//! cheap borrowed *view* into that arena ([`Arrival::members`] is a slice
+//! of the pool), and [`Instance::arrivals`] returns an indexable,
+//! sliceable, iterable [`Arrivals`] view over all of them.
 
 use crate::error::Error;
 use crate::ids::{ElementId, SetId};
@@ -48,21 +57,34 @@ impl SetMeta {
 
 /// One online arrival: element identity, capacity `b(u)` and the member
 /// list `C(u)` (sorted by set id).
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-pub struct Arrival {
+///
+/// An `Arrival` is a borrowed view — for instance replays the member list
+/// is a slice into the [`Instance`]'s CSR membership arena, so handing
+/// arrivals to an algorithm allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival<'a> {
     element: ElementId,
     capacity: u32,
-    members: Vec<SetId>,
+    members: &'a [SetId],
 }
 
-impl Arrival {
+impl<'a> Arrival<'a> {
     /// Creates a standalone arrival for incremental use with
     /// [`Session`](crate::engine::Session) (adaptive adversaries build
-    /// arrivals on the fly, before any [`Instance`] exists). The member
-    /// list is sorted internally.
-    pub fn new(element: ElementId, capacity: u32, members: &[SetId]) -> Self {
-        let mut members = members.to_vec();
-        members.sort_unstable();
+    /// arrivals on the fly, before any [`Instance`] exists).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the member list is sorted ascending by set id and
+    /// duplicate-free — the engine's binary searches rely on it, and this
+    /// constructor is a cold path (replay arrivals come from the
+    /// [`Arrivals`] view, whose arena segments are sorted by
+    /// construction).
+    pub fn new(element: ElementId, capacity: u32, members: &'a [SetId]) -> Self {
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "arrival member list must be sorted and duplicate-free"
+        );
         Arrival {
             element,
             capacity,
@@ -81,8 +103,8 @@ impl Arrival {
     }
 
     /// The sets containing this element, `C(u)`, sorted by id.
-    pub fn members(&self) -> &[SetId] {
-        &self.members
+    pub fn members(&self) -> &'a [SetId] {
+        self.members
     }
 
     /// The element's load `σ(u) = |C(u)|`.
@@ -97,6 +119,137 @@ impl Arrival {
     }
 }
 
+/// A borrowed view of a contiguous run of arrivals (all of an instance's,
+/// or a [`slice`](Arrivals::slice) of them). Indexing materializes the
+/// [`Arrival`] view on the fly; nothing is copied.
+#[derive(Debug, Clone, Copy)]
+pub struct Arrivals<'a> {
+    capacities: &'a [u32],
+    /// Absolute offsets into `pool`; `offsets.len() == capacities.len()+1`.
+    offsets: &'a [u32],
+    pool: &'a [SetId],
+    /// Element id of the first arrival in this view.
+    base: u32,
+}
+
+impl<'a> Arrivals<'a> {
+    /// Number of arrivals in the view.
+    pub fn len(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.capacities.is_empty()
+    }
+
+    /// The `i`-th arrival of the view, or `None` past the end.
+    pub fn get(&self, i: usize) -> Option<Arrival<'a>> {
+        if i >= self.capacities.len() {
+            return None;
+        }
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        Some(Arrival {
+            element: ElementId(self.base + i as u32),
+            capacity: self.capacities[i],
+            members: &self.pool[lo..hi],
+        })
+    }
+
+    /// A sub-view over `range` (arrival indices relative to this view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Arrivals<'a> {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&b) => b,
+            Bound::Excluded(&b) => b + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&b) => b + 1,
+            Bound::Excluded(&b) => b,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "arrival range out of bounds");
+        Arrivals {
+            capacities: &self.capacities[lo..hi],
+            offsets: &self.offsets[lo..=hi],
+            pool: self.pool,
+            base: self.base + lo as u32,
+        }
+    }
+
+    /// Iterates the arrivals in order.
+    pub fn iter(self) -> ArrivalsIter<'a> {
+        ArrivalsIter {
+            view: self,
+            front: 0,
+            back: self.len(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for Arrivals<'a> {
+    type Item = Arrival<'a>;
+    type IntoIter = ArrivalsIter<'a>;
+
+    fn into_iter(self) -> ArrivalsIter<'a> {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &Arrivals<'a> {
+    type Item = Arrival<'a>;
+    type IntoIter = ArrivalsIter<'a>;
+
+    fn into_iter(self) -> ArrivalsIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over an [`Arrivals`] view.
+#[derive(Debug, Clone)]
+pub struct ArrivalsIter<'a> {
+    view: Arrivals<'a>,
+    front: usize,
+    back: usize,
+}
+
+impl<'a> Iterator for ArrivalsIter<'a> {
+    type Item = Arrival<'a>;
+
+    fn next(&mut self) -> Option<Arrival<'a>> {
+        if self.front >= self.back {
+            return None;
+        }
+        let a = self.view.get(self.front);
+        self.front += 1;
+        a
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.back - self.front;
+        (n, Some(n))
+    }
+}
+
+impl DoubleEndedIterator for ArrivalsIter<'_> {
+    fn next_back(&mut self) -> Option<Self::Item> {
+        if self.front >= self.back {
+            return None;
+        }
+        self.back -= 1;
+        self.view.get(self.back)
+    }
+}
+
+impl ExactSizeIterator for ArrivalsIter<'_> {}
+impl std::iter::FusedIterator for ArrivalsIter<'_> {}
+
 /// A complete, validated OSP instance.
 ///
 /// Construct via [`InstanceBuilder`]. Invariants guaranteed after
@@ -107,10 +260,17 @@ impl Arrival {
 ///   arrivals listing it;
 /// * every arrival has capacity ≥ 1 and a duplicate-free, sorted member
 ///   list referencing declared sets only.
+///
+/// Memberships live in a flat CSR arena (`member_offsets` + `members`),
+/// so the replay hot path walks one contiguous `Vec<SetId>`.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Instance {
     sets: Vec<SetMeta>,
-    arrivals: Vec<Arrival>,
+    capacities: Vec<u32>,
+    /// CSR offsets: arrival `i`'s members are `members[offsets[i]..offsets[i+1]]`.
+    member_offsets: Vec<u32>,
+    /// The CSR membership pool; each arrival's segment is sorted by set id.
+    members: Vec<SetId>,
 }
 
 impl Instance {
@@ -121,7 +281,7 @@ impl Instance {
 
     /// Number of elements `n`.
     pub fn num_elements(&self) -> usize {
-        self.arrivals.len()
+        self.capacities.len()
     }
 
     /// Metadata of one set.
@@ -138,9 +298,26 @@ impl Instance {
         &self.sets
     }
 
-    /// The arrival sequence in online order.
-    pub fn arrivals(&self) -> &[Arrival] {
-        &self.arrivals
+    /// The arrival sequence in online order, as a zero-copy view into the
+    /// CSR arena.
+    pub fn arrivals(&self) -> Arrivals<'_> {
+        Arrivals {
+            capacities: &self.capacities,
+            offsets: &self.member_offsets,
+            pool: &self.members,
+            base: 0,
+        }
+    }
+
+    /// The `i`-th arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn arrival(&self, i: usize) -> Arrival<'_> {
+        self.arrivals()
+            .get(i)
+            .unwrap_or_else(|| panic!("arrival index {i} out of range"))
     }
 
     /// Total weight `w(C)` of all sets.
@@ -156,7 +333,7 @@ impl Instance {
     /// Whether all elements have capacity 1 (the paper's *unit capacity*
     /// special case).
     pub fn is_unit_capacity(&self) -> bool {
-        self.arrivals.iter().all(|a| a.capacity == 1)
+        self.capacities.iter().all(|&c| c == 1)
     }
 
     /// Whether all sets have weight 1 (the paper's *unweighted* case).
@@ -168,9 +345,9 @@ impl Instance {
     /// demand (`O(Σ|S|)`); offline solvers and statistics use this view.
     pub fn members_by_set(&self) -> Vec<Vec<ElementId>> {
         let mut by_set = vec![Vec::new(); self.sets.len()];
-        for a in &self.arrivals {
-            for s in &a.members {
-                by_set[s.index()].push(a.element);
+        for a in self.arrivals() {
+            for &s in a.members() {
+                by_set[s.index()].push(a.element());
             }
         }
         by_set
@@ -187,23 +364,23 @@ impl Instance {
     /// no notion of time. The `arrival_order` property tests exploit this.
     pub fn shuffle_arrivals<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Instance {
         use rand::seq::SliceRandom;
-        let mut order: Vec<usize> = (0..self.arrivals.len()).collect();
+        let mut order: Vec<usize> = (0..self.num_elements()).collect();
         order.shuffle(rng);
-        let arrivals = order
-            .iter()
-            .enumerate()
-            .map(|(new_idx, &old_idx)| {
-                let a = &self.arrivals[old_idx];
-                Arrival {
-                    element: ElementId(new_idx as u32),
-                    capacity: a.capacity,
-                    members: a.members.clone(),
-                }
-            })
-            .collect();
+        let mut capacities = Vec::with_capacity(order.len());
+        let mut member_offsets = Vec::with_capacity(order.len() + 1);
+        let mut members = Vec::with_capacity(self.members.len());
+        member_offsets.push(0);
+        for &old_idx in &order {
+            let a = self.arrival(old_idx);
+            capacities.push(a.capacity());
+            members.extend_from_slice(a.members());
+            member_offsets.push(members.len() as u32);
+        }
         Instance {
             sets: self.sets.clone(),
-            arrivals,
+            capacities,
+            member_offsets,
+            members,
         }
     }
 }
@@ -213,7 +390,8 @@ impl Instance {
 /// Sets may be declared with a known size ([`add_set`](Self::add_set)) or
 /// with the size inferred at build time
 /// ([`add_set_unsized`](Self::add_set_unsized)) — the latter is convenient
-/// for generators that decide membership element-by-element.
+/// for generators that decide membership element-by-element. Memberships
+/// accumulate directly in the CSR arena the built [`Instance`] will own.
 ///
 /// # Examples
 ///
@@ -228,11 +406,25 @@ impl Instance {
 /// assert_eq!(inst.set(s).weight(), 2.5);
 /// # Ok::<(), osp_core::Error>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct InstanceBuilder {
     weights: Vec<f64>,
     declared: Vec<Option<u32>>,
-    arrivals: Vec<Arrival>,
+    capacities: Vec<u32>,
+    member_offsets: Vec<u32>,
+    members: Vec<SetId>,
+}
+
+impl Default for InstanceBuilder {
+    fn default() -> Self {
+        InstanceBuilder {
+            weights: Vec::new(),
+            declared: Vec::new(),
+            capacities: Vec::new(),
+            member_offsets: vec![0],
+            members: Vec::new(),
+        }
+    }
 }
 
 impl InstanceBuilder {
@@ -263,21 +455,19 @@ impl InstanceBuilder {
 
     /// Number of elements added so far.
     pub fn num_elements(&self) -> usize {
-        self.arrivals.len()
+        self.capacities.len()
     }
 
     /// Appends the next arriving element with capacity `b(u)` and member
     /// list `C(u)`; returns the element's id. The member list is sorted
     /// internally; order does not matter.
     pub fn add_element(&mut self, capacity: u32, members: &[SetId]) -> ElementId {
-        let element = ElementId(self.arrivals.len() as u32);
-        let mut members = members.to_vec();
-        members.sort_unstable();
-        self.arrivals.push(Arrival {
-            element,
-            capacity,
-            members,
-        });
+        let element = ElementId(self.capacities.len() as u32);
+        self.capacities.push(capacity);
+        let start = self.members.len();
+        self.members.extend_from_slice(members);
+        self.members[start..].sort_unstable();
+        self.member_offsets.push(self.members.len() as u32);
         element
     }
 
@@ -299,24 +489,21 @@ impl InstanceBuilder {
             }
         }
         let mut realized = vec![0u32; m];
-        for a in &self.arrivals {
-            if a.capacity == 0 {
-                return Err(Error::ZeroCapacity(a.element));
+        for (i, &capacity) in self.capacities.iter().enumerate() {
+            let element = ElementId(i as u32);
+            if capacity == 0 {
+                return Err(Error::ZeroCapacity(element));
             }
-            for w in a.members.windows(2) {
+            let segment =
+                &self.members[self.member_offsets[i] as usize..self.member_offsets[i + 1] as usize];
+            for w in segment.windows(2) {
                 if w[0] == w[1] {
-                    return Err(Error::DuplicateMember {
-                        element: a.element,
-                        set: w[0],
-                    });
+                    return Err(Error::DuplicateMember { element, set: w[0] });
                 }
             }
-            for &s in &a.members {
+            for &s in segment {
                 if s.index() >= m {
-                    return Err(Error::UnknownSet {
-                        element: a.element,
-                        set: s,
-                    });
+                    return Err(Error::UnknownSet { element, set: s });
                 }
                 realized[s.index()] += 1;
             }
@@ -349,7 +536,9 @@ impl InstanceBuilder {
         }
         Ok(Instance {
             sets,
-            arrivals: self.arrivals,
+            capacities: self.capacities,
+            member_offsets: self.member_offsets,
+            members: self.members,
         })
     }
 }
@@ -387,9 +576,33 @@ mod tests {
         b.add_element(1, &[s1, s0]);
         b.add_element(1, &[s0]);
         let inst = b.build().unwrap();
-        assert_eq!(inst.arrivals()[0].members(), &[s0, s1]);
-        assert!(inst.arrivals()[0].contains(s1));
-        assert!(!inst.arrivals()[1].contains(s1));
+        assert_eq!(inst.arrival(0).members(), &[s0, s1]);
+        assert!(inst.arrival(0).contains(s1));
+        assert!(!inst.arrival(1).contains(s1));
+    }
+
+    #[test]
+    fn arrivals_view_indexes_slices_and_iterates() {
+        let (mut b, s0, s1) = two_set_builder();
+        b.add_element(1, &[s0, s1]);
+        b.add_element(2, &[s0]);
+        let inst = b.build().unwrap();
+        let arrivals = inst.arrivals();
+        assert_eq!(arrivals.len(), 2);
+        assert!(!arrivals.is_empty());
+        assert_eq!(arrivals.get(0).unwrap().load(), 2);
+        assert!(arrivals.get(2).is_none());
+        // Elements are numbered by position, including in sub-views.
+        let tail = arrivals.slice(1..);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail.get(0).unwrap().element(), ElementId(1));
+        assert_eq!(tail.get(0).unwrap().capacity(), 2);
+        // Iteration, both directions.
+        let fwd: Vec<ElementId> = arrivals.iter().map(|a| a.element()).collect();
+        assert_eq!(fwd, vec![ElementId(0), ElementId(1)]);
+        let bwd: Vec<ElementId> = arrivals.iter().rev().map(|a| a.element()).collect();
+        assert_eq!(bwd, vec![ElementId(1), ElementId(0)]);
+        assert_eq!(arrivals.iter().len(), 2);
     }
 
     #[test]
@@ -489,6 +702,7 @@ mod tests {
         assert_eq!(inst.total_weight(), 0.0);
         assert!(inst.is_unit_capacity());
         assert!(inst.is_unweighted());
+        assert!(inst.arrivals().iter().next().is_none());
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod stats;
 
 pub use algorithm::{EngineView, OnlineAlgorithm};
 pub use engine::batch::{derive_seed, ReplayJob, ReplayPool, ReplayScratch};
-pub use engine::{run, run_with_scratch, Outcome, Session};
+pub use engine::{run, run_with_scratch, DecisionLog, Outcome, Session};
 pub use error::Error;
 pub use ids::{ElementId, SetId};
-pub use instance::{Arrival, Instance, InstanceBuilder, SetMeta};
+pub use instance::{Arrival, Arrivals, Instance, InstanceBuilder, SetMeta};

@@ -10,8 +10,8 @@ pub use crate::algorithms::{
     GreedyOnline, HashRandPr, OracleOnline, RandPr, RandomAssign, TieBreak,
 };
 pub use crate::engine::batch::{derive_seed, ReplayJob, ReplayPool};
-pub use crate::engine::{run, run_with_scratch, Outcome, Session};
+pub use crate::engine::{run, run_with_scratch, DecisionLog, Outcome, Session};
 pub use crate::error::Error;
 pub use crate::ids::{ElementId, SetId};
-pub use crate::instance::{Arrival, Instance, InstanceBuilder, SetMeta};
+pub use crate::instance::{Arrival, Arrivals, Instance, InstanceBuilder, SetMeta};
 pub use crate::stats::InstanceStats;

@@ -97,15 +97,69 @@ impl PolyHash {
 
     /// Evaluates the hash at `x`, returning a value in `[0, 2^61 − 1)`.
     ///
-    /// Fast path: Horner's rule with *lazy* Mersenne reduction — two
-    /// branchless [`fold61`] folds per coefficient keep the accumulator
-    /// below `2^62` (entering a step `acc < 2^62`, so
-    /// `acc·x + c < 2^123 + 2^61`; one fold brings that under `2^64`, a
-    /// second under `2^62`), and the value is canonicalized once at the
-    /// end. This replaces a data-dependent reduction loop plus conditional
-    /// subtraction per coefficient; [`eval_naive`](Self::eval_naive) keeps
-    /// the straightforward evaluation as the conformance reference.
+    /// Fast path: the Horner recurrence unrolled into **four independent
+    /// lazy-reduction accumulators**. Writing `i = 4q + r`, the polynomial
+    /// splits as `P(x) = Σ_r x^r · P_r(x⁴)`; each residue class `P_r` is
+    /// evaluated by Horner in the stride-4 point `y = x⁴`, and the four
+    /// chains carry no data dependency on each other — the CPU can overlap
+    /// their multiply/fold latencies (ILP) instead of serializing one long
+    /// Horner chain. Each step keeps its accumulator below `2^62` with two
+    /// branchless [`fold61`] folds (entering a step `acc < 2^62` and
+    /// `y < 2^62`, so `acc·y + c < 2^125`; one fold brings that under
+    /// `2^65`, a second under `2^62`), and the value is canonicalized once
+    /// at the end.
+    ///
+    /// [`eval_horner`](Self::eval_horner) keeps the single-chain lazy
+    /// Horner as the mid reference and
+    /// [`eval_naive`](Self::eval_naive) the obviously-correct one; the
+    /// osp-gf proptests pin all three to agree everywhere.
     pub fn eval(&self, x: u64) -> u64 {
+        let n = self.coeffs.len();
+        if n < 16 {
+            // The unroll pays a fixed y = x⁴ setup plus a 4-term
+            // recombination; measured on the committed baseline box the
+            // crossover sits around 14 coefficients, so short polynomials
+            // (including the default 8-wise family) stay on the
+            // single-chain Horner.
+            return self.eval_horner(x);
+        }
+        let x = (x % MERSENNE_61) as u128;
+        let x2 = fold61(fold61(x * x)); // < 2^62
+        let y = fold61(fold61(x2 * x2)); // x⁴, < 2^62
+        let x3 = fold61(fold61(x2 * x)); // < 2^62
+                                         // Seed each chain with its class's highest coefficient (the
+                                         // partial top chunk; missing classes start at zero, which Horner
+                                         // treats as a leading zero coefficient).
+        let q = n / 4;
+        let (head, tail) = self.coeffs.split_at(4 * q);
+        let mut acc = [0u128; 4];
+        for (r, &c) in tail.iter().enumerate() {
+            acc[r] = c as u128;
+        }
+        // invariant: every acc[r] < 2^62
+        for chunk in head.chunks_exact(4).rev() {
+            acc[0] = fold61(fold61(acc[0] * y + chunk[0] as u128));
+            acc[1] = fold61(fold61(acc[1] * y + chunk[1] as u128));
+            acc[2] = fold61(fold61(acc[2] * y + chunk[2] as u128));
+            acc[3] = fold61(fold61(acc[3] * y + chunk[3] as u128));
+        }
+        // Recombine: P = P₀(y) + x·P₁(y) + x²·P₂(y) + x³·P₃(y). Each
+        // product is double-folded below 2^62, so the sum stays below
+        // 2^64 and one canonical reduction finishes the job.
+        let combined = acc[0]
+            + fold61(fold61(acc[1] * x))
+            + fold61(fold61(acc[2] * x2))
+            + fold61(fold61(acc[3] * x3));
+        reduce128(combined)
+    }
+
+    /// Single-chain Horner with lazy Mersenne reduction — the PR-2 fast
+    /// path, kept as the mid-tier conformance reference between
+    /// [`eval`](Self::eval) (4-way unrolled) and
+    /// [`eval_naive`](Self::eval_naive) (precomputed powers). Also the
+    /// dispatch target for polynomials too short to amortize the unroll.
+    #[inline]
+    pub fn eval_horner(&self, x: u64) -> u64 {
         let x = (x % MERSENNE_61) as u128;
         let mut acc: u128 = 0; // invariant: acc < 2^62
         for &c in self.coeffs.iter().rev() {
@@ -160,17 +214,41 @@ mod tests {
     #[test]
     fn fast_path_agrees_with_naive_on_boundaries() {
         let m = MERSENNE_61;
-        // Field-boundary coefficients: 0, 1, p−1 in every position.
+        // Field-boundary coefficients: 0, 1, p−1 in every position — at
+        // lengths below, at, and above the unrolled dispatch threshold,
+        // including every `len % 4` residue of the partial top chunk.
         let hashes = [
             PolyHash::from_coeffs(vec![m - 1, m - 1, m - 1, m - 1]),
             PolyHash::from_coeffs(vec![0, 0, 0, m - 1]),
             PolyHash::from_coeffs(vec![m - 1]),
             PolyHash::from_coeffs(vec![1, 0, m - 1, 0, 1]),
+            PolyHash::from_coeffs(vec![m - 1; 8]),
+            PolyHash::from_coeffs(vec![m - 1; 16]),
+            PolyHash::from_coeffs(vec![m - 1; 17]),
+            PolyHash::from_coeffs(vec![m - 1; 18]),
+            PolyHash::from_coeffs(vec![m - 1; 19]),
+            PolyHash::from_coeffs([vec![0; 16], vec![m - 1]].concat()),
+            PolyHash::from_coeffs([vec![1, 0, m - 1], vec![0; 13], vec![m - 1, 1]].concat()),
         ];
         for h in &hashes {
             for x in [0u64, 1, 2, m - 2, m - 1, m, m + 1, u64::MAX] {
                 assert_eq!(h.eval(x), h.eval_naive(x), "{h:?} at {x}");
+                assert_eq!(h.eval_horner(x), h.eval_naive(x), "{h:?} at {x}");
                 assert!(h.eval(x) < m);
+            }
+        }
+    }
+
+    #[test]
+    fn unrolled_handles_every_length_residue() {
+        // One randomized family per length 1..=20 (crossing the unroll
+        // threshold and all chunk residues): the three evaluators agree.
+        for len in 1usize..=20 {
+            let h = PolyHash::new(len, 1000 + len as u64);
+            for x in (0..2000u64).step_by(37).chain([MERSENNE_61 - 1, u64::MAX]) {
+                let want = h.eval_naive(x);
+                assert_eq!(h.eval(x), want, "len {len} at {x}");
+                assert_eq!(h.eval_horner(x), want, "len {len} at {x}");
             }
         }
     }

@@ -151,29 +151,35 @@ proptest! {
 
     #[test]
     fn eval_fast_path_agrees_with_naive_random_members(
-        independence in 1usize..10,
+        independence in 1usize..24,
         seed in 0u64..5000,
         x in 0u64..u64::MAX,
     ) {
-        // The lazy-reduction Horner fast path and the precomputed-powers
-        // reference must agree on every family member and every point.
+        // The 4-way unrolled fast path, the single-chain lazy Horner and
+        // the precomputed-powers reference must agree on every family
+        // member and every point (the independence range crosses the
+        // unroll dispatch threshold and all stride-4 residues).
         let h = PolyHash::new(independence, seed);
         prop_assert_eq!(h.eval(x), h.eval_naive(x));
+        prop_assert_eq!(h.eval_horner(x), h.eval_naive(x));
         prop_assert!(h.eval(x) < MERSENNE_61);
     }
 
     #[test]
     fn eval_fast_path_agrees_with_naive_boundary_coeffs(
-        picks in proptest::collection::vec(0usize..5, 1..8),
+        picks in proptest::collection::vec(0usize..5, 1..20),
         x in 0u64..u64::MAX,
     ) {
         // Coefficients drawn from the field's boundary values, where lazy
-        // reduction is most likely to go wrong.
+        // reduction is most likely to go wrong — vector lengths long
+        // enough to exercise the unrolled accumulators and their partial
+        // top chunk in every residue class.
         let boundary = [0u64, 1, 2, MERSENNE_61 - 2, MERSENNE_61 - 1];
         let coeffs: Vec<u64> = picks.iter().map(|&i| boundary[i]).collect();
         let h = PolyHash::from_coeffs(coeffs);
         for key in [x, 0, 1, MERSENNE_61 - 1, MERSENNE_61, u64::MAX] {
             prop_assert_eq!(h.eval(key), h.eval_naive(key));
+            prop_assert_eq!(h.eval_horner(key), h.eval_naive(key));
         }
     }
 }

@@ -134,9 +134,9 @@ pub fn federated_run(
         let replica = &mut replicas[hop as usize];
         let decision = {
             let view = session.view();
-            replica.decide(arrival, &view)
+            replica.decide(&arrival, &view)
         };
-        session.apply_external(arrival, decision)?;
+        session.apply_external(&arrival, decision)?;
     }
     Ok(session.finish())
 }

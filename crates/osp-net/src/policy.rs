@@ -8,9 +8,9 @@
 //! the gap `randPr` closes in the `video` experiment.
 
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use osp_core::algorithms::sample_in_place;
 use osp_core::{Arrival, EngineView, OnlineAlgorithm, SetId, SetMeta};
 
 /// FIFO tail-drop: serve the first `b(u)` packets of the burst, drop the
@@ -33,13 +33,14 @@ impl OnlineAlgorithm for TailDrop {
 
     fn begin(&mut self, _sets: &[SetMeta]) {}
 
-    fn decide(&mut self, arrival: &Arrival, _view: &EngineView<'_>) -> Vec<SetId> {
-        arrival
-            .members()
-            .iter()
-            .copied()
-            .take(arrival.capacity() as usize)
-            .collect()
+    fn decide_into(&mut self, arrival: &Arrival<'_>, _view: &EngineView<'_>, out: &mut Vec<SetId>) {
+        out.extend(
+            arrival
+                .members()
+                .iter()
+                .copied()
+                .take(arrival.capacity() as usize),
+        );
     }
 }
 
@@ -66,13 +67,9 @@ impl OnlineAlgorithm for RandomDrop {
 
     fn begin(&mut self, _sets: &[SetMeta]) {}
 
-    fn decide(&mut self, arrival: &Arrival, _view: &EngineView<'_>) -> Vec<SetId> {
-        let b = (arrival.capacity() as usize).min(arrival.members().len());
-        arrival
-            .members()
-            .choose_multiple(&mut self.rng, b)
-            .copied()
-            .collect()
+    fn decide_into(&mut self, arrival: &Arrival<'_>, _view: &EngineView<'_>, out: &mut Vec<SetId>) {
+        out.extend_from_slice(arrival.members());
+        sample_in_place(out, arrival.capacity() as usize, &mut self.rng);
     }
 }
 

@@ -195,6 +195,50 @@ fn mixed_worklist_is_order_stable_across_shard_counts() {
 }
 
 #[test]
+fn decision_log_equivalence() {
+    // The flat CSR [`DecisionLog`] must record exactly what the legacy
+    // per-arrival path produces: for every algorithm family and generator
+    // model, drive a session "by hand" through the allocating `decide`
+    // shim (one `Vec<SetId>` per arrival, applied via `apply_external`)
+    // and compare it slice-for-slice against the engine's flat log.
+    for (model, instance) in instance_grid() {
+        let target = oracle_target(&instance);
+        for (family, family_name) in FAMILY_NAMES.iter().enumerate() {
+            let seed = derive_seed(7000 + family as u64, 0);
+            let engine_out = run(&instance, algorithm(family, seed, &target).as_mut()).unwrap();
+
+            let mut alg = algorithm(family, seed, &target);
+            let mut session = osp_core::Session::new(instance.sets(), alg.as_mut());
+            let mut legacy: Vec<Vec<SetId>> = Vec::new();
+            for arrival in instance.arrivals() {
+                let decision = {
+                    let view = session.view();
+                    alg.decide(&arrival, &view)
+                };
+                let applied = session.apply_external(&arrival, decision).unwrap();
+                legacy.push(applied);
+            }
+            let manual_out = session.finish();
+
+            let label = format!("{model} / {family_name}");
+            let log = engine_out.decisions();
+            assert_eq!(log.len(), legacy.len(), "{label}: log length diverged");
+            for (i, want) in legacy.iter().enumerate() {
+                assert_eq!(
+                    log.get(i),
+                    Some(want.as_slice()),
+                    "{label}: decision {i} diverged"
+                );
+            }
+            // The iterator view agrees with indexed access, and the two
+            // paths agree on the whole outcome.
+            assert!(log.iter().map(<[SetId]>::to_vec).eq(legacy.iter().cloned()));
+            assert_eq!(engine_out, manual_out, "{label}: outcomes diverged");
+        }
+    }
+}
+
+#[test]
 fn empty_instance_and_single_job_edge_cases() {
     let empty = osp_core::InstanceBuilder::new().build().unwrap();
     for shards in SHARD_COUNTS {
