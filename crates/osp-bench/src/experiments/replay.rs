@@ -2,7 +2,7 @@
 //!
 //! Not a paper theorem: this is the harness measuring itself, so replay
 //! throughput (the resource every other experiment spends) is tracked
-//! PR-over-PR via `BENCH_replay.json`. Four comparisons:
+//! PR-over-PR via `BENCH_replay.json`. Five comparisons:
 //!
 //! 1. **engine_run** — sequential `engine::run` trials vs the same trials
 //!    fanned across [`ReplayPool`] shards, asserting bit-identical
@@ -15,7 +15,13 @@
 //!    lazy-reduction fast path vs the single-chain Horner it replaced
 //!    (`eval_horner`) vs the precomputed-powers reference `eval_naive`;
 //! 4. **weighted sampling** — the O(1) alias table vs the cumulative-sum
-//!    binary search it replaced in the skewed generators.
+//!    binary search it replaced in the skewed generators;
+//! 5. **streaming** — the fused generate-as-you-replay pipeline
+//!    (`UniformSource` → `run_source`) vs materialize-then-replay
+//!    (`random_instance` → `run`) on identical scenarios: end-to-end
+//!    wall clock, plus the resident bytes each pipeline holds (the CSR
+//!    arena vs the source's O(m) state — the `mem ratio` column is
+//!    deterministic and ratio-guarded in CI).
 //!
 //! Wall-clock numbers vary with the machine; the *identity* columns must
 //! read `true` everywhere (CI's `bench_guard` enforces this, and holds the
@@ -29,8 +35,8 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use osp_core::algorithms::{GreedyOnline, HashRandPr, RandPr, RandomAssign, TieBreak};
-use osp_core::gen::{random_instance, RandomInstanceConfig};
-use osp_core::{run as engine_run, OnlineAlgorithm, Outcome, ReplayJob};
+use osp_core::gen::{random_instance, RandomInstanceConfig, UniformSource};
+use osp_core::{run as engine_run, run_source, OnlineAlgorithm, Outcome, ReplayJob};
 use osp_gf::hash::PolyHash;
 use osp_stats::{AliasTable, SeedSequence};
 use rand::rngs::StdRng;
@@ -325,6 +331,90 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     }
     report.table(sample_table);
 
+    // --- 5: streaming — fused sources vs materialize-then-replay. ---
+    let mut stream_table = NamedTable::new(
+        "streaming: fused UniformSource vs materialize-then-replay",
+        &[
+            "workload",
+            "trials",
+            "materialize s",
+            "streaming s",
+            "wall speedup",
+            "mat arrivals/s",
+            "stream arrivals/s",
+            "instance bytes",
+            "source bytes",
+            "mem ratio",
+            "bit-identical",
+        ],
+    );
+    let stream_grid: &[(usize, usize, u32, u32)] = scale.pick(
+        &[(100usize, 1_000usize, 4u32, 16u32)][..],
+        &[
+            (100, 1_000, 4, 64),
+            (200, 20_000, 8, 16),
+            (500, 100_000, 8, 4),
+        ][..],
+    );
+    let mut all_stream_identical = true;
+    for &(m, n, sigma, trials) in stream_grid {
+        let cfg = RandomInstanceConfig::unweighted(m, n, sigma);
+        // One seed per trial drives both the generator and the algorithm,
+        // identically in both legs — so the two pipelines must produce the
+        // same outcome for every trial.
+        let trial_seeds = draw_seeds(&mut seeds, trials as usize);
+        let rounds: usize = scale.pick(2, 3);
+        let mut t_mat = f64::INFINITY;
+        let mut t_stream = f64::INFINITY;
+        let mut identical = true;
+        for _ in 0..rounds {
+            let (t, materialized) = timed(|| {
+                trial_seeds
+                    .iter()
+                    .map(|&s| {
+                        let inst = random_instance(&cfg, &mut StdRng::seed_from_u64(s)).unwrap();
+                        engine_run(&inst, &mut RandPr::from_seed(s)).unwrap()
+                    })
+                    .collect::<Vec<Outcome>>()
+            });
+            t_mat = t_mat.min(t);
+            let (t, streamed) = timed(|| {
+                trial_seeds
+                    .iter()
+                    .map(|&s| {
+                        let mut src = UniformSource::new(&cfg, s).unwrap();
+                        run_source(&mut src, &mut RandPr::from_seed(s)).unwrap()
+                    })
+                    .collect::<Vec<Outcome>>()
+            });
+            t_stream = t_stream.min(t);
+            identical &= materialized == streamed;
+        }
+        all_stream_identical &= identical;
+        // Resident bytes, from the first trial's scenario (deterministic
+        // given the seed sequence, so stable PR-over-PR).
+        let instance_bytes = random_instance(&cfg, &mut StdRng::seed_from_u64(trial_seeds[0]))
+            .unwrap()
+            .heap_bytes();
+        let source_bytes = UniformSource::new(&cfg, trial_seeds[0])
+            .unwrap()
+            .state_bytes();
+        stream_table.row(vec![
+            format!("m={m} n={n} σ={sigma}"),
+            trials.to_string(),
+            format!("{t_mat:.3}"),
+            format!("{t_stream:.3}"),
+            format!("{:.2}×", t_mat / t_stream.max(1e-9)),
+            arrivals_per_sec(trials as usize, n, t_mat),
+            arrivals_per_sec(trials as usize, n, t_stream),
+            instance_bytes.to_string(),
+            source_bytes.to_string(),
+            format!("{:.2}×", instance_bytes as f64 / source_bytes.max(1) as f64),
+            identical.to_string(),
+        ]);
+    }
+    report.table(stream_table);
+
     report.note(format!(
         "Replay pool: {} shards (override with OSP_REPLAY_SHARDS; outcomes are \
          shard-count-invariant by construction, see tests/batch_equivalence.rs).{}",
@@ -340,16 +430,25 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     report.note(
         "Row identities (first column) are stable PR-over-PR; CI's bench_guard checks \
          every boolean identity column and holds the single-threaded poly_hash/sampling \
-         speedups to ≥ 0.9× the committed baseline. Sequential arrivals/s is the \
-         flat-CSR + decide_into hot-path number to compare against the previous \
-         baseline when regenerating.",
+         speedups — and the streaming mem ratio — to ≥ 0.9× the committed baseline. \
+         Sequential arrivals/s is the flat-CSR + decide_into hot-path number to compare \
+         against the previous baseline when regenerating.",
     );
-    report.note(if all_identical && all_agree {
-        "Verdict: batch replay is bit-identical to sequential replay and the hash fast \
-         path agrees with the naive reference; timings above are the tracked baseline."
+    report.note(
+        "streaming: both legs regenerate the scenario per trial from the same seed — \
+         materialize builds the CSR Instance then replays it, streaming fuses \
+         generation into the replay loop at O(m) resident bytes (the `source bytes` \
+         column), so the mem ratio grows linearly in n while outcomes stay \
+         bit-identical.",
+    );
+    report.note(if all_identical && all_agree && all_stream_identical {
+        "Verdict: batch replay is bit-identical to sequential replay, fused streaming is \
+         bit-identical to materialize-then-replay, and the hash fast path agrees with \
+         the naive reference; timings above are the tracked baseline."
             .to_string()
     } else {
-        "Verdict: an identity check FAILED — the batch engine or hash fast path diverged."
+        "Verdict: an identity check FAILED — the batch engine, the streaming pipeline \
+         or the hash fast path diverged."
             .to_string()
     });
     report

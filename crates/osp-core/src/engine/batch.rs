@@ -9,9 +9,8 @@
 //!   via [`derive_seed`]'s O(1) SplitMix64 stream access), so no job's
 //!   randomness depends on which shard runs it or in which order;
 //! * every shard executes the one and only engine implementation
-//!   ([`Session`](super::Session), via
-//!   [`run_with_scratch`](super::run_with_scratch)) — there is no second
-//!   "parallel" code path to drift;
+//!   ([`Session`](super::Session), via [`run_with_scratch`]) — there is
+//!   no second "parallel" code path to drift;
 //! * results are returned in job order regardless of shard interleaving.
 //!
 //! Each shard owns a [`ReplayScratch`], so consecutive jobs on a shard
@@ -25,9 +24,10 @@
 use crate::algorithm::OnlineAlgorithm;
 use crate::error::Error;
 use crate::ids::ElementId;
-use crate::instance::Instance;
+use crate::instance::{Instance, SetMeta};
+use crate::source::ArrivalSource;
 
-use super::{run_with_scratch, DecisionLog, Outcome};
+use super::{run_source_with_scratch, run_with_scratch, DecisionLog, Outcome};
 
 /// Reusable engine buffers for one replay shard.
 ///
@@ -46,6 +46,10 @@ pub struct ReplayScratch {
     pub(super) decisions: DecisionLog,
     pub(super) decision_buf: Vec<crate::SetId>,
     pub(super) sorted: Vec<crate::SetId>,
+    /// Per-job copy of a source's set metadata
+    /// ([`run_source_with_scratch`](super::run_source_with_scratch) fills
+    /// it so the source stays free for mutable pulls).
+    pub(super) set_metas: Vec<SetMeta>,
 }
 
 impl ReplayScratch {
@@ -91,6 +95,28 @@ pub struct ReplayJob<'a> {
     /// Caller-defined algorithm selector, passed through to the factory.
     pub algorithm: usize,
     /// Seed handed to the factory (ignore it for deterministic algorithms).
+    pub seed: u64,
+}
+
+/// One streamed replay job: which arrival source to build (a selector the
+/// caller's source factory interprets), which algorithm family, and the
+/// seed handed to both factories.
+///
+/// Unlike [`ReplayJob`] there is no borrowed instance here: each shard
+/// *rebuilds* its jobs' sources locally from `(source, seed)`, which is
+/// what lets streamed jobs fan out without materializing anything — the
+/// [`ArrivalSource`] determinism contract (same construction inputs ⇒ same
+/// stream) guarantees the rebuilt stream is the one the caller meant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceJob {
+    /// Caller-defined source selector, passed through to the source
+    /// factory.
+    pub source: usize,
+    /// Caller-defined algorithm selector, passed through to the algorithm
+    /// factory.
+    pub algorithm: usize,
+    /// Seed handed to both factories (derive per-job values with
+    /// [`derive_seed`]; ignore it for deterministic jobs).
     pub seed: u64,
 }
 
@@ -224,6 +250,88 @@ impl ReplayPool {
             let mut alg = factory(job.algorithm, job.seed);
             run_with_scratch(job.instance, alg.as_mut(), scratch)
         })
+    }
+
+    /// The streamed lane: replays every [`SourceJob`] and returns the
+    /// outcomes in job order, bit-identical to sequential
+    /// [`run_source`](super::run_source) on the same jobs.
+    ///
+    /// `sources(selector, seed)` and `algorithms(selector, seed)` construct
+    /// the job's arrival source and algorithm *inside the shard that runs
+    /// it* — nothing about the stream depends on shard count or
+    /// scheduling, because every job's seed is fixed before fan-out (the
+    /// same [`derive_seed`] discipline as [`run_jobs`](Self::run_jobs))
+    /// and sources are deterministic in their construction inputs. Each
+    /// shard reuses one [`ReplayScratch`] across its jobs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use osp_core::gen::UniformSource;
+    /// use osp_core::gen::RandomInstanceConfig;
+    /// use osp_core::prelude::*;
+    /// use osp_core::engine::batch::SourceJob;
+    ///
+    /// let cfg = RandomInstanceConfig::unweighted(20, 50, 3);
+    /// let jobs: Vec<SourceJob> = (0..8)
+    ///     .map(|i| SourceJob { source: 0, algorithm: 0, seed: derive_seed(7, i) })
+    ///     .collect();
+    /// let outcomes = ReplayPool::new(2).run_sources(
+    ///     &jobs,
+    ///     &|_, seed| Box::new(UniformSource::new(&cfg, seed).unwrap()),
+    ///     &|_, seed| Box::new(RandPr::from_seed(seed)),
+    /// );
+    /// assert_eq!(outcomes.len(), 8);
+    /// assert!(outcomes.iter().all(|o| o.is_ok()));
+    /// ```
+    pub fn run_sources<'a, SF, AF>(
+        &self,
+        jobs: &[SourceJob],
+        sources: &SF,
+        algorithms: &AF,
+    ) -> Vec<Result<Outcome, Error>>
+    where
+        SF: Fn(usize, u64) -> Box<dyn ArrivalSource + 'a> + Sync,
+        AF: Fn(usize, u64) -> Box<dyn OnlineAlgorithm> + Sync,
+    {
+        self.shard_map(jobs, ReplayScratch::new, |scratch, _, job| {
+            let mut source = sources(job.source, job.seed);
+            let mut alg = algorithms(job.algorithm, job.seed);
+            run_source_with_scratch(&mut source, alg.as_mut(), scratch)
+        })
+    }
+
+    /// Convenience for the common one-source-family/one-algorithm case:
+    /// builds one source per seed and replays each, returning the outcomes
+    /// in seed order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the algorithm emits an invalid decision (the built-in
+    /// algorithms never do); use [`run_sources`](Self::run_sources) to
+    /// observe per-job errors instead.
+    pub fn run_source_seeds<'a, SF, AF>(
+        &self,
+        seeds: &[u64],
+        source: &SF,
+        algorithm: &AF,
+    ) -> Vec<Outcome>
+    where
+        SF: Fn(u64) -> Box<dyn ArrivalSource + 'a> + Sync,
+        AF: Fn(u64) -> Box<dyn OnlineAlgorithm> + Sync,
+    {
+        let jobs: Vec<SourceJob> = seeds
+            .iter()
+            .map(|&seed| SourceJob {
+                source: 0,
+                algorithm: 0,
+                seed,
+            })
+            .collect();
+        self.run_sources(&jobs, &|_, seed| source(seed), &|_, seed| algorithm(seed))
+            .into_iter()
+            .map(|r| r.expect("batch algorithm emitted an invalid decision"))
+            .collect()
     }
 
     /// Convenience for the common one-instance/one-algorithm case: replays

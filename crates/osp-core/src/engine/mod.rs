@@ -1,17 +1,27 @@
 //! The online execution engine.
 //!
-//! Three entry points:
+//! Four entry points:
 //!
-//! * [`run`] replays a frozen [`Instance`]'s arrival sequence against an
-//!   [`OnlineAlgorithm`] — the standard evaluation path.
+//! * [`run_source`] drives an [`OnlineAlgorithm`] over any
+//!   [`ArrivalSource`] — the primary ingestion path. Sources stream
+//!   arrivals one at a time (a fused generator, a packet trace, a
+//!   materialized instance), so scenario size is bounded by the source's
+//!   resident state, not by RAM holding a hypergraph.
+//! * [`run`] replays a frozen [`Instance`]'s arrival sequence — the
+//!   standard evaluation path. It is a thin wrapper over [`run_source`]
+//!   via [`Instance::source`]: a materialized instance is just one
+//!   [`ArrivalSource`] whose arrivals are zero-copy views into its CSR
+//!   arena, so there is exactly one engine loop for both worlds.
 //! * [`Session`] drives an algorithm *one arrival at a time* without a
 //!   pre-built instance, which is what adaptive adversaries (Theorem 3)
 //!   need: they decide the next element only after seeing the algorithm's
-//!   previous choice.
-//! * [`batch`] fans a `(instance × seed × algorithm)` work-list across
-//!   threads ([`batch::ReplayPool`]) with per-shard reusable
-//!   [`batch::ReplayScratch`] buffers; its outcomes are bit-identical to
-//!   sequential [`run`] because both paths execute this module's
+//!   previous choice. [`Session::drain_source`] feeds it from a source.
+//! * [`batch`] fans a work-list across threads ([`batch::ReplayPool`])
+//!   with per-shard reusable [`batch::ReplayScratch`] buffers — both the
+//!   `(instance × seed × algorithm)` lane ([`batch::ReplayPool::run_jobs`])
+//!   and the streamed `(source × seed × algorithm)` lane
+//!   ([`batch::ReplayPool::run_sources`]); outcomes are bit-identical to
+//!   sequential replay because every path executes this module's
 //!   [`Session`] logic.
 //!
 //! All paths enforce the model's rules (§2): each decision must pick at
@@ -33,6 +43,7 @@ use crate::algorithm::{EngineView, OnlineAlgorithm};
 use crate::error::Error;
 use crate::ids::{ElementId, SetId};
 use crate::instance::{Arrival, Instance, SetMeta};
+use crate::source::ArrivalSource;
 
 pub use batch::{derive_seed, ReplayPool, ReplayScratch};
 
@@ -363,6 +374,27 @@ impl<'a> Session<'a> {
         verdict
     }
 
+    /// Feeds every remaining arrival of `source` through
+    /// [`step`](Self::step) — the source-generic way to drive a session to
+    /// the end of a stream. The session must have been created over the
+    /// same set metadata the source declares.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invalid decision ([`step`](Self::step)'s
+    /// contract); arrivals already applied stay applied, and the source is
+    /// left positioned after the offending arrival.
+    pub fn drain_source<S, A>(&mut self, source: &mut S, algorithm: &mut A) -> Result<(), Error>
+    where
+        S: ArrivalSource + ?Sized,
+        A: OnlineAlgorithm + ?Sized,
+    {
+        while let Some(arrival) = source.next_arrival() {
+            self.step(&arrival, algorithm)?;
+        }
+        Ok(())
+    }
+
     /// Validates and applies a decision computed outside this session
     /// (e.g. by a per-hop replica in the distributed implementation).
     /// Returns the decision back on success.
@@ -508,6 +540,10 @@ pub fn run<A: OnlineAlgorithm + ?Sized>(
 /// reuse the engine's bookkeeping buffers. The batch shards call this in a
 /// loop; the outcome is identical to [`run`]'s.
 ///
+/// This is a thin wrapper over [`run_source_with_scratch`] on
+/// [`Instance::source`] — the instance and streaming worlds share one
+/// engine loop.
+///
 /// # Errors
 ///
 /// Same contract as [`run`].
@@ -516,11 +552,70 @@ pub fn run_with_scratch<A: OnlineAlgorithm + ?Sized>(
     algorithm: &mut A,
     scratch: &mut ReplayScratch,
 ) -> Result<Outcome, Error> {
-    let mut session = Session::with_scratch(instance.sets(), algorithm, scratch);
-    for arrival in instance.arrivals() {
-        session.step(&arrival, algorithm)?;
-    }
-    Ok(session.finish_into(scratch))
+    run_source_with_scratch(&mut instance.source(), algorithm, scratch)
+}
+
+/// Runs `algorithm` over every arrival `source` yields and returns the
+/// [`Outcome`] — the streaming twin of [`run`]. The source's set metadata
+/// is announced to the algorithm up front; arrivals are pulled one at a
+/// time and never retained, so memory is bounded by the source's resident
+/// state (O(m) for the fused generator sources), not the stream length.
+///
+/// # Errors
+///
+/// Returns an error if the algorithm emits an invalid decision: a set not
+/// containing the element, a duplicated set, or more than `b(u)` sets.
+///
+/// # Examples
+///
+/// ```
+/// use osp_core::prelude::*;
+///
+/// let mut b = InstanceBuilder::new();
+/// let s = b.add_set(1.0, 1);
+/// b.add_element(1, &[s]);
+/// let inst = b.build()?;
+/// // A materialized instance is just one kind of source.
+/// let outcome = run_source(&mut inst.source(), &mut GreedyOnline::new(TieBreak::ByWeight))?;
+/// assert_eq!(outcome.benefit(), 1.0);
+/// # Ok::<(), osp_core::Error>(())
+/// ```
+pub fn run_source<S, A>(source: &mut S, algorithm: &mut A) -> Result<Outcome, Error>
+where
+    S: ArrivalSource + ?Sized,
+    A: OnlineAlgorithm + ?Sized,
+{
+    let mut scratch = ReplayScratch::new();
+    run_source_with_scratch(source, algorithm, &mut scratch)
+}
+
+/// [`run_source`] with caller-provided [`ReplayScratch`]. The set metadata
+/// is copied into a scratch-recycled buffer (one warm `memcpy` of `m`
+/// entries per job — never per arrival) so the source stays free for
+/// mutable pulls while the [`Session`] borrows the metas.
+///
+/// # Errors
+///
+/// Same contract as [`run_source`].
+pub fn run_source_with_scratch<S, A>(
+    source: &mut S,
+    algorithm: &mut A,
+    scratch: &mut ReplayScratch,
+) -> Result<Outcome, Error>
+where
+    S: ArrivalSource + ?Sized,
+    A: OnlineAlgorithm + ?Sized,
+{
+    let mut metas = std::mem::take(&mut scratch.set_metas);
+    metas.clear();
+    metas.extend_from_slice(source.sets());
+    let mut session = Session::with_scratch(&metas, algorithm, scratch);
+    let outcome = match session.drain_source(source, algorithm) {
+        Ok(()) => Ok(session.finish_into(scratch)),
+        Err(e) => Err(e),
+    };
+    scratch.set_metas = metas;
+    outcome
 }
 
 #[cfg(test)]

@@ -32,6 +32,16 @@ pub enum Error {
     },
     /// An element arrived with capacity zero.
     ZeroCapacity(ElementId),
+    /// An arrival's member list was not sorted ascending by set id.
+    ///
+    /// Raised by [`Arrival::try_new`](crate::Arrival::try_new), the checked
+    /// constructor for untrusted input (e.g. the osp-net trace boundary).
+    UnsortedMembers {
+        /// The element whose member list is out of order.
+        element: ElementId,
+        /// The first set id found out of ascending order.
+        set: SetId,
+    },
     /// A set's declared size disagrees with the number of elements that
     /// actually listed it.
     SizeMismatch {
@@ -83,6 +93,12 @@ impl fmt::Display for Error {
             }
             Error::ZeroCapacity(element) => {
                 write!(f, "element {element} has capacity zero")
+            }
+            Error::UnsortedMembers { element, set } => {
+                write!(
+                    f,
+                    "member list of element {element} is not sorted ascending at set {set}"
+                )
             }
             Error::SizeMismatch {
                 set,

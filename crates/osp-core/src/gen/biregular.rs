@@ -34,6 +34,38 @@ pub fn biregular_instance<R: Rng + ?Sized>(
     sigma: u32,
     rng: &mut R,
 ) -> Result<Instance, GenError> {
+    let stubs = biregular_stubs(m, k, sigma, rng)?;
+    let sigma = sigma as usize;
+    let n = stubs.len() / sigma;
+
+    let mut builder = InstanceBuilder::new();
+    for _ in 0..m {
+        builder.add_set(1.0, k);
+    }
+    for j in 0..n {
+        let members: Vec<SetId> = stubs[j * sigma..(j + 1) * sigma]
+            .iter()
+            .map(|&s| SetId(s))
+            .collect();
+        builder.add_element(1, &members);
+    }
+    Ok(builder
+        .build()
+        .expect("configuration model satisfies builder invariants"))
+}
+
+/// The configuration-model core shared by [`biregular_instance`] and the
+/// streaming [`BiregularSource`](super::BiregularSource): validates the
+/// parameters and returns the repaired flat stub array — element `j`'s
+/// member sets are `stubs[j*σ..(j+1)*σ]` (unsorted), guaranteed distinct
+/// within each window. One implementation means the two paths cannot
+/// drift in their RNG draw sequence.
+pub(super) fn biregular_stubs<R: Rng + ?Sized>(
+    m: usize,
+    k: u32,
+    sigma: u32,
+    rng: &mut R,
+) -> Result<Vec<u32>, GenError> {
     if m == 0 || k == 0 || sigma == 0 {
         return Err(GenError::Infeasible("m, k, σ must all be positive".into()));
     }
@@ -76,21 +108,8 @@ pub fn biregular_instance<R: Rng + ?Sized>(
                 }
             }
             let Some(pos) = conflict else {
-                // Simple: build the instance.
-                let mut builder = InstanceBuilder::new();
-                for _ in 0..m {
-                    builder.add_set(1.0, k);
-                }
-                for j in 0..n {
-                    let members: Vec<SetId> = stubs[j * sigma..(j + 1) * sigma]
-                        .iter()
-                        .map(|&s| SetId(s))
-                        .collect();
-                    builder.add_element(1, &members);
-                }
-                return Ok(builder
-                    .build()
-                    .expect("configuration model satisfies builder invariants"));
+                // Simple: hand the repaired pairing back.
+                return Ok(stubs);
             };
             if attempts >= budget {
                 continue 'restart;

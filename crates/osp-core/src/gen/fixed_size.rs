@@ -30,6 +30,32 @@ pub fn fixed_size_instance<R: Rng + ?Sized>(
     skew: f64,
     rng: &mut R,
 ) -> Result<Instance, GenError> {
+    let memberships = fixed_size_memberships(m, k, n, skew, rng)?;
+
+    let mut b = InstanceBuilder::new();
+    for _ in 0..m {
+        b.add_set(1.0, k);
+    }
+    for sets in memberships.iter().filter(|s| !s.is_empty()) {
+        let members: Vec<SetId> = sets.iter().map(|&s| SetId(s)).collect();
+        b.add_element(1, &members);
+    }
+    Ok(b.build().expect("membership bookkeeping is consistent"))
+}
+
+/// The drawing core shared by [`fixed_size_instance`] and the streaming
+/// [`FixedSizeSource`](super::FixedSizeSource): validates the parameters
+/// and returns `memberships[e]` = the sets containing element `e`,
+/// ascending (sets draw in id order), for all `n` raw elements — including
+/// the empty ones both consumers drop. One implementation means the two
+/// paths cannot drift in their RNG draw sequence.
+pub(super) fn fixed_size_memberships<R: Rng + ?Sized>(
+    m: usize,
+    k: u32,
+    n: usize,
+    skew: f64,
+    rng: &mut R,
+) -> Result<Vec<Vec<u32>>, GenError> {
     if m == 0 || k == 0 || n == 0 {
         return Err(GenError::Infeasible("m, k, n must be positive".into()));
     }
@@ -49,7 +75,7 @@ pub fn fixed_size_instance<R: Rng + ?Sized>(
     let table = AliasTable::new(&popularity).expect("Zipf popularities are positive and finite");
 
     // memberships[e] = sets containing element e.
-    let mut memberships: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut memberships: Vec<Vec<u32>> = vec![Vec::new(); n];
     for set in 0..m {
         let mut picked: Vec<usize> = Vec::with_capacity(k as usize);
         while picked.len() < k as usize {
@@ -59,19 +85,10 @@ pub fn fixed_size_instance<R: Rng + ?Sized>(
             }
         }
         for &j in &picked {
-            memberships[j].push(set);
+            memberships[j].push(set as u32);
         }
     }
-
-    let mut b = InstanceBuilder::new();
-    for _ in 0..m {
-        b.add_set(1.0, k);
-    }
-    for sets in memberships.iter().filter(|s| !s.is_empty()) {
-        let members: Vec<SetId> = sets.iter().map(|&s| SetId(s as u32)).collect();
-        b.add_element(1, &members);
-    }
-    Ok(b.build().expect("membership bookkeeping is consistent"))
+    Ok(memberships)
 }
 
 #[cfg(test)]

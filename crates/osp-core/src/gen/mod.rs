@@ -10,15 +10,22 @@
 //!   load-`σ` elements via a configuration model with conflict repair;
 //!   this is the instance class of Theorem 5 / Corollary 7, where the
 //!   competitive ratio drops to `k`.
+//!
+//! Every family also exists as a *fused streaming source* ([`stream`]:
+//! [`UniformSource`], [`BiregularSource`], [`FixedSizeSource`]) that feeds
+//! the engine while generating — same RNG draw sequence, bit-identical
+//! outcomes, without materializing an `Instance`.
 
 mod biregular;
 mod fixed_size;
 mod models;
+pub mod stream;
 mod uniform;
 
 pub use biregular::biregular_instance;
 pub use fixed_size::fixed_size_instance;
 pub use models::{CapacityModel, LoadModel, WeightModel};
+pub use stream::{BiregularSource, FixedSizeSource, UniformSource};
 pub use uniform::{random_instance, RandomInstanceConfig};
 
 use std::fmt;

@@ -53,18 +53,7 @@ pub fn random_instance<R: Rng + ?Sized>(
     config: &RandomInstanceConfig,
     rng: &mut R,
 ) -> Result<Instance, GenError> {
-    if config.num_sets == 0 || config.num_elements == 0 {
-        return Err(GenError::Infeasible(
-            "need at least one set and one element".into(),
-        ));
-    }
-    if config.load.max() as usize > config.num_sets {
-        return Err(GenError::Infeasible(format!(
-            "max load {} exceeds set count {}",
-            config.load.max(),
-            config.num_sets
-        )));
-    }
+    validate_config(config)?;
 
     // Draw memberships first so unused sets can be dropped.
     let mut memberships: Vec<Vec<usize>> = Vec::with_capacity(config.num_elements);
@@ -99,6 +88,36 @@ pub fn random_instance<R: Rng + ?Sized>(
         b.add_element(capacity, &members);
     }
     Ok(b.build().expect("generator invariants guarantee validity"))
+}
+
+/// Parameter validation shared by [`random_instance`] and the streaming
+/// [`UniformSource`](super::UniformSource).
+pub(super) fn validate_config(config: &RandomInstanceConfig) -> Result<(), GenError> {
+    if config.num_sets == 0 || config.num_elements == 0 {
+        return Err(GenError::Infeasible(
+            "need at least one set and one element".into(),
+        ));
+    }
+    if config.load.max() as usize > config.num_sets {
+        return Err(GenError::Infeasible(format!(
+            "max load {} exceeds set count {}",
+            config.load.max(),
+            config.num_sets
+        )));
+    }
+    if config.num_elements > u32::MAX as usize {
+        return Err(GenError::Infeasible(format!(
+            "element count {} exceeds the u32 id space",
+            config.num_elements
+        )));
+    }
+    if config.num_sets > u32::MAX as usize {
+        return Err(GenError::Infeasible(format!(
+            "set count {} exceeds the u32 id space",
+            config.num_sets
+        )));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -92,6 +92,34 @@ impl<'a> Arrival<'a> {
         }
     }
 
+    /// Checked variant of [`new`](Self::new) for *untrusted* input (e.g.
+    /// the osp-net trace boundary): instead of panicking it reports exactly
+    /// which invariant the member list violates, plus a zero capacity.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::ZeroCapacity`] if `capacity == 0`;
+    /// * [`Error::DuplicateMember`] if a set id repeats;
+    /// * [`Error::UnsortedMembers`] if the list is not ascending.
+    pub fn try_new(element: ElementId, capacity: u32, members: &'a [SetId]) -> Result<Self, Error> {
+        if capacity == 0 {
+            return Err(Error::ZeroCapacity(element));
+        }
+        for w in members.windows(2) {
+            if w[0] == w[1] {
+                return Err(Error::DuplicateMember { element, set: w[0] });
+            }
+            if w[0] > w[1] {
+                return Err(Error::UnsortedMembers { element, set: w[1] });
+            }
+        }
+        Ok(Arrival {
+            element,
+            capacity,
+            members,
+        })
+    }
+
     /// The arriving element's id (also its position in arrival order).
     pub fn element(&self) -> ElementId {
         self.element
@@ -318,6 +346,26 @@ impl Instance {
         self.arrivals()
             .get(i)
             .unwrap_or_else(|| panic!("arrival index {i} out of range"))
+    }
+
+    /// A fresh [`ArrivalSource`](crate::source::ArrivalSource) streaming
+    /// this instance's arrivals from the start — the bridge from the
+    /// materialized world into the source-generic engine entry points
+    /// ([`run_source`](crate::engine::run_source) and friends). The yielded
+    /// [`Arrival`]s are the same zero-copy views into the CSR arena that
+    /// [`arrivals`](Self::arrivals) hands out.
+    pub fn source(&self) -> crate::source::InstanceSource<'_> {
+        crate::source::InstanceSource::new(self)
+    }
+
+    /// Bytes of heap memory the instance's arrays occupy (set metadata,
+    /// capacities, CSR offsets and membership pool) — what a streaming
+    /// [`source`](Self::source) pipeline avoids materializing.
+    pub fn heap_bytes(&self) -> usize {
+        self.sets.len() * std::mem::size_of::<SetMeta>()
+            + self.capacities.len() * std::mem::size_of::<u32>()
+            + self.member_offsets.len() * std::mem::size_of::<u32>()
+            + self.members.len() * std::mem::size_of::<SetId>()
     }
 
     /// Total weight `w(C)` of all sets.

@@ -52,11 +52,15 @@ mod ids;
 mod instance;
 pub mod prelude;
 pub mod priority;
+pub mod source;
 pub mod stats;
 
 pub use algorithm::{EngineView, OnlineAlgorithm};
-pub use engine::batch::{derive_seed, ReplayJob, ReplayPool, ReplayScratch};
-pub use engine::{run, run_with_scratch, DecisionLog, Outcome, Session};
+pub use engine::batch::{derive_seed, ReplayJob, ReplayPool, ReplayScratch, SourceJob};
+pub use engine::{
+    run, run_source, run_source_with_scratch, run_with_scratch, DecisionLog, Outcome, Session,
+};
 pub use error::Error;
 pub use ids::{ElementId, SetId};
 pub use instance::{Arrival, Arrivals, Instance, InstanceBuilder, SetMeta};
+pub use source::{ArrivalSource, InstanceSource};

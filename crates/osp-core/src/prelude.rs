@@ -9,9 +9,12 @@ pub use crate::algorithm::{EngineView, OnlineAlgorithm};
 pub use crate::algorithms::{
     GreedyOnline, HashRandPr, OracleOnline, RandPr, RandomAssign, TieBreak,
 };
-pub use crate::engine::batch::{derive_seed, ReplayJob, ReplayPool};
-pub use crate::engine::{run, run_with_scratch, DecisionLog, Outcome, Session};
+pub use crate::engine::batch::{derive_seed, ReplayJob, ReplayPool, SourceJob};
+pub use crate::engine::{
+    run, run_source, run_source_with_scratch, run_with_scratch, DecisionLog, Outcome, Session,
+};
 pub use crate::error::Error;
 pub use crate::ids::{ElementId, SetId};
 pub use crate::instance::{Arrival, Arrivals, Instance, InstanceBuilder, SetMeta};
+pub use crate::source::{ArrivalSource, InstanceSource};
 pub use crate::stats::InstanceStats;

@@ -104,7 +104,7 @@ impl PolyHash {
     /// chains carry no data dependency on each other — the CPU can overlap
     /// their multiply/fold latencies (ILP) instead of serializing one long
     /// Horner chain. Each step keeps its accumulator below `2^62` with two
-    /// branchless [`fold61`] folds (entering a step `acc < 2^62` and
+    /// branchless `fold61` folds (entering a step `acc < 2^62` and
     /// `y < 2^62`, so `acc·y + c < 2^125`; one fold brings that under
     /// `2^65`, a second under `2^62`), and the value is canonicalized once
     /// at the end.

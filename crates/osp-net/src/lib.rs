@@ -36,7 +36,7 @@ pub mod policy;
 pub mod trace;
 
 pub use frame::{Frame, FrameClass, GopConfig};
-pub use mapping::trace_to_instance;
+pub use mapping::{trace_to_instance, TraceSource};
 pub use metrics::GoodputReport;
 pub use trace::{onoff_trace, poisson_trace, video_trace, Trace, VideoTraceConfig};
 

@@ -5,8 +5,21 @@
 //! Empty slots carry no decision and are skipped, so the OSP instance's
 //! elements are exactly the non-empty slots, with capacity equal to the
 //! link rate.
+//!
+//! Two executions of the reduction:
+//!
+//! * [`trace_to_instance`] materializes a full [`Instance`] (plus the
+//!   element↔slot bookkeeping) — what the offline solvers and statistics
+//!   need;
+//! * [`TraceSource`] streams the same reduction as an
+//!   [`ArrivalSource`], so a trace replays through the engine without
+//!   the intermediate instance ever existing — and, being the boundary
+//!   where *untrusted* input enters the engine, it validates every slot
+//!   with the checked [`Arrival::try_new`] instead of trusting builder
+//!   invariants.
 
-use osp_core::{Instance, InstanceBuilder, SetId};
+use osp_core::source::ArrivalSource;
+use osp_core::{Arrival, ElementId, Error, Instance, InstanceBuilder, SetId, SetMeta};
 
 use crate::trace::Trace;
 
@@ -62,6 +75,143 @@ pub fn trace_to_instance(trace: &Trace) -> MappedTrace {
     }
 }
 
+/// The paper's reduction as a stream: each non-empty slot of a packet
+/// [`Trace`] becomes one arrival, pulled on demand — no intermediate
+/// [`Instance`] is built. Conformant with [`trace_to_instance`]: replaying
+/// this source produces bit-identical outcomes to replaying the mapped
+/// instance (pinned by `tests/source_conformance.rs`).
+///
+/// This is the boundary where untrusted input (a parsed capture, a
+/// third-party trace) enters the engine, so construction re-validates
+/// every slot through the checked [`Arrival::try_new`] — a malformed
+/// member list surfaces as an [`Error`] here instead of a panic (or a
+/// silently wrong binary search) deep inside a replay.
+///
+/// # Examples
+///
+/// ```
+/// use osp_net::frame::{Frame, FrameClass};
+/// use osp_net::trace::Trace;
+/// use osp_net::mapping::TraceSource;
+/// use osp_core::prelude::*;
+///
+/// let f = Frame { class: FrameClass::P, packets: 2, weight: 1.0 };
+/// let trace = Trace::new(vec![f], vec![vec![0], vec![], vec![0]], 1).unwrap();
+/// let mut source = TraceSource::new(&trace)?;
+/// let outcome = run_source(&mut source, &mut GreedyOnline::new(TieBreak::ByWeight))?;
+/// assert_eq!(outcome.benefit(), 1.0);
+/// # Ok::<(), osp_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceSource<'a> {
+    trace: &'a Trace,
+    sets: Vec<SetMeta>,
+    /// Sorted member buffer of the current slot, reused across arrivals.
+    members: Vec<SetId>,
+    /// Next slot index to examine.
+    slot: usize,
+    /// Next element id to mint (= non-empty slots yielded so far).
+    element: u32,
+    /// Total non-empty slots (counted once by the validation pass).
+    total: u32,
+    /// Slot index of the most recently yielded arrival.
+    last_yielded: Option<usize>,
+}
+
+impl<'a> TraceSource<'a> {
+    /// Builds the source, translating frames to [`SetMeta`] and validating
+    /// every slot's member list through [`Arrival::try_new`].
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::EmptySet`] for a zero-packet frame (it could never
+    ///   complete);
+    /// * [`Error::BadWeight`] for a non-finite or negative frame weight;
+    /// * [`Error::DuplicateMember`] if a slot lists a frame twice
+    ///   (unreachable for a validated [`Trace`], load-bearing for anything
+    ///   synthesized).
+    pub fn new(trace: &'a Trace) -> Result<Self, Error> {
+        let mut sets = Vec::with_capacity(trace.frames().len());
+        for (i, f) in trace.frames().iter().enumerate() {
+            if f.packets == 0 {
+                return Err(Error::EmptySet(SetId(i as u32)));
+            }
+            if !f.weight.is_finite() || f.weight < 0.0 {
+                return Err(Error::BadWeight {
+                    set: SetId(i as u32),
+                    weight: f.weight,
+                });
+            }
+            sets.push(SetMeta::new(f.weight, f.packets));
+        }
+        let max_burst = trace.max_burst();
+        let mut source = TraceSource {
+            trace,
+            sets,
+            members: Vec::with_capacity(max_burst),
+            slot: 0,
+            element: 0,
+            total: 0,
+            last_yielded: None,
+        };
+        // Validation pass: every slot must form a legal arrival (and the
+        // walk doubles as the non-empty-slot count).
+        while source.advance()?.is_some() {}
+        source.total = source.element;
+        source.slot = 0;
+        source.element = 0;
+        source.last_yielded = None;
+        Ok(source)
+    }
+
+    /// The original slot index of the most recently yielded arrival, or
+    /// `None` before the first pull — the streamed, O(1) twin of
+    /// [`MappedTrace::element_slots`]: consumers that need the mapping
+    /// read it arrival by arrival as they pull (a full random-access table
+    /// is exactly what streaming avoids holding).
+    pub fn last_slot(&self) -> Option<usize> {
+        self.last_yielded
+    }
+
+    /// Advances to the next non-empty slot, filling `self.members` sorted,
+    /// and returns the arrival (checked); `None` at end of trace.
+    fn advance(&mut self) -> Result<Option<Arrival<'_>>, Error> {
+        let slots = self.trace.slots();
+        while self.slot < slots.len() && slots[self.slot].is_empty() {
+            self.slot += 1;
+        }
+        if self.slot >= slots.len() {
+            return Ok(None);
+        }
+        self.members.clear();
+        self.members
+            .extend(slots[self.slot].iter().map(|&f| SetId(f as u32)));
+        self.members.sort_unstable();
+        let element = ElementId(self.element);
+        self.last_yielded = Some(self.slot);
+        self.slot += 1;
+        self.element += 1;
+        Arrival::try_new(element, self.trace.capacity(), &self.members).map(Some)
+    }
+}
+
+impl ArrivalSource for TraceSource<'_> {
+    fn sets(&self) -> &[SetMeta] {
+        &self.sets
+    }
+
+    fn next_arrival(&mut self) -> Option<Arrival<'_>> {
+        // Construction already validated every slot; a failure here would
+        // mean the trace mutated under us, which `&'a Trace` rules out.
+        self.advance()
+            .expect("trace slots validated at construction")
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        Some((self.total - self.element) as usize)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +255,51 @@ mod tests {
         // Incidence count is preserved: packets = Σ loads.
         let total_load: u32 = mapped.instance.arrivals().iter().map(|a| a.load()).sum();
         assert_eq!(total_load as usize, trace.total_packets());
+    }
+
+    #[test]
+    fn trace_source_streams_the_mapped_instance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let trace = video_trace(&VideoTraceConfig::small(), &mut rng);
+        let mapped = trace_to_instance(&trace);
+        let mut source = TraceSource::new(&trace).unwrap();
+        assert_eq!(source.sets(), mapped.instance.sets());
+        assert_eq!(
+            source.remaining_hint(),
+            Some(mapped.instance.num_elements())
+        );
+        assert_eq!(source.last_slot(), None, "no arrival pulled yet");
+        for i in 0..mapped.instance.num_elements() {
+            let want = mapped.instance.arrival(i);
+            let got = source.next_arrival().expect("stream too short");
+            assert_eq!(got.element(), want.element(), "element {i}");
+            assert_eq!(got.capacity(), want.capacity(), "capacity {i}");
+            assert_eq!(got.members(), want.members(), "members {i}");
+            // Slot bookkeeping matches MappedTrace's, arrival by arrival.
+            assert_eq!(
+                source.last_slot(),
+                Some(mapped.element_slots[i]),
+                "slot {i}"
+            );
+        }
+        assert!(source.next_arrival().is_none());
+        assert_eq!(source.remaining_hint(), Some(0));
+    }
+
+    #[test]
+    fn trace_source_rejects_malformed_frames() {
+        // Zero-packet frame: legal for Trace::new, meaningless for OSP.
+        let trace = Trace::new(vec![frame(0, 1.0)], vec![], 1).unwrap();
+        assert!(matches!(
+            TraceSource::new(&trace),
+            Err(osp_core::Error::EmptySet(_))
+        ));
+        // Non-finite weight.
+        let trace = Trace::new(vec![frame(1, f64::NAN)], vec![vec![0]], 1).unwrap();
+        assert!(matches!(
+            TraceSource::new(&trace),
+            Err(osp_core::Error::BadWeight { .. })
+        ));
     }
 
     #[test]

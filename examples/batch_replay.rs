@@ -8,20 +8,25 @@
 //! Generates one random workload, replays `randPr` under 2000 seeds three
 //! ways — sequentially, on a 1-shard pool and on an all-cores pool — and
 //! shows that all three produce bit-identical outcomes while the parallel
-//! run finishes fastest. Shard count can be pinned with
+//! run finishes fastest. A fourth leg replays the same trials through the
+//! pool's *streamed* lane (`run_sources`), where every shard regenerates
+//! its jobs' scenarios on the fly instead of sharing a materialized
+//! instance — same outcomes again. Shard count can be pinned with
 //! `OSP_REPLAY_SHARDS=n`.
 
 use std::time::Instant;
 
-use osp::core::gen::{random_instance, RandomInstanceConfig};
+use osp::core::gen::{random_instance, RandomInstanceConfig, UniformSource};
 use osp::core::prelude::*;
 use osp::stats::Summary;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = StdRng::seed_from_u64(42);
-    let instance = random_instance(&RandomInstanceConfig::unweighted(200, 2_000, 6), &mut rng)?;
+    const GEN_SEED: u64 = 42;
+    let config = RandomInstanceConfig::unweighted(200, 2_000, 6);
+    let mut rng = StdRng::seed_from_u64(GEN_SEED);
+    let instance = random_instance(&config, &mut rng)?;
     println!(
         "workload: {} sets, {} elements",
         instance.num_sets(),
@@ -50,8 +55,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let parallel = pool.run_seeds(&instance, &seeds, &factory);
     let t_par = t.elapsed().as_secs_f64();
 
+    // The streamed lane: no shared instance at all — each shard rebuilds
+    // its jobs' scenario from (config, GEN_SEED) as it replays. Sources
+    // are deterministic in their construction inputs, so this too is
+    // bit-identical to the sequential reference.
+    let t = Instant::now();
+    let streamed = pool.run_source_seeds(
+        &seeds,
+        &|_| Box::new(UniformSource::new(&config, GEN_SEED).expect("feasible config")),
+        &factory,
+    );
+    let t_stream = t.elapsed().as_secs_f64();
+
     assert_eq!(sequential, one_shard, "1-shard pool must match sequential");
     assert_eq!(sequential, parallel, "parallel pool must match sequential");
+    assert_eq!(sequential, streamed, "streamed lane must match sequential");
 
     let benefits: Summary = parallel.iter().map(Outcome::benefit).collect();
     println!("trials:            {TRIALS} (identical outcomes on all paths)");
@@ -67,5 +85,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pool.shards(),
         t_seq / t_par.max(1e-9)
     );
+    println!("streamed lane:     {t_stream:.3}s  (regenerates per job, no shared instance)");
     Ok(())
 }

@@ -68,5 +68,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "hashPr replicas agree: completed {:?} with no communication",
         first.completed()
     );
+
+    // The same engine also runs on *streams*: a materialized instance is
+    // just one ArrivalSource, and replaying it through the source-generic
+    // entry point changes nothing (generators and packet traces plug into
+    // the same hole without materializing — see examples/streaming_replay).
+    let via_instance = run(&instance, &mut RandPr::from_seed(11))?;
+    let via_source = run_source(&mut instance.source(), &mut RandPr::from_seed(11))?;
+    assert_eq!(via_instance, via_source);
+    println!(
+        "streamed replay agrees: benefit {} on both entry points",
+        via_source.benefit()
+    );
     Ok(())
 }

@@ -10,11 +10,11 @@
 //! decisions go into recycled buffers, and the decision log grows in a
 //! warm CSR arena.
 //!
-//! Everything lives in a single `#[test]` so no concurrent test thread can
-//! pollute the allocation counter.
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+//! The target is built with `harness = false` (see `Cargo.toml`) so the
+//! process has exactly one thread: the default libtest harness keeps its
+//! main thread alive next to the test thread, and under load its
+//! bookkeeping allocations can land inside the measured window of the
+//! process-global counter — observed as a rare 1–2-allocation flake.
 
 use osp_core::algorithms::{
     GreedyOnline, HashRandPr, OracleOnline, RandPr, RandomAssign, TieBreak,
@@ -24,41 +24,14 @@ use osp_core::{run, OnlineAlgorithm, ReplayScratch, Session, SetId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// `System`, with every allocator entry point counted.
-struct CountingAllocator;
-
-static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-}
+#[path = "support/counting_alloc.rs"]
+mod counting_alloc;
+use counting_alloc::{allocations, CountingAllocator};
 
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
-fn allocations() -> u64 {
-    ALLOC_CALLS.load(Ordering::Relaxed)
-}
-
-#[test]
-fn warm_replay_allocates_nothing_per_arrival() {
+fn main() {
     // A non-trivial workload: variable loads and capacities so decisions
     // have mixed sizes, enough arrivals that any per-arrival allocation
     // would show up hundreds of times over.

@@ -1,0 +1,40 @@
+//! Shared counting-allocator harness for the alloc-free test binaries
+//! (`alloc_free_replay`, `alloc_free_streaming`) — one implementation so
+//! the counting rules cannot drift between the two. Each binary includes
+//! this file via `#[path]` and declares its own `#[global_allocator]`
+//! static of [`CountingAllocator`] (the attribute must live in the crate
+//! that owns the allocator).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// `System`, with every allocator entry point counted.
+pub struct CountingAllocator;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Allocator calls observed so far (monotonic).
+pub fn allocations() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}

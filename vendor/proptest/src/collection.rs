@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use rand::Rng;
 
-/// A length specification for [`vec`]: a fixed size or a half-open /
+/// A length specification for [`vec()`](vec()): a fixed size or a half-open /
 /// inclusive range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
@@ -48,7 +48,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`](vec()).
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

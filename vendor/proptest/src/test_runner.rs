@@ -1,4 +1,4 @@
-//! Test-runner configuration and RNG plumbing for the [`proptest!`] macro.
+//! Test-runner configuration and RNG plumbing for the `proptest!` macro.
 
 /// The RNG handed to strategies.
 pub type TestRng = rand::rngs::StdRng;
