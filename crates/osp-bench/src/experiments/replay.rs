@@ -2,7 +2,7 @@
 //!
 //! Not a paper theorem: this is the harness measuring itself, so replay
 //! throughput (the resource every other experiment spends) is tracked
-//! PR-over-PR via `BENCH_replay.json`. Five comparisons:
+//! PR-over-PR via `BENCH_replay.json`. Six comparisons:
 //!
 //! 1. **engine_run** — sequential `engine::run` trials vs the same trials
 //!    fanned across [`ReplayPool`] shards, asserting bit-identical
@@ -21,7 +21,15 @@
 //!    (`random_instance` → `run`) on identical scenarios: end-to-end
 //!    wall clock, plus the resident bytes each pipeline holds (the CSR
 //!    arena vs the source's O(m) state — the `mem ratio` column is
-//!    deterministic and ratio-guarded in CI).
+//!    deterministic and ratio-guarded in CI);
+//! 6. **distributed** — the same `JobSpec` work-list through sequential
+//!    `run_spec`, the thread dispatcher (`SpecPool`) and `osp-worker`
+//!    child processes (`ProcessPool`), asserting all three bit-identical
+//!    (the `bit-identical` column CI's `bench_guard` requires to exist
+//!    and read `true`) while measuring the process-boundary cost. Wall
+//!    numbers here are machine-bound (workers default to the core
+//!    count; override with `OSP_WORKERS`), so the `speedup` column is
+//!    informational, not ratio-guarded.
 //!
 //! Wall-clock numbers vary with the machine; the *identity* columns must
 //! read `true` everywhere (CI's `bench_guard` enforces this, and holds the
@@ -36,8 +44,13 @@ use std::time::Instant;
 
 use osp_core::algorithms::{GreedyOnline, HashRandPr, RandPr, RandomAssign, TieBreak};
 use osp_core::gen::{random_instance, RandomInstanceConfig, UniformSource};
-use osp_core::{run as engine_run, run_source, OnlineAlgorithm, Outcome, ReplayJob};
+use osp_core::spec::{run_spec, AlgorithmSpec, ScenarioSpec};
+use osp_core::{
+    derived_jobs, run as engine_run, run_source, Dispatcher, OnlineAlgorithm, Outcome, ProcessPool,
+    ReplayJob, SpecPool,
+};
 use osp_gf::hash::PolyHash;
+use osp_net::NetResolver;
 use osp_stats::{AliasTable, SeedSequence};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -415,6 +428,126 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     }
     report.table(stream_table);
 
+    // --- 6: distributed — one JobSpec work-list, three backends. ---
+    let mut dist_table = NamedTable::new(
+        "distributed: JobSpec fan-out — sequential vs threads vs osp-worker processes",
+        &[
+            "workload × algorithm",
+            "jobs",
+            "sequential s",
+            "threads s",
+            "processes s",
+            "speedup",
+            "shards",
+            "workers",
+            "bit-identical",
+        ],
+    );
+    let mut all_dist_identical = true;
+    match ProcessPool::from_env() {
+        Err(e) => {
+            all_dist_identical = false;
+            report.note(format!(
+                "distributed: SKIPPED — {e}. Build the worker \
+                 (`cargo build --release --bin osp-worker`) and regenerate; \
+                 bench_guard treats the missing section as a failure."
+            ));
+        }
+        Ok(procs) => {
+            let threads = SpecPool::new(pool.clone(), NetResolver);
+            let (m, n, sigma) = (200usize, 2_000usize, 6u32);
+            let uniform = ScenarioSpec::Uniform(RandomInstanceConfig::unweighted(m, n, sigma));
+            let video = ScenarioSpec::VideoTrace {
+                sources: 8,
+                frames_per_source: scale.pick(20, 60),
+                frame_interval: 8,
+                capacity: 4,
+                jitter: 2,
+            };
+            let trials: u64 = scale.pick(8, 64);
+            let roster: &[(&ScenarioSpec, AlgorithmSpec)] = &[
+                (&uniform, AlgorithmSpec::RandPr),
+                (&uniform, AlgorithmSpec::HashRandPr { independence: 8 }),
+                (
+                    &uniform,
+                    AlgorithmSpec::Greedy {
+                        tie_break: TieBreak::ByWeight,
+                    },
+                ),
+                (&uniform, AlgorithmSpec::RandomAssign),
+                (&video, AlgorithmSpec::TailDrop),
+                (&video, AlgorithmSpec::RandomDrop),
+            ];
+            for (scenario, algorithm) in roster {
+                let jobs = derived_jobs(scenario, algorithm, seeds.next_seed(), trials);
+                let rounds: usize = scale.pick(2, 3);
+                let mut t_seq = f64::INFINITY;
+                let mut t_threads = f64::INFINITY;
+                let mut t_procs = f64::INFINITY;
+                let mut identical = true;
+                for _ in 0..rounds {
+                    let (t, sequential) = timed(|| {
+                        jobs.iter()
+                            .map(|j| run_spec(j, &NetResolver).unwrap())
+                            .collect::<Vec<Outcome>>()
+                    });
+                    t_seq = t_seq.min(t);
+                    let (t, threaded) = timed(|| threads.run_specs(&jobs));
+                    t_threads = t_threads.min(t);
+                    let (t, distributed) = timed(|| procs.run_specs(&jobs));
+                    t_procs = t_procs.min(t);
+                    // A per-job Err (e.g. a worker killed mid-run) is an
+                    // identity failure to report, not a reason to abort
+                    // the experiment — the guard then flags the `false`
+                    // cell through its designed channel.
+                    let matches = |got: &[Result<Outcome, osp_core::Error>]| {
+                        got.len() == sequential.len()
+                            && got
+                                .iter()
+                                .zip(&sequential)
+                                .all(|(g, w)| g.as_ref() == Ok(w))
+                    };
+                    identical &= matches(&threaded) && matches(&distributed);
+                }
+                all_dist_identical &= identical;
+                let workload = match scenario {
+                    ScenarioSpec::Uniform(_) => format!("m={m} n={n} σ={sigma}"),
+                    other => other.label(),
+                };
+                dist_table.row(vec![
+                    format!("{workload} × {}", algorithm.label()),
+                    trials.to_string(),
+                    format!("{t_seq:.3}"),
+                    format!("{t_threads:.3}"),
+                    format!("{t_procs:.3}"),
+                    format!("{:.2}×", t_seq / t_procs.max(1e-9)),
+                    threads.lanes().to_string(),
+                    procs.workers().to_string(),
+                    identical.to_string(),
+                ]);
+            }
+            // The env-selected backend spec-shaped work-lists get by
+            // default (the table above measures both backends explicitly
+            // so its rows stay comparable regardless of the selection).
+            let selected = crate::pool::dispatcher();
+            report.note(format!(
+                "distributed: the same serialized JobSpecs replayed three ways — in-process, \
+                 across {} thread shard(s), and across {} osp-worker process(es) fed \
+                 length-prefixed frames over pipes. Outcomes (incl. DecisionLog and died_at) \
+                 must be bit-identical on every row; wall clocks include \
+                 serialize/spawn/pipe overhead and scale with the machine, so only the \
+                 identity column is guarded. Spec-shaped fan-out obtains its backend from \
+                 osp_bench::pool::dispatcher() — OSP_DISPATCH currently selects the {} \
+                 backend with {} lane(s).",
+                threads.lanes(),
+                procs.workers(),
+                selected.backend(),
+                selected.lanes(),
+            ));
+        }
+    }
+    report.table(dist_table);
+
     report.note(format!(
         "Replay pool: {} shards (override with OSP_REPLAY_SHARDS; outcomes are \
          shard-count-invariant by construction, see tests/batch_equivalence.rs).{}",
@@ -441,15 +574,18 @@ pub fn run(scale: Scale, seed: u64) -> Report {
          column), so the mem ratio grows linearly in n while outcomes stay \
          bit-identical.",
     );
-    report.note(if all_identical && all_agree && all_stream_identical {
-        "Verdict: batch replay is bit-identical to sequential replay, fused streaming is \
-         bit-identical to materialize-then-replay, and the hash fast path agrees with \
-         the naive reference; timings above are the tracked baseline."
-            .to_string()
-    } else {
-        "Verdict: an identity check FAILED — the batch engine, the streaming pipeline \
-         or the hash fast path diverged."
-            .to_string()
-    });
+    report.note(
+        if all_identical && all_agree && all_stream_identical && all_dist_identical {
+            "Verdict: batch replay is bit-identical to sequential replay, fused streaming \
+             is bit-identical to materialize-then-replay, distributed (process) replay is \
+             bit-identical to both, and the hash fast path agrees with the naive \
+             reference; timings above are the tracked baseline."
+                .to_string()
+        } else {
+            "Verdict: an identity check FAILED — the batch engine, the streaming pipeline, \
+             the distributed dispatch layer or the hash fast path diverged."
+                .to_string()
+        },
+    );
     report
 }

@@ -5,8 +5,13 @@
 //!
 //! 1. **Identity booleans** — every cell under a `bit-identical` or
 //!    `agree` header, in *every* candidate report, must read `true`. These
-//!    encode correctness (batch replay ≡ sequential, fast hash ≡ naive)
-//!    and must never regress, on any machine.
+//!    encode correctness (batch replay ≡ sequential, fast hash ≡ naive,
+//!    osp-worker processes ≡ threads) and must never regress, on any
+//!    machine. Sections that carry such claims and could be skipped
+//!    silently (`REQUIRED_TABLES`: the `distributed` section, which
+//!    needs the `osp-worker` binary built) must additionally be *present
+//!    with rows* in every candidate once the baseline has them — an
+//!    absent table would otherwise pass vacuously.
 //! 2. **Algorithmic speedups** — for tables whose comparison is
 //!    single-threaded and machine-portable (`poly_hash_eval`,
 //!    `weighted sampling`, `streaming`), each `speedup` / `mem ratio`
@@ -48,6 +53,16 @@ pub const RATIO_GUARD_MIN: f64 = 2.0;
 /// and therefore ratio-guarded.
 const RATIO_GUARDED_TABLES: [&str; 3] = ["poly_hash_eval", "weighted sampling", "streaming"];
 
+/// Table-title prefixes that must be *present with rows* in every
+/// candidate whenever the committed baseline has them. The `distributed`
+/// section encodes the process-boundary identity claim (osp-worker
+/// outcomes ≡ threads ≡ sequential); a run that silently skipped it —
+/// e.g. because the worker binary was not built — would otherwise pass
+/// rule 1 vacuously. Its wall-clock columns stay unguarded (the
+/// thread/worker counts are machine properties); only presence and the
+/// identity booleans are enforced.
+const REQUIRED_TABLES: [&str; 1] = ["distributed"];
+
 /// Headers holding boolean identity verdicts.
 const IDENTITY_HEADERS: [&str; 2] = ["bit-identical", "agree"];
 
@@ -85,6 +100,30 @@ pub fn check_all(baseline: &Report, candidates: &[Report]) -> Vec<String> {
                         ));
                     }
                 }
+            }
+        }
+    }
+
+    // Rule 1b: sections whose *absence* would make rule 1 vacuous must be
+    // present (with rows) in every candidate once the baseline has them.
+    for prefix in REQUIRED_TABLES {
+        let required = baseline
+            .tables
+            .iter()
+            .any(|t| t.title.starts_with(prefix) && !t.rows.is_empty());
+        if !required {
+            continue;
+        }
+        for (i, current) in candidates.iter().enumerate() {
+            let present = current
+                .tables
+                .iter()
+                .any(|t| t.title.starts_with(prefix) && !t.rows.is_empty());
+            if !present {
+                violations.push(format!(
+                    "[candidate {i}] required section '{prefix}' is missing or empty \
+                     (the baseline has it; was osp-worker built?)"
+                ));
             }
         }
     }
@@ -251,6 +290,46 @@ mod tests {
             vec![vec!["m=100 n=1000 σ=4", "0.50×", "10.50×", "true"]],
         );
         assert!(check(&mk("10.50×", "true"), &slow).is_empty());
+    }
+
+    #[test]
+    fn distributed_identity_is_enforced_and_presence_required() {
+        let mk = |identical: &str| {
+            report_with(
+                "distributed: JobSpec fan-out — sequential vs threads vs osp-worker processes",
+                &["workload × algorithm", "speedup", "bit-identical"],
+                vec![vec!["m=200 n=2000 σ=6 × randPr", "0.80×", identical]],
+            )
+        };
+        // Identity booleans of the distributed section are rule-1 checked…
+        let v = check(&mk("true"), &mk("false"));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("bit-identical"));
+        // …its speedup is machine-bound and deliberately unguarded…
+        let base = mk("true");
+        let slower = report_with(
+            "distributed: JobSpec fan-out — sequential vs threads vs osp-worker processes",
+            &["workload × algorithm", "speedup", "bit-identical"],
+            vec![vec!["m=200 n=2000 σ=6 × randPr", "0.10×", "true"]],
+        );
+        assert!(check(&base, &slower).is_empty());
+        // …and a candidate missing the section entirely (or with zero
+        // rows) fails, because the identity claim would pass vacuously.
+        let absent = report_with("engine_run: x", &["workload", "bit-identical"], vec![]);
+        let v = check(&base, &absent);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("required section 'distributed'"));
+        let empty = report_with(
+            "distributed: JobSpec fan-out — sequential vs threads vs osp-worker processes",
+            &["workload × algorithm", "speedup", "bit-identical"],
+            vec![],
+        );
+        let v = check(&base, &empty);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("missing or empty"));
+        // Baselines without the section (pre-PR-5 reports, other
+        // experiment ids) require nothing.
+        assert!(check(&absent, &absent.clone()).is_empty());
     }
 
     #[test]

@@ -13,14 +13,56 @@
 //! Shard count comes from `OSP_REPLAY_SHARDS` (default: all cores); the
 //! `tests/batch_equivalence.rs` conformance suite proves outcomes are
 //! bit-identical at any shard count.
+//!
+//! Work that is expressible as data-driven
+//! [`JobSpec`](osp_core::JobSpec)s (rather than closures over bespoke
+//! instances) can additionally choose its backend:
+//! [`dispatcher`] returns threads or `osp-worker` processes depending on
+//! `OSP_DISPATCH`, behind the common [`Dispatcher`] contract — same
+//! seeds, same order, bit-identical outcomes either way (pinned by
+//! `tests/process_pool_conformance.rs`).
 
-pub use osp_core::{ReplayJob, ReplayPool};
+pub use osp_core::{Dispatcher, ProcessPool, ReplayJob, ReplayPool, SpecPool};
+use osp_net::NetResolver;
 use osp_stats::SeedSequence;
 
 /// The pool all experiments share: sized by `OSP_REPLAY_SHARDS`, falling
 /// back to the machine's available parallelism.
 pub fn pool() -> ReplayPool {
     ReplayPool::from_env()
+}
+
+/// The spec-job backend the experiments share, selected by
+/// `OSP_DISPATCH`:
+///
+/// * unset or `threads` — [`SpecPool`] over the shared [`pool`], resolving
+///   specs in-process through the full workspace registry
+///   ([`NetResolver`]);
+/// * `processes` — a [`ProcessPool`] of `osp-worker` children sized by
+///   `OSP_WORKERS` (build the binary first:
+///   `cargo build --release --bin osp-worker`).
+///
+/// If `processes` is requested but the worker binary cannot be located,
+/// the selection falls back to threads with a note on stderr — outcomes
+/// are bit-identical either way, so an experiment never blocks on the
+/// missing binary.
+pub fn dispatcher() -> Box<dyn Dispatcher> {
+    dispatcher_for(std::env::var("OSP_DISPATCH").ok().as_deref())
+}
+
+/// Pure core of [`dispatcher`]: `choice` is the raw `OSP_DISPATCH`
+/// content (or `None` if unset).
+fn dispatcher_for(choice: Option<&str>) -> Box<dyn Dispatcher> {
+    match choice {
+        Some("processes") => match ProcessPool::from_env() {
+            Ok(pool) => Box::new(pool),
+            Err(e) => {
+                eprintln!("OSP_DISPATCH=processes unavailable ({e}); falling back to threads");
+                Box::new(SpecPool::new(pool(), NetResolver))
+            }
+        },
+        _ => Box::new(SpecPool::new(pool(), NetResolver)),
+    }
 }
 
 /// Draws `n` seeds from the sequence — the batch-side equivalent of `n`
@@ -49,5 +91,22 @@ mod tests {
     fn pool_respects_env_override() {
         // from_env is exercised indirectly; at minimum it must build.
         assert!(pool().shards() >= 1);
+    }
+
+    #[test]
+    fn dispatcher_selection_policy() {
+        // Exercised through the pure core so the assertions do not depend
+        // on whatever OSP_DISPATCH happens to be in the ambient
+        // environment (and no test ever mutates the process env).
+        for unset_or_threads in [None, Some("threads"), Some("bogus")] {
+            let d = dispatcher_for(unset_or_threads);
+            assert_eq!(d.backend(), "threads", "choice {unset_or_threads:?}");
+            assert!(d.lanes() >= 1);
+        }
+        // `processes` yields the process backend when the worker binary is
+        // locatable, and falls back to threads (never panics) otherwise.
+        let d = dispatcher_for(Some("processes"));
+        assert!(matches!(d.backend(), "processes" | "threads"));
+        assert!(d.lanes() >= 1);
     }
 }

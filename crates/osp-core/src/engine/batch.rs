@@ -26,6 +26,7 @@ use crate::error::Error;
 use crate::ids::ElementId;
 use crate::instance::{Instance, SetMeta};
 use crate::source::ArrivalSource;
+use crate::spec::{run_spec_with_scratch, JobSpec, SpecResolver};
 
 use super::{run_source_with_scratch, run_with_scratch, DecisionLog, Outcome};
 
@@ -71,6 +72,37 @@ fn splitmix_finalize(state: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// The machine default: `std::thread::available_parallelism`, 1 if the
+/// platform cannot say.
+fn machine_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The one environment-sizing policy shared by every pool
+/// ([`ReplayPool::from_env`], the process pool's worker count): reads the
+/// named variable and applies, deterministically,
+///
+/// * unset / empty / non-numeric / out-of-range → the machine default
+///   (`available_parallelism`, 1 if unknown) — malformed values are
+///   *rejected*, never partially honored;
+/// * `0` → clamped to 1 (a zero-lane pool cannot make progress);
+/// * any other number → used as-is (whitespace tolerated).
+pub fn env_parallelism(var: &str) -> usize {
+    parse_parallelism(std::env::var(var).ok().as_deref(), machine_parallelism())
+}
+
+/// Pure core of [`env_parallelism`]: `value` is the raw variable content
+/// (or `None` if unset), `fallback` the machine default.
+fn parse_parallelism(value: Option<&str>, fallback: usize) -> usize {
+    match value.map(str::trim).map(str::parse::<usize>) {
+        Some(Ok(0)) => 1,
+        Some(Ok(n)) => n,
+        Some(Err(_)) | None => fallback.max(1),
+    }
 }
 
 /// Derives the seed of job `index` from a `root` seed in O(1).
@@ -156,17 +188,11 @@ impl ReplayPool {
     }
 
     /// A pool sized to the machine: the `OSP_REPLAY_SHARDS` environment
-    /// variable if set, otherwise `std::thread::available_parallelism`.
+    /// variable if set, otherwise `std::thread::available_parallelism`,
+    /// under the [`env_parallelism`] hardening policy (`0` clamps to 1,
+    /// non-numeric values fall back to the machine default).
     pub fn from_env() -> Self {
-        let shards = std::env::var("OSP_REPLAY_SHARDS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            });
-        ReplayPool::new(shards)
+        ReplayPool::new(env_parallelism("OSP_REPLAY_SHARDS"))
     }
 
     /// Number of shards this pool fans work across.
@@ -298,6 +324,24 @@ impl ReplayPool {
             let mut source = sources(job.source, job.seed);
             let mut alg = algorithms(job.algorithm, job.seed);
             run_source_with_scratch(&mut source, alg.as_mut(), scratch)
+        })
+    }
+
+    /// The data-driven lane: replays every [`JobSpec`] through `resolver`
+    /// and returns the outcomes in job order — the thread-backed twin of
+    /// the process pool
+    /// ([`ProcessPool`](super::dispatch::ProcessPool)), sharing the same
+    /// seed and ordering contract: seeds are fixed in the specs before
+    /// fan-out, shards resolve their jobs locally, results come back in
+    /// submission order. `tests/process_pool_conformance.rs` pins all
+    /// three lanes (sequential [`run_spec`](crate::spec::run_spec), this
+    /// one, processes) bit-identical.
+    pub fn run_specs<R>(&self, jobs: &[JobSpec], resolver: &R) -> Vec<Result<Outcome, Error>>
+    where
+        R: SpecResolver + Sync,
+    {
+        self.shard_map(jobs, ReplayScratch::new, |scratch, _, job| {
+            run_spec_with_scratch(job, resolver, scratch)
         })
     }
 
@@ -464,6 +508,66 @@ mod tests {
     #[test]
     fn zero_shards_is_one() {
         assert_eq!(ReplayPool::new(0).shards(), 1);
+    }
+
+    #[test]
+    fn parallelism_policy_is_deterministic() {
+        // Unset → machine default (clamped to at least 1).
+        assert_eq!(parse_parallelism(None, 8), 8);
+        assert_eq!(parse_parallelism(None, 0), 1);
+        // Zero → clamped to one lane, not the machine default.
+        assert_eq!(parse_parallelism(Some("0"), 8), 1);
+        // Honest numbers pass through, whitespace tolerated.
+        assert_eq!(parse_parallelism(Some("3"), 8), 3);
+        assert_eq!(parse_parallelism(Some(" 4 "), 8), 4);
+        // Non-numeric / empty / negative / overflowing → rejected,
+        // deterministically back to the machine default.
+        for junk in [
+            "",
+            "  ",
+            "abc",
+            "-1",
+            "3.5",
+            "1e3",
+            "99999999999999999999999",
+        ] {
+            assert_eq!(parse_parallelism(Some(junk), 8), 8, "input {junk:?}");
+        }
+    }
+
+    #[test]
+    fn env_parallelism_of_an_unset_variable_is_the_machine_default() {
+        // The full policy is pinned on the pure parse_parallelism above;
+        // here only the unset lookup path is exercised. Tests must not
+        // call set_var: libtest runs threads concurrently, and mutating
+        // the process environment while another thread reads it is a
+        // getenv/setenv data race.
+        assert_eq!(
+            env_parallelism("OSP_TEST_VARIABLE_THAT_IS_NEVER_SET"),
+            machine_parallelism().max(1)
+        );
+    }
+
+    #[test]
+    fn run_specs_matches_sequential_run_spec() {
+        use crate::gen::RandomInstanceConfig;
+        use crate::spec::{run_spec, AlgorithmSpec, CoreResolver, JobSpec, ScenarioSpec};
+        let jobs: Vec<JobSpec> = (0..9)
+            .map(|i| JobSpec {
+                scenario: ScenarioSpec::Uniform(RandomInstanceConfig::unweighted(20, 50, 3)),
+                algorithm: AlgorithmSpec::RandPr,
+                seed: derive_seed(11, i),
+            })
+            .collect();
+        let sequential: Vec<Outcome> = jobs
+            .iter()
+            .map(|j| run_spec(j, &CoreResolver).unwrap())
+            .collect();
+        for shards in [1usize, 2, 4] {
+            let pooled = ReplayPool::new(shards).run_specs(&jobs, &CoreResolver);
+            let pooled: Vec<Outcome> = pooled.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(pooled, sequential, "shards={shards}");
+        }
     }
 
     #[test]

@@ -1,0 +1,411 @@
+//! Backend-agnostic dispatch of [`JobSpec`] work-lists: threads or
+//! processes behind one contract.
+//!
+//! A [`Dispatcher`] takes a list of fully-specified jobs and returns their
+//! outcomes **in submission order**, bit-identical to the sequential
+//! reference ([`run_spec`](crate::spec::run_spec) job by job), whatever
+//! the lane count. The contract has exactly two legs, both inherited from
+//! the in-process pool:
+//!
+//! * **seeds are data** — every job's seed is fixed inside the spec
+//!   before fan-out (typically via [`derive_seed`]/[`derived_jobs`]), so
+//!   no job's randomness depends on which lane runs it;
+//! * **order is submission order** — results are merged back
+//!   positionally, never by completion time.
+//!
+//! Two backends implement it:
+//!
+//! * [`SpecPool`] — `std::thread` shards via
+//!   [`ReplayPool::run_specs`](ReplayPool::run_specs), resolving specs
+//!   in-process;
+//! * [`ProcessPool`] — `osp-worker` child processes fed framed specs over
+//!   stdin and answering framed outcomes over stdout
+//!   ([`wire`]) — the same spec that crosses a pipe here
+//!   crosses a socket to another machine unchanged.
+//!
+//! `tests/process_pool_conformance.rs` pins all three (sequential,
+//! threads, processes) bit-identical across the algorithm × generator
+//! grid at worker counts 1, 2 and 4.
+
+use std::io::{BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use crate::engine::batch::{derive_seed, env_parallelism, ReplayPool};
+use crate::engine::Outcome;
+use crate::error::Error;
+use crate::spec::{AlgorithmSpec, JobSpec, ScenarioSpec, SpecResolver};
+use crate::wire;
+
+/// A backend that replays [`JobSpec`] work-lists deterministically: same
+/// jobs ⇒ same outcomes, in submission order, at any lane count.
+pub trait Dispatcher {
+    /// Replays every job and returns the outcomes in job order.
+    fn run_specs(&self, jobs: &[JobSpec]) -> Vec<Result<Outcome, Error>>;
+
+    /// Number of parallel lanes (thread shards or worker processes).
+    fn lanes(&self) -> usize;
+
+    /// A short backend tag for tables and logs (`"threads"`,
+    /// `"processes"`).
+    fn backend(&self) -> &'static str;
+}
+
+/// Builds the standard trial fan-out: `trials` jobs over one
+/// `(scenario, algorithm)` pair with seeds
+/// `derive_seed(root, 0..trials)` — the same SplitMix64 discipline the
+/// in-process lanes use, so a spec'd sweep lands in the same seed
+/// universe as a [`SeedSequence`](crate::derive_seed)-driven one.
+pub fn derived_jobs(
+    scenario: &ScenarioSpec,
+    algorithm: &AlgorithmSpec,
+    root: u64,
+    trials: u64,
+) -> Vec<JobSpec> {
+    (0..trials)
+        .map(|i| JobSpec {
+            scenario: scenario.clone(),
+            algorithm: algorithm.clone(),
+            seed: derive_seed(root, i),
+        })
+        .collect()
+}
+
+/// The thread backend: a [`ReplayPool`] paired with the
+/// [`SpecResolver`] its shards resolve specs through.
+///
+/// # Examples
+///
+/// ```
+/// use osp_core::engine::dispatch::{derived_jobs, Dispatcher, SpecPool};
+/// use osp_core::gen::RandomInstanceConfig;
+/// use osp_core::prelude::*;
+/// use osp_core::spec::{AlgorithmSpec, CoreResolver, ScenarioSpec};
+///
+/// let scenario = ScenarioSpec::Uniform(RandomInstanceConfig::unweighted(20, 50, 3));
+/// let jobs = derived_jobs(&scenario, &AlgorithmSpec::RandPr, 7, 6);
+/// let pool = SpecPool::new(ReplayPool::new(2), CoreResolver);
+/// let outcomes = pool.run_specs(&jobs);
+/// assert_eq!(outcomes.len(), 6);
+/// assert!(outcomes.iter().all(|o| o.is_ok()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpecPool<R> {
+    pool: ReplayPool,
+    resolver: R,
+}
+
+impl<R: SpecResolver + Sync> SpecPool<R> {
+    /// Pairs a thread pool with a resolver.
+    pub fn new(pool: ReplayPool, resolver: R) -> Self {
+        SpecPool { pool, resolver }
+    }
+}
+
+impl<R: SpecResolver + Sync> Dispatcher for SpecPool<R> {
+    fn run_specs(&self, jobs: &[JobSpec]) -> Vec<Result<Outcome, Error>> {
+        self.pool.run_specs(jobs, &self.resolver)
+    }
+
+    fn lanes(&self) -> usize {
+        self.pool.shards()
+    }
+
+    fn backend(&self) -> &'static str {
+        "threads"
+    }
+}
+
+/// The file name of the worker binary, per platform.
+fn worker_bin_name() -> String {
+    format!("osp-worker{}", std::env::consts::EXE_SUFFIX)
+}
+
+/// Locates the `osp-worker` binary: `OSP_WORKER_BIN` if set, otherwise a
+/// sibling of the current executable (also checking one directory up,
+/// because test binaries live in `target/<profile>/deps/`).
+fn locate_worker() -> Result<PathBuf, Error> {
+    if let Ok(path) = std::env::var("OSP_WORKER_BIN") {
+        let path = PathBuf::from(path);
+        if path.is_file() {
+            return Ok(path);
+        }
+        return Err(Error::Worker(format!(
+            "OSP_WORKER_BIN points at {}, which is not a file",
+            path.display()
+        )));
+    }
+    let exe = std::env::current_exe()
+        .map_err(|e| Error::Worker(format!("cannot resolve current executable: {e}")))?;
+    let name = worker_bin_name();
+    let mut dir = exe.parent();
+    while let Some(d) = dir {
+        let candidate = d.join(&name);
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+        // Walk at most one level up (deps/ → the profile directory).
+        if d.file_name().map(|n| n == "deps") != Some(true) {
+            break;
+        }
+        dir = d.parent();
+    }
+    Err(Error::Worker(format!(
+        "cannot locate {name} next to {} — build it with `cargo build --bin osp-worker` \
+         or set OSP_WORKER_BIN",
+        exe.display()
+    )))
+}
+
+/// The process backend: `N` `osp-worker` child processes, each fed a
+/// contiguous chunk of the job list as framed [`JobSpec`]s on stdin and
+/// answering framed outcomes on stdout ([`wire`]).
+///
+/// Determinism is inherited from the specs themselves: a worker rebuilds
+/// each job's source and algorithm from `(spec, seed)` exactly as a
+/// thread shard would, so outcomes are bit-identical to [`SpecPool`] and
+/// to sequential [`run_spec`](crate::spec::run_spec) at any worker count
+/// (pinned by `tests/process_pool_conformance.rs`). A worker that cannot
+/// be spawned or dies mid-stream fails *its* jobs with
+/// [`Error::Worker`]; the other workers' results are unaffected.
+#[derive(Debug, Clone)]
+pub struct ProcessPool {
+    workers: usize,
+    command: Vec<String>,
+}
+
+impl ProcessPool {
+    /// A pool of `workers` processes running the located `osp-worker`
+    /// binary (zero is treated as one).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Worker`] if the worker binary cannot be found (see
+    /// the location rules: `OSP_WORKER_BIN` if set, then
+    /// siblings of the current executable).
+    pub fn new(workers: usize) -> Result<Self, Error> {
+        let bin = locate_worker()?;
+        Ok(ProcessPool::with_command(
+            workers,
+            vec![bin.to_string_lossy().into_owned()],
+        ))
+    }
+
+    /// A pool running an explicit worker command (`argv[0]` plus
+    /// arguments) — how embedded workers are wired up (e.g.
+    /// `examples/distributed_replay.rs` re-executes itself with
+    /// `--worker`). The command is spawned lazily at
+    /// [`run_specs`](Dispatcher::run_specs) time.
+    pub fn with_command(workers: usize, command: Vec<String>) -> Self {
+        assert!(!command.is_empty(), "worker command must name a program");
+        ProcessPool {
+            workers: workers.max(1),
+            command,
+        }
+    }
+
+    /// A pool sized by the `OSP_WORKERS` environment variable (same
+    /// hardened policy as
+    /// [`ReplayPool::from_env`] — see
+    /// [`env_parallelism`]), running the located worker binary.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Worker`] if the worker binary cannot be found.
+    pub fn from_env() -> Result<Self, Error> {
+        ProcessPool::new(env_parallelism("OSP_WORKERS"))
+    }
+
+    /// Number of worker processes this pool fans work across.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs one contiguous chunk through one worker process.
+    fn run_chunk(&self, jobs: &[JobSpec]) -> Vec<Result<Outcome, Error>> {
+        let spawned = Command::new(&self.command[0])
+            .args(&self.command[1..])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn();
+        let mut child: Child = match spawned {
+            Ok(child) => child,
+            Err(e) => {
+                let msg = format!("spawning worker `{}`: {e}", self.command[0]);
+                return jobs
+                    .iter()
+                    .map(|_| Err(Error::Worker(msg.clone())))
+                    .collect();
+            }
+        };
+        let mut stdin = child.stdin.take().expect("stdin was piped");
+        let mut stdout = BufReader::new(child.stdout.take().expect("stdout was piped"));
+
+        let mut results: Vec<Result<Outcome, Error>> = Vec::with_capacity(jobs.len());
+        std::thread::scope(|scope| {
+            // Feed the jobs from a separate thread: the worker answers
+            // while we are still writing, so neither pipe can fill up and
+            // deadlock the pair. Dropping stdin at the end is the
+            // shutdown signal (clean EOF between frames).
+            let feeder = scope.spawn(move || {
+                for job in jobs {
+                    if wire::write_message(&mut stdin, job).is_err() {
+                        // Worker died; the reader reports the damage.
+                        break;
+                    }
+                }
+                let _ = stdin.flush();
+            });
+            for _ in 0..jobs.len() {
+                match wire::read_message::<_, wire::reply::Reply>(&mut stdout) {
+                    Ok(Some(reply)) => results.push(wire::reply::decode(reply)),
+                    Ok(None) => break, // worker exited early; pad below
+                    Err(e) => {
+                        results.push(Err(e));
+                        break;
+                    }
+                }
+            }
+            if results.len() < jobs.len() {
+                // The reader bailed early (protocol garbage or premature
+                // EOF). A non-conforming worker may still be alive and
+                // never reading its stdin, which would leave the feeder
+                // blocked on a full pipe forever — kill the child so the
+                // feeder's writes fail and the scope can join.
+                let _ = child.kill();
+            }
+            feeder.join().expect("worker feeder thread panicked");
+        });
+        // Reap; a nonzero exit only matters if replies are also missing.
+        let status = child.wait();
+        while results.len() < jobs.len() {
+            let why = match &status {
+                Ok(s) if !s.success() => format!("worker exited with {s} before answering"),
+                Ok(_) => "worker closed its stream before answering".to_string(),
+                Err(e) => format!("worker did not terminate cleanly: {e}"),
+            };
+            results.push(Err(Error::Worker(why)));
+        }
+        results
+    }
+}
+
+impl Dispatcher for ProcessPool {
+    fn run_specs(&self, jobs: &[JobSpec]) -> Vec<Result<Outcome, Error>> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        // Contiguous chunks, one per worker — the same split (and thus
+        // the same ordering contract) as ReplayPool::shard_map.
+        let lanes = self.workers.min(jobs.len());
+        let chunk = jobs.len().div_ceil(lanes);
+        if lanes == 1 {
+            return self.run_chunk(jobs);
+        }
+        let mut results: Vec<Result<Outcome, Error>> = Vec::with_capacity(jobs.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .chunks(chunk)
+                .map(|slice| scope.spawn(move || self.run_chunk(slice)))
+                .collect();
+            for handle in handles {
+                results.extend(handle.join().expect("worker lane thread panicked"));
+            }
+        });
+        results
+    }
+
+    fn lanes(&self) -> usize {
+        self.workers
+    }
+
+    fn backend(&self) -> &'static str {
+        "processes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::RandomInstanceConfig;
+    use crate::spec::{run_spec, CoreResolver};
+
+    fn jobs(n: u64) -> Vec<JobSpec> {
+        derived_jobs(
+            &ScenarioSpec::Uniform(RandomInstanceConfig::unweighted(20, 50, 3)),
+            &AlgorithmSpec::RandPr,
+            5,
+            n,
+        )
+    }
+
+    #[test]
+    fn derived_jobs_follow_the_splitmix_stream() {
+        let jobs = jobs(4);
+        for (i, job) in jobs.iter().enumerate() {
+            assert_eq!(job.seed, derive_seed(5, i as u64));
+        }
+    }
+
+    #[test]
+    fn spec_pool_matches_sequential_and_reports_backend() {
+        let jobs = jobs(7);
+        let sequential: Vec<Outcome> = jobs
+            .iter()
+            .map(|j| run_spec(j, &CoreResolver).unwrap())
+            .collect();
+        let pool = SpecPool::new(ReplayPool::new(3), CoreResolver);
+        assert_eq!(pool.backend(), "threads");
+        assert_eq!(pool.lanes(), 3);
+        let got: Vec<Outcome> = pool
+            .run_specs(&jobs)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(got, sequential);
+    }
+
+    #[test]
+    fn process_pool_spawn_failure_fails_every_job_cleanly() {
+        let pool =
+            ProcessPool::with_command(2, vec!["osp-worker-binary-that-does-not-exist".into()]);
+        assert_eq!(pool.backend(), "processes");
+        assert_eq!(pool.lanes(), 2);
+        let out = pool.run_specs(&jobs(5));
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|r| matches!(r, Err(Error::Worker(_)))));
+    }
+
+    #[test]
+    fn process_pool_empty_jobs_and_zero_workers() {
+        let pool = ProcessPool::with_command(0, vec!["unused".into()]);
+        assert_eq!(pool.workers(), 1);
+        assert!(pool.run_specs(&[]).is_empty());
+    }
+
+    #[test]
+    fn chatty_worker_that_never_reads_stdin_cannot_hang_the_pool() {
+        // `yes` spews bytes forever and never reads its stdin. The reader
+        // fails fast (the garbage length prefix blows the frame cap), and
+        // the pool must then kill the child — otherwise the feeder thread
+        // would block forever on the full stdin pipe once the job stream
+        // exceeds the pipe buffer. 3000 jobs ≈ several hundred KiB of
+        // frames, comfortably past any default pipe size.
+        let pool = ProcessPool::with_command(1, vec!["yes".into()]);
+        let out = pool.run_specs(&jobs(3000));
+        assert_eq!(out.len(), 3000);
+        assert!(out.iter().all(|r| r.is_err()));
+    }
+
+    #[test]
+    fn worker_that_talks_garbage_is_a_clean_error() {
+        // `echo` exits immediately after printing non-frame bytes: the
+        // reader must surface a protocol/worker error, never hang or
+        // panic. (POSIX-only, like the rest of the process tests.)
+        let pool = ProcessPool::with_command(1, vec!["echo".into(), "not-a-frame".into()]);
+        let out = pool.run_specs(&jobs(2));
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|r| r.is_err()));
+    }
+}

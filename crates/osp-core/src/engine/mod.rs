@@ -1,6 +1,6 @@
 //! The online execution engine.
 //!
-//! Four entry points:
+//! Five entry points:
 //!
 //! * [`run_source`] drives an [`OnlineAlgorithm`] over any
 //!   [`ArrivalSource`] — the primary ingestion path. Sources stream
@@ -23,6 +23,15 @@
 //!   ([`batch::ReplayPool::run_sources`]); outcomes are bit-identical to
 //!   sequential replay because every path executes this module's
 //!   [`Session`] logic.
+//! * [`dispatch`] runs **data-driven job specs**
+//!   ([`JobSpec`](crate::spec::JobSpec)) behind the backend-agnostic
+//!   [`dispatch::Dispatcher`] contract: [`dispatch::SpecPool`] resolves
+//!   specs on thread shards, [`dispatch::ProcessPool`] ships them to
+//!   `osp-worker` child processes over the framed wire protocol
+//!   ([`wire`](crate::wire)) — the distribution axis, since a spec that
+//!   crosses a process boundary crosses a socket unchanged. Outcomes stay
+//!   bit-identical to sequential [`run_spec`](crate::spec::run_spec) at
+//!   any lane count.
 //!
 //! All paths enforce the model's rules (§2): each decision must pick at
 //! most `b(u)` distinct sets from `C(u)`. A set is **completed** iff it was
@@ -38,6 +47,7 @@
 //! allocations per arrival.
 
 pub mod batch;
+pub mod dispatch;
 
 use crate::algorithm::{EngineView, OnlineAlgorithm};
 use crate::error::Error;
@@ -123,6 +133,57 @@ impl DecisionLog {
             data: self.data.as_slice().to_vec(),
         }
     }
+
+    /// Reassembles a log from its raw CSR parts — the deserialization
+    /// entry point for logs that crossed a process boundary
+    /// ([`wire`](crate::wire)).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Protocol`] unless `offsets` is non-empty, starts at 0, is
+    /// non-decreasing, and ends exactly at `data.len()` — the invariants
+    /// every engine-produced log holds.
+    pub fn from_parts(offsets: Vec<u32>, data: Vec<SetId>) -> Result<DecisionLog, Error> {
+        if offsets.first() != Some(&0) {
+            return Err(Error::Protocol(
+                "decision log offsets must start at 0".into(),
+            ));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(Error::Protocol(
+                "decision log offsets must be non-decreasing".into(),
+            ));
+        }
+        if offsets.last().copied() != Some(data.len() as u32) || data.len() > u32::MAX as usize {
+            return Err(Error::Protocol(
+                "decision log offsets must end at the data length".into(),
+            ));
+        }
+        Ok(DecisionLog { offsets, data })
+    }
+
+    /// The raw CSR parts `(offsets, data)` — the serialization twin of
+    /// [`from_parts`](Self::from_parts).
+    pub fn as_parts(&self) -> (&[u32], &[SetId]) {
+        (&self.offsets, &self.data)
+    }
+}
+
+impl serde::Serialize for DecisionLog {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("offsets".to_string(), self.offsets.to_value()),
+            ("data".to_string(), self.data.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for DecisionLog {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let offsets = Vec::<u32>::from_value(serde::get_field(value, "offsets")?)?;
+        let data = Vec::<SetId>::from_value(serde::get_field(value, "data")?)?;
+        DecisionLog::from_parts(offsets, data).map_err(|e| serde::Error::msg(e.to_string()))
+    }
 }
 
 impl<'a> IntoIterator for &'a DecisionLog {
@@ -198,6 +259,61 @@ impl Outcome {
     /// Whether the given set was completed.
     pub fn is_completed(&self, set: SetId) -> bool {
         self.completed.binary_search(&set).is_ok()
+    }
+
+    /// Reassembles an outcome from its parts — the deserialization entry
+    /// point for outcomes that crossed a process boundary
+    /// ([`wire`](crate::wire)). `died_at` is indexed by set, in set-id
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Protocol`] if `completed` is not strictly ascending or
+    /// `benefit` is not finite (the structural invariants every
+    /// engine-produced outcome holds; deeper consistency would need the
+    /// instance, which by design is not on the wire).
+    pub fn from_parts(
+        completed: Vec<SetId>,
+        benefit: f64,
+        decisions: DecisionLog,
+        died_at: Vec<Option<ElementId>>,
+    ) -> Result<Outcome, Error> {
+        if completed.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::Protocol(
+                "completed sets must be strictly ascending".into(),
+            ));
+        }
+        if !benefit.is_finite() {
+            return Err(Error::Protocol("benefit must be finite".into()));
+        }
+        Ok(Outcome {
+            completed,
+            benefit,
+            decisions,
+            died_at,
+        })
+    }
+}
+
+impl serde::Serialize for Outcome {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("completed".to_string(), self.completed.to_value()),
+            ("benefit".to_string(), self.benefit.to_value()),
+            ("decisions".to_string(), self.decisions.to_value()),
+            ("died_at".to_string(), self.died_at.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Outcome {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let completed = Vec::<SetId>::from_value(serde::get_field(value, "completed")?)?;
+        let benefit = f64::from_value(serde::get_field(value, "benefit")?)?;
+        let decisions = DecisionLog::from_value(serde::get_field(value, "decisions")?)?;
+        let died_at = Vec::<Option<ElementId>>::from_value(serde::get_field(value, "died_at")?)?;
+        Outcome::from_parts(completed, benefit, decisions, died_at)
+            .map_err(|e| serde::Error::msg(e.to_string()))
     }
 }
 

@@ -76,6 +76,20 @@ pub enum Error {
         /// How many sets the algorithm tried to assign.
         chosen: usize,
     },
+    /// A [`JobSpec`](crate::spec::JobSpec) named a variant the resolver in
+    /// use cannot build (e.g. an osp-net algorithm handed to the core-only
+    /// [`CoreResolver`](crate::spec::CoreResolver)).
+    UnsupportedSpec(String),
+    /// A spec's parameters are structurally invalid (e.g. an infeasible
+    /// generator configuration).
+    InvalidSpec(String),
+    /// A wire-protocol violation: truncated/oversized frame, or a payload
+    /// that does not decode as the expected message.
+    Protocol(String),
+    /// A worker process failed out-of-band: it could not be spawned, died
+    /// before answering, or reported a failure that only survives the
+    /// process boundary as text.
+    Worker(String),
 }
 
 impl fmt::Display for Error {
@@ -122,6 +136,12 @@ impl fmt::Display for Error {
                 f,
                 "decision for {element} assigns {chosen} sets, capacity is {capacity}"
             ),
+            Error::UnsupportedSpec(what) => {
+                write!(f, "spec not supported by this resolver: {what}")
+            }
+            Error::InvalidSpec(why) => write!(f, "invalid spec: {why}"),
+            Error::Protocol(why) => write!(f, "wire protocol error: {why}"),
+            Error::Worker(why) => write!(f, "worker process error: {why}"),
         }
     }
 }

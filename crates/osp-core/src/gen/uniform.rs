@@ -10,7 +10,7 @@ use super::models::{CapacityModel, LoadModel, WeightModel};
 use super::GenError;
 
 /// Parameters for [`random_instance`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RandomInstanceConfig {
     /// Number of candidate sets `m` (sets never picked by any element are
     /// dropped, so the realized count may be smaller).

@@ -358,6 +358,14 @@ impl Instance {
         crate::source::InstanceSource::new(self)
     }
 
+    /// Consumes the instance into an owning stream over its arrival
+    /// sequence — the `'static` twin of [`source`](Self::source), for
+    /// when the stream must outlive the builder scope (e.g. a
+    /// [`spec`](crate::spec) resolver returning a boxed source).
+    pub fn into_source(self) -> crate::source::OwnedInstanceSource {
+        crate::source::OwnedInstanceSource::new(self)
+    }
+
     /// Bytes of heap memory the instance's arrays occupy (set metadata,
     /// capacities, CSR offsets and membership pool) — what a streaming
     /// [`source`](Self::source) pipeline avoids materializing.

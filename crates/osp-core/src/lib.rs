@@ -53,14 +53,20 @@ mod instance;
 pub mod prelude;
 pub mod priority;
 pub mod source;
+pub mod spec;
 pub mod stats;
+pub mod wire;
 
 pub use algorithm::{EngineView, OnlineAlgorithm};
-pub use engine::batch::{derive_seed, ReplayJob, ReplayPool, ReplayScratch, SourceJob};
+pub use engine::batch::{
+    derive_seed, env_parallelism, ReplayJob, ReplayPool, ReplayScratch, SourceJob,
+};
+pub use engine::dispatch::{derived_jobs, Dispatcher, ProcessPool, SpecPool};
 pub use engine::{
     run, run_source, run_source_with_scratch, run_with_scratch, DecisionLog, Outcome, Session,
 };
 pub use error::Error;
 pub use ids::{ElementId, SetId};
 pub use instance::{Arrival, Arrivals, Instance, InstanceBuilder, SetMeta};
-pub use source::{ArrivalSource, InstanceSource};
+pub use source::{ArrivalSource, InstanceSource, OwnedInstanceSource};
+pub use spec::{run_spec, AlgorithmSpec, CoreResolver, JobSpec, ScenarioSpec, SpecResolver};

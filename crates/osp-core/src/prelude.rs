@@ -10,6 +10,7 @@ pub use crate::algorithms::{
     GreedyOnline, HashRandPr, OracleOnline, RandPr, RandomAssign, TieBreak,
 };
 pub use crate::engine::batch::{derive_seed, ReplayJob, ReplayPool, SourceJob};
+pub use crate::engine::dispatch::{derived_jobs, Dispatcher, ProcessPool, SpecPool};
 pub use crate::engine::{
     run, run_source, run_source_with_scratch, run_with_scratch, DecisionLog, Outcome, Session,
 };
@@ -17,4 +18,5 @@ pub use crate::error::Error;
 pub use crate::ids::{ElementId, SetId};
 pub use crate::instance::{Arrival, Arrivals, Instance, InstanceBuilder, SetMeta};
 pub use crate::source::{ArrivalSource, InstanceSource};
+pub use crate::spec::{run_spec, AlgorithmSpec, CoreResolver, JobSpec, ScenarioSpec, SpecResolver};
 pub use crate::stats::InstanceStats;

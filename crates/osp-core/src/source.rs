@@ -149,6 +149,56 @@ impl ArrivalSource for InstanceSource<'_> {
     }
 }
 
+/// An **owned** [`Instance`] replayed as a stream — [`InstanceSource`]'s
+/// `'static` twin for when the stream must outlive the place the instance
+/// was built (e.g. a spec resolver returning `Box<dyn ArrivalSource>`,
+/// see [`spec`](crate::spec)). Same zero-copy CSR arrival views, same
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// use osp_core::prelude::*;
+/// use osp_core::source::ArrivalSource;
+///
+/// let mut b = InstanceBuilder::new();
+/// let s = b.add_set(1.0, 1);
+/// b.add_element(1, &[s]);
+/// let mut src = b.build()?.into_source(); // the instance moves in
+/// let outcome = run_source(&mut src, &mut GreedyOnline::new(TieBreak::ByWeight))?;
+/// assert_eq!(outcome.benefit(), 1.0);
+/// # Ok::<(), osp_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OwnedInstanceSource {
+    instance: Instance,
+    next: usize,
+}
+
+impl OwnedInstanceSource {
+    /// Starts a stream owning `instance`; see also
+    /// [`Instance::into_source`].
+    pub fn new(instance: Instance) -> Self {
+        OwnedInstanceSource { instance, next: 0 }
+    }
+}
+
+impl ArrivalSource for OwnedInstanceSource {
+    fn sets(&self) -> &[SetMeta] {
+        self.instance.sets()
+    }
+
+    fn next_arrival(&mut self) -> Option<Arrival<'_>> {
+        let arrival = self.instance.arrivals().get(self.next)?;
+        self.next += 1;
+        Some(arrival)
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        Some(self.instance.num_elements() - self.next)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +251,22 @@ mod tests {
         assert_eq!(consume(boxed), 2);
         let mut src = inst.source();
         assert_eq!(consume(&mut src), 2);
+    }
+
+    #[test]
+    fn owned_source_streams_like_the_borrowed_one() {
+        let inst = small_instance();
+        let mut borrowed = inst.source();
+        let mut owned = inst.clone().into_source();
+        assert_eq!(owned.sets(), inst.sets());
+        assert_eq!(owned.remaining_hint(), Some(2));
+        while let Some(want) = borrowed.next_arrival() {
+            let got = owned.next_arrival().expect("same stream length");
+            assert_eq!(got.element(), want.element());
+            assert_eq!(got.capacity(), want.capacity());
+            assert_eq!(got.members(), want.members());
+        }
+        assert!(owned.next_arrival().is_none());
+        assert_eq!(owned.remaining_hint(), Some(0));
     }
 }

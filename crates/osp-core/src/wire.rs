@@ -1,0 +1,376 @@
+//! Length-prefixed frame protocol for job specs and outcomes.
+//!
+//! The distributed replay pool talks to its workers over byte streams
+//! (today: pipes to `osp-worker` processes; tomorrow: sockets). Framing is
+//! deliberately minimal and self-describing:
+//!
+//! ```text
+//! frame   := length payload
+//! length  := u32, little-endian, number of payload bytes (≤ 64 MiB)
+//! payload := one JSON message (serde_json over the vendored stub)
+//! ```
+//!
+//! * parent → worker: each frame is one [`JobSpec`];
+//! * worker → parent: each frame is one [`reply`] — `{"ok": Outcome}` or
+//!   `{"err": "message"}` — in the same order the jobs arrived.
+//!
+//! A clean end-of-stream *between* frames is the normal shutdown signal
+//! ([`read_frame`] returns `None`); anything else — a truncated length or
+//! payload, an oversized length, a payload that does not decode — is a
+//! hard [`Error::Protocol`], never a panic (pinned by the
+//! `wire_round_trip` proptest suite).
+//!
+//! [`serve`] is the worker side of the contract: a loop that reads job
+//! frames, replays each spec through a [`SpecResolver`] with scratch
+//! reuse, and answers with outcome frames. The `osp-worker` binary is a
+//! thin `main` around it, and `examples/distributed_replay.rs` embeds it
+//! behind a `--worker` flag.
+
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::batch::ReplayScratch;
+use crate::engine::Outcome;
+use crate::error::Error;
+use crate::spec::{run_spec_with_scratch, JobSpec, SpecResolver};
+
+/// Hard upper bound on a frame payload (64 MiB). Real messages are far
+/// smaller; the cap is what turns a garbage length prefix into a clean
+/// [`Error::Protocol`] instead of an absurd allocation.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Writes one frame: little-endian `u32` payload length, then the payload.
+///
+/// # Errors
+///
+/// [`Error::Protocol`] if the payload exceeds [`MAX_FRAME_LEN`] or the
+/// underlying writer fails.
+pub fn write_frame<W: Write + ?Sized>(writer: &mut W, payload: &[u8]) -> Result<(), Error> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(Error::Protocol(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+            payload.len()
+        )));
+    }
+    let len = (payload.len() as u32).to_le_bytes();
+    writer
+        .write_all(&len)
+        .and_then(|()| writer.write_all(payload))
+        .map_err(|e| Error::Protocol(format!("writing frame: {e}")))
+}
+
+/// Reads one frame's payload; `Ok(None)` on a clean end-of-stream at a
+/// frame boundary.
+///
+/// # Errors
+///
+/// [`Error::Protocol`] on a truncated length prefix, a length above
+/// [`MAX_FRAME_LEN`], or a payload shorter than its declared length.
+pub fn read_frame<R: Read + ?Sized>(reader: &mut R) -> Result<Option<Vec<u8>>, Error> {
+    let mut len = [0u8; 4];
+    // A clean EOF before any length byte ends the stream; EOF *inside*
+    // the prefix is a truncation.
+    let mut filled = 0usize;
+    while filled < len.len() {
+        match reader.read(&mut len[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(Error::Protocol(format!(
+                    "truncated frame: {filled} of 4 length bytes"
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(Error::Protocol(format!("reading frame length: {e}"))),
+        }
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(Error::Protocol(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    reader
+        .read_exact(&mut payload)
+        .map_err(|e| Error::Protocol(format!("truncated frame payload ({len} bytes): {e}")))?;
+    Ok(Some(payload))
+}
+
+/// Serializes a message and writes it as one frame.
+///
+/// # Errors
+///
+/// [`Error::Protocol`] on serialization or I/O failure.
+pub fn write_message<W: Write + ?Sized, T: Serialize>(
+    writer: &mut W,
+    message: &T,
+) -> Result<(), Error> {
+    let json =
+        serde_json::to_string(message).map_err(|e| Error::Protocol(format!("encoding: {e}")))?;
+    write_frame(writer, json.as_bytes())
+}
+
+/// Reads one frame and deserializes it; `Ok(None)` on clean end-of-stream.
+///
+/// # Errors
+///
+/// [`Error::Protocol`] on framing, UTF-8 or decode failure.
+pub fn read_message<R: Read + ?Sized, T: Deserialize>(reader: &mut R) -> Result<Option<T>, Error> {
+    let Some(payload) = read_frame(reader)? else {
+        return Ok(None);
+    };
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| Error::Protocol(format!("frame payload is not UTF-8: {e}")))?;
+    serde_json::from_str(text)
+        .map(Some)
+        .map_err(|e| Error::Protocol(format!("decoding frame: {e}")))
+}
+
+/// The worker→parent message: one job's result.
+pub mod reply {
+    use super::*;
+
+    /// Wire envelope for `Result<Outcome, Error>` (errors cross the
+    /// boundary as display text; see [`decode`]).
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Reply {
+        /// The outcome, when the job succeeded.
+        pub ok: Option<Outcome>,
+        /// The error message, when it failed.
+        pub err: Option<String>,
+    }
+
+    impl Serialize for Reply {
+        fn to_value(&self) -> serde::Value {
+            match (&self.ok, &self.err) {
+                (Some(outcome), _) => {
+                    serde::Value::Map(vec![("ok".to_string(), outcome.to_value())])
+                }
+                (None, Some(err)) => {
+                    serde::Value::Map(vec![("err".to_string(), serde::Value::Str(err.clone()))])
+                }
+                (None, None) => serde::Value::Map(vec![(
+                    "err".to_string(),
+                    serde::Value::Str("empty reply".to_string()),
+                )]),
+            }
+        }
+    }
+
+    impl Deserialize for Reply {
+        fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+            if let Ok(ok) = serde::get_field(value, "ok") {
+                return Ok(Reply {
+                    ok: Some(Outcome::from_value(ok)?),
+                    err: None,
+                });
+            }
+            let err = String::from_value(serde::get_field(value, "err")?)?;
+            Ok(Reply {
+                ok: None,
+                err: Some(err),
+            })
+        }
+    }
+
+    /// Wraps a job result for the wire.
+    pub fn encode(result: &Result<Outcome, Error>) -> Reply {
+        match result {
+            Ok(outcome) => Reply {
+                ok: Some(outcome.clone()),
+                err: None,
+            },
+            Err(e) => Reply {
+                ok: None,
+                err: Some(e.to_string()),
+            },
+        }
+    }
+
+    /// Unwraps a wire reply. A structured engine error does not survive
+    /// the boundary typed; it comes back as [`Error::Worker`] carrying
+    /// the original display text.
+    pub fn decode(reply: Reply) -> Result<Outcome, Error> {
+        match reply {
+            Reply { ok: Some(o), .. } => Ok(o),
+            Reply { err: Some(e), .. } => Err(Error::Worker(e)),
+            Reply {
+                ok: None,
+                err: None,
+            } => Err(Error::Protocol("empty reply".into())),
+        }
+    }
+}
+
+/// The worker loop: reads [`JobSpec`] frames from `reader` until clean
+/// end-of-stream, replays each through `resolver` (reusing one
+/// [`ReplayScratch`] across jobs, exactly like a thread shard), and
+/// writes one [`reply`] frame per job to `writer`, flushed immediately so
+/// the parent can consume results as they stream.
+///
+/// Per-job failures (unsupported spec, invalid decision) are *answered*,
+/// not fatal: the worker stays up for the next job.
+///
+/// # Errors
+///
+/// [`Error::Protocol`] if the input stream itself is malformed or the
+/// output pipe breaks — the conditions under which a worker cannot
+/// meaningfully continue.
+pub fn serve<R, In, Out>(resolver: &R, reader: &mut In, writer: &mut Out) -> Result<(), Error>
+where
+    R: SpecResolver + ?Sized,
+    In: Read + ?Sized,
+    Out: Write + ?Sized,
+{
+    let mut scratch = ReplayScratch::new();
+    while let Some(job) = read_message::<_, JobSpec>(reader)? {
+        let result = run_spec_with_scratch(&job, resolver, &mut scratch);
+        write_message(writer, &reply::encode(&result))?;
+        writer
+            .flush()
+            .map_err(|e| Error::Protocol(format!("flushing reply: {e}")))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::RandomInstanceConfig;
+    use crate::spec::{AlgorithmSpec, CoreResolver, ScenarioSpec};
+    use std::io::Cursor;
+
+    fn job(seed: u64) -> JobSpec {
+        JobSpec {
+            scenario: ScenarioSpec::Uniform(RandomInstanceConfig::unweighted(15, 40, 3)),
+            algorithm: AlgorithmSpec::RandPr,
+            seed,
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"world").unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"world");
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+        // Exhausted stays exhausted.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_error_cleanly() {
+        // EOF inside the length prefix.
+        let mut cursor = Cursor::new(vec![5u8, 0]);
+        assert!(matches!(read_frame(&mut cursor), Err(Error::Protocol(_))));
+        // EOF inside the payload.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)),
+            Err(Error::Protocol(_))
+        ));
+        // Garbage length prefix above the cap.
+        let mut cursor = Cursor::new(0xFFFF_FFFFu32.to_le_bytes().to_vec());
+        assert!(matches!(read_frame(&mut cursor), Err(Error::Protocol(_))));
+        // Oversized write is refused before touching the stream.
+        struct NoWrite;
+        impl Write for NoWrite {
+            fn write(&mut self, _b: &[u8]) -> std::io::Result<usize> {
+                panic!("must not write")
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let huge = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(matches!(
+            write_frame(&mut NoWrite, &huge),
+            Err(Error::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn non_json_payload_is_a_protocol_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"\x00\xFFnot json").unwrap();
+        assert!(matches!(
+            read_message::<_, JobSpec>(&mut Cursor::new(buf)),
+            Err(Error::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn serve_answers_every_job_in_order() {
+        let mut input = Vec::new();
+        let jobs: Vec<JobSpec> = (0..4).map(job).collect();
+        for j in &jobs {
+            write_message(&mut input, j).unwrap();
+        }
+        let mut output = Vec::new();
+        serve(&CoreResolver, &mut Cursor::new(input), &mut output).unwrap();
+        let mut cursor = Cursor::new(output);
+        for j in &jobs {
+            let r: reply::Reply = read_message(&mut cursor)
+                .unwrap()
+                .expect("one reply per job");
+            let got = reply::decode(r).unwrap();
+            let want = crate::spec::run_spec(j, &CoreResolver).unwrap();
+            assert_eq!(got, want, "seed {}", j.seed);
+        }
+        assert!(read_message::<_, reply::Reply>(&mut cursor)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn serve_reports_per_job_failures_and_continues() {
+        let mut input = Vec::new();
+        let bad = JobSpec {
+            scenario: ScenarioSpec::Uniform(RandomInstanceConfig::unweighted(2, 5, 4)),
+            algorithm: AlgorithmSpec::RandPr,
+            seed: 0,
+        };
+        write_message(&mut input, &bad).unwrap();
+        write_message(&mut input, &job(1)).unwrap();
+        let mut output = Vec::new();
+        serve(&CoreResolver, &mut Cursor::new(input), &mut output).unwrap();
+        let mut cursor = Cursor::new(output);
+        let first = reply::decode(read_message(&mut cursor).unwrap().unwrap());
+        assert!(matches!(first, Err(Error::Worker(_))));
+        let second = reply::decode(read_message(&mut cursor).unwrap().unwrap());
+        assert!(second.is_ok());
+    }
+
+    #[test]
+    fn malformed_input_stream_stops_serve() {
+        let mut input = Vec::new();
+        write_frame(&mut input, b"{\"not\": \"a job\"}").unwrap();
+        let mut output = Vec::new();
+        assert!(matches!(
+            serve(&CoreResolver, &mut Cursor::new(input), &mut output),
+            Err(Error::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn outcome_survives_the_wire_bit_for_bit() {
+        let want = crate::spec::run_spec(&job(9), &CoreResolver).unwrap();
+        let mut buf = Vec::new();
+        write_message(&mut buf, &reply::encode(&Ok(want.clone()))).unwrap();
+        let got: reply::Reply = read_message(&mut Cursor::new(buf)).unwrap().unwrap();
+        let got = reply::decode(got).unwrap();
+        assert_eq!(got.completed(), want.completed());
+        assert_eq!(got.benefit().to_bits(), want.benefit().to_bits());
+        assert_eq!(got.decisions(), want.decisions());
+        assert_eq!(got, want);
+    }
+}

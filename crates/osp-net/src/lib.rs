@@ -33,11 +33,13 @@ pub mod metrics;
 pub mod multihop;
 pub mod partial;
 pub mod policy;
+pub mod spec;
 pub mod trace;
 
 pub use frame::{Frame, FrameClass, GopConfig};
-pub use mapping::{trace_to_instance, TraceSource};
+pub use mapping::{trace_to_instance, OwnedTraceSource, TraceSource};
 pub use metrics::GoodputReport;
+pub use spec::NetResolver;
 pub use trace::{onoff_trace, poisson_trace, video_trace, Trace, VideoTraceConfig};
 
 use std::fmt;

@@ -176,23 +176,40 @@ impl<'a> TraceSource<'a> {
     /// Advances to the next non-empty slot, filling `self.members` sorted,
     /// and returns the arrival (checked); `None` at end of trace.
     fn advance(&mut self) -> Result<Option<Arrival<'_>>, Error> {
-        let slots = self.trace.slots();
-        while self.slot < slots.len() && slots[self.slot].is_empty() {
-            self.slot += 1;
-        }
-        if self.slot >= slots.len() {
+        let Some(yielded) = advance_to_nonempty_slot(self.trace, &mut self.slot, &mut self.members)
+        else {
             return Ok(None);
-        }
-        self.members.clear();
-        self.members
-            .extend(slots[self.slot].iter().map(|&f| SetId(f as u32)));
-        self.members.sort_unstable();
+        };
         let element = ElementId(self.element);
-        self.last_yielded = Some(self.slot);
-        self.slot += 1;
+        self.last_yielded = Some(yielded);
         self.element += 1;
         Arrival::try_new(element, self.trace.capacity(), &self.members).map(Some)
     }
+}
+
+/// The one slot-reduction core both trace sources share: skips empty
+/// slots, fills `members` with the next non-empty slot's frames (sorted
+/// ascending), advances `slot` past it and returns its index — or `None`
+/// at end of trace. Keeping this in one place means the borrowed and the
+/// owned source cannot drift on what the reduction yields.
+fn advance_to_nonempty_slot(
+    trace: &Trace,
+    slot: &mut usize,
+    members: &mut Vec<SetId>,
+) -> Option<usize> {
+    let slots = trace.slots();
+    while *slot < slots.len() && slots[*slot].is_empty() {
+        *slot += 1;
+    }
+    if *slot >= slots.len() {
+        return None;
+    }
+    members.clear();
+    members.extend(slots[*slot].iter().map(|&f| SetId(f as u32)));
+    members.sort_unstable();
+    let yielded = *slot;
+    *slot += 1;
+    Some(yielded)
 }
 
 impl ArrivalSource for TraceSource<'_> {
@@ -205,6 +222,71 @@ impl ArrivalSource for TraceSource<'_> {
         // mean the trace mutated under us, which `&'a Trace` rules out.
         self.advance()
             .expect("trace slots validated at construction")
+    }
+
+    fn remaining_hint(&self) -> Option<usize> {
+        Some((self.total - self.element) as usize)
+    }
+}
+
+/// [`TraceSource`]'s owning twin: takes the [`Trace`] by value, so the
+/// stream can outlive the scope that generated the trace — what the spec
+/// registry ([`spec`](crate::spec)) needs when it resolves an
+/// [`osp_core::ScenarioSpec::VideoTrace`] into a boxed
+/// [`ArrivalSource`]. Construction validates through [`TraceSource::new`]
+/// and streaming replays the identical reduction: same set metadata, same
+/// arrivals, same order.
+#[derive(Debug, Clone)]
+pub struct OwnedTraceSource {
+    trace: Trace,
+    sets: Vec<SetMeta>,
+    /// Sorted member buffer of the current slot, reused across arrivals.
+    members: Vec<SetId>,
+    slot: usize,
+    element: u32,
+    total: u32,
+}
+
+impl OwnedTraceSource {
+    /// Builds the source, validating every slot exactly as
+    /// [`TraceSource::new`] does.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TraceSource::new`].
+    pub fn new(trace: Trace) -> Result<Self, Error> {
+        let (sets, total) = {
+            let probe = TraceSource::new(&trace)?;
+            let total = probe
+                .remaining_hint()
+                .expect("trace sources know their length") as u32;
+            (probe.sets, total)
+        };
+        let max_burst = trace.max_burst();
+        Ok(OwnedTraceSource {
+            trace,
+            sets,
+            members: Vec::with_capacity(max_burst),
+            slot: 0,
+            element: 0,
+            total,
+        })
+    }
+}
+
+impl ArrivalSource for OwnedTraceSource {
+    fn sets(&self) -> &[SetMeta] {
+        &self.sets
+    }
+
+    fn next_arrival(&mut self) -> Option<Arrival<'_>> {
+        advance_to_nonempty_slot(&self.trace, &mut self.slot, &mut self.members)?;
+        let element = ElementId(self.element);
+        self.element += 1;
+        // Construction validated every slot via TraceSource::new, and the
+        // trace is owned (immutable since), so the unchecked constructor
+        // is sound here.
+        Some(Arrival::new(element, self.trace.capacity(), &self.members))
     }
 
     fn remaining_hint(&self) -> Option<usize> {
@@ -284,6 +366,30 @@ mod tests {
         }
         assert!(source.next_arrival().is_none());
         assert_eq!(source.remaining_hint(), Some(0));
+    }
+
+    #[test]
+    fn owned_trace_source_matches_the_borrowing_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let trace = video_trace(&VideoTraceConfig::small(), &mut rng);
+        let mut borrowed = TraceSource::new(&trace).unwrap();
+        let mut owned = OwnedTraceSource::new(trace.clone()).unwrap();
+        assert_eq!(owned.sets(), borrowed.sets());
+        assert_eq!(owned.remaining_hint(), borrowed.remaining_hint());
+        while let Some(want) = borrowed.next_arrival() {
+            let got = owned.next_arrival().expect("same stream length");
+            assert_eq!(got.element(), want.element());
+            assert_eq!(got.capacity(), want.capacity());
+            assert_eq!(got.members(), want.members());
+        }
+        assert!(owned.next_arrival().is_none());
+        assert_eq!(owned.remaining_hint(), Some(0));
+        // The validation path is shared too.
+        let bad = Trace::new(vec![frame(0, 1.0)], vec![], 1).unwrap();
+        assert!(matches!(
+            OwnedTraceSource::new(bad),
+            Err(osp_core::Error::EmptySet(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! `osp-worker` — the replay worker process behind
+//! [`ProcessPool`](osp_core::ProcessPool).
+//!
+//! Protocol (see [`osp_core::wire`]): the parent writes length-prefixed
+//! [`JobSpec`](osp_core::JobSpec) frames to this process's stdin; for
+//! each job the worker replays the spec through the full workspace
+//! registry ([`NetResolver`]: all five core algorithms, both router
+//! baselines, every generator family and the video-trace scenario) and
+//! answers one framed outcome on stdout, in order. A clean
+//! end-of-stream on stdin is the shutdown signal.
+//!
+//! ```text
+//! cargo build --release --bin osp-worker
+//! OSP_WORKERS=4 ... # the pool locates the binary next to the caller,
+//!                   # or via OSP_WORKER_BIN
+//! ```
+//!
+//! Determinism: a job spec carries everything — scenario, algorithm,
+//! seed — so any worker anywhere produces the same outcome bit for bit
+//! (pinned by `tests/process_pool_conformance.rs`).
+
+use std::io::{stdin, stdout, BufReader, BufWriter};
+use std::process::ExitCode;
+
+use osp::core::wire::serve;
+use osp::net::NetResolver;
+
+fn main() -> ExitCode {
+    let mut reader = BufReader::new(stdin().lock());
+    let mut writer = BufWriter::new(stdout().lock());
+    match serve(&NetResolver, &mut reader, &mut writer) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("osp-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Property tests for the wire layer: every message type round-trips
+//! encode→decode to identity, and the frame protocol answers truncation
+//! and garbage with a clean [`Error`], never a panic.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+
+use osp::core::gen::{CapacityModel, LoadModel, RandomInstanceConfig, WeightModel};
+use osp::core::prelude::*;
+use osp::core::wire::{read_frame, read_message, write_frame, write_message};
+use osp::core::ElementId;
+
+// --- Strategies -----------------------------------------------------------
+
+fn algorithm_spec() -> impl Strategy<Value = AlgorithmSpec> {
+    (
+        0usize..6,
+        1usize..64,
+        proptest::any::<u8>(),
+        proptest::collection::vec(0u32..512, 0..8),
+    )
+        .prop_map(|(pick, independence, tie, target)| match pick {
+            0 => AlgorithmSpec::RandPr,
+            1 => AlgorithmSpec::HashRandPr { independence },
+            2 => {
+                let all = TieBreak::all();
+                AlgorithmSpec::Greedy {
+                    tie_break: all[tie as usize % all.len()],
+                }
+            }
+            3 => AlgorithmSpec::RandomAssign,
+            4 => {
+                let mut ids: Vec<SetId> = target.into_iter().map(SetId).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                AlgorithmSpec::Oracle { target: ids }
+            }
+            5 => AlgorithmSpec::TailDrop,
+            _ => AlgorithmSpec::RandomDrop,
+        })
+}
+
+fn scenario_spec() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        0usize..4,
+        1usize..500,
+        1usize..2000,
+        1u32..8,
+        0.1f64..3.0,
+        1u32..16,
+    )
+        .prop_map(|(pick, m, n, k, skew, interval)| match pick {
+            0 => ScenarioSpec::Uniform(RandomInstanceConfig {
+                num_sets: m,
+                num_elements: n,
+                load: LoadModel::Uniform { lo: 1, hi: k },
+                weights: WeightModel::Zipf { exponent: skew },
+                capacities: CapacityModel::Uniform { lo: 1, hi: k },
+            }),
+            1 => ScenarioSpec::Biregular {
+                num_sets: m,
+                set_size: k,
+                load: interval,
+            },
+            2 => ScenarioSpec::FixedSize {
+                num_sets: m,
+                set_size: k,
+                num_elements: n,
+                skew,
+            },
+            _ => ScenarioSpec::VideoTrace {
+                sources: m,
+                frames_per_source: n,
+                frame_interval: interval,
+                capacity: k,
+                jitter: interval - 1,
+            },
+        })
+}
+
+fn job_spec() -> impl Strategy<Value = JobSpec> {
+    (scenario_spec(), algorithm_spec(), proptest::any::<u64>()).prop_map(
+        |(scenario, algorithm, seed)| JobSpec {
+            scenario,
+            algorithm,
+            seed,
+        },
+    )
+}
+
+/// A structurally valid decision log built from per-arrival slices.
+fn decision_log() -> impl Strategy<Value = DecisionLog> {
+    proptest::collection::vec(proptest::collection::vec(0u32..256, 0..5), 0..32).prop_map(
+        |decisions| {
+            let mut offsets = vec![0u32];
+            let mut data: Vec<SetId> = Vec::new();
+            for d in &decisions {
+                data.extend(d.iter().copied().map(SetId));
+                offsets.push(data.len() as u32);
+            }
+            DecisionLog::from_parts(offsets, data).expect("constructed valid")
+        },
+    )
+}
+
+fn outcome() -> impl Strategy<Value = Outcome> {
+    (
+        proptest::collection::vec(0u32..1024, 0..24),
+        -1e12f64..1e12,
+        decision_log(),
+        proptest::collection::vec(proptest::arbitrary::any::<bool>(), 0..64),
+    )
+        .prop_map(|(completed, benefit, log, deaths)| {
+            let mut ids: Vec<SetId> = completed.into_iter().map(SetId).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            let died_at: Vec<Option<ElementId>> = deaths
+                .into_iter()
+                .enumerate()
+                .map(|(i, dead)| dead.then_some(ElementId(i as u32)))
+                .collect();
+            Outcome::from_parts(ids, benefit, log, died_at).expect("constructed valid")
+        })
+}
+
+// --- Properties -----------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn job_specs_round_trip(job in job_spec()) {
+        let json = serde_json::to_string(&job).unwrap();
+        let back: JobSpec = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, job);
+    }
+
+    #[test]
+    fn outcomes_round_trip_bit_for_bit(want in outcome()) {
+        let json = serde_json::to_string(&want).unwrap();
+        let back: Outcome = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.completed(), want.completed());
+        prop_assert_eq!(back.benefit().to_bits(), want.benefit().to_bits());
+        prop_assert_eq!(back.decisions(), want.decisions());
+        prop_assert_eq!(&back, &want);
+    }
+
+    #[test]
+    fn decision_logs_round_trip(want in decision_log()) {
+        let json = serde_json::to_string(&want).unwrap();
+        let back: DecisionLog = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &want);
+        // The CSR views agree slice by slice.
+        for (a, b) in want.iter().zip(back.iter()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn framed_messages_round_trip_through_a_stream(jobs in proptest::collection::vec(job_spec(), 0..8)) {
+        let mut buf = Vec::new();
+        for job in &jobs {
+            write_message(&mut buf, job).unwrap();
+        }
+        let mut cursor = Cursor::new(buf);
+        for want in &jobs {
+            let got: JobSpec = read_message(&mut cursor).unwrap().expect("frame per job");
+            prop_assert_eq!(&got, want);
+        }
+        prop_assert!(read_message::<_, JobSpec>(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly(job in job_spec(), cut in 0usize..2048) {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &job).unwrap();
+        let cut = cut % buf.len().max(1);
+        buf.truncate(cut);
+        let mut cursor = Cursor::new(buf);
+        match read_frame(&mut cursor) {
+            // Nothing left at a frame boundary: clean end of stream.
+            Ok(None) => prop_assert_eq!(cut, 0),
+            // Any partial frame must be a protocol error, never a panic.
+            Err(Error::Protocol(_)) => {}
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic_the_reader(bytes in proptest::collection::vec(proptest::any::<u8>(), 0..512)) {
+        // Whatever the bytes, the read path must answer with Ok or a
+        // clean protocol error — and must not read past a declared
+        // frame into unbounded memory (the length cap).
+        let mut cursor = Cursor::new(bytes);
+        loop {
+            match read_message::<_, JobSpec>(&mut cursor) {
+                Ok(Some(_)) => continue, // astronomically unlikely, but legal
+                Ok(None) => break,
+                Err(Error::Protocol(_)) => break,
+                Err(other) => prop_assert!(false, "unexpected {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_decision_log_parts_are_rejected(
+        offsets in proptest::collection::vec(0u32..64, 0..8),
+        data_len in 0usize..64,
+    ) {
+        let data: Vec<SetId> = (0..data_len as u32).map(SetId).collect();
+        let valid = offsets.first() == Some(&0)
+            && offsets.windows(2).all(|w| w[0] <= w[1])
+            && offsets.last() == Some(&(data_len as u32));
+        let result = DecisionLog::from_parts(offsets, data);
+        prop_assert_eq!(result.is_ok(), valid);
+        if let Err(e) = result {
+            prop_assert!(matches!(e, Error::Protocol(_)));
+        }
+    }
+}
+
+#[test]
+fn oversized_frame_declaration_is_rejected_without_allocating() {
+    // A garbage length prefix claiming 4 GiB must fail fast.
+    let mut bytes = 0xFFFF_FF00u32.to_le_bytes().to_vec();
+    bytes.extend_from_slice(b"tiny");
+    assert!(matches!(
+        read_frame(&mut Cursor::new(bytes)),
+        Err(Error::Protocol(_))
+    ));
+    // And the writer refuses to produce such a frame in the first place.
+    let huge = vec![0u8; osp::core::wire::MAX_FRAME_LEN + 1];
+    let mut sink = Vec::new();
+    assert!(matches!(
+        write_frame(&mut sink, &huge),
+        Err(Error::Protocol(_))
+    ));
+    assert!(sink.is_empty());
+}
