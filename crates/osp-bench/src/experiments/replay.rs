@@ -2,7 +2,7 @@
 //!
 //! Not a paper theorem: this is the harness measuring itself, so replay
 //! throughput (the resource every other experiment spends) is tracked
-//! PR-over-PR via `BENCH_replay.json`. Six comparisons:
+//! PR-over-PR via `BENCH_replay.json`. Seven comparisons:
 //!
 //! 1. **engine_run** — sequential `engine::run` trials vs the same trials
 //!    fanned across [`ReplayPool`] shards, asserting bit-identical
@@ -29,7 +29,17 @@
 //!    and read `true`) while measuring the process-boundary cost. Wall
 //!    numbers here are machine-bound (workers default to the core
 //!    count; override with `OSP_WORKERS`), so the `speedup` column is
-//!    informational, not ratio-guarded.
+//!    informational, not ratio-guarded;
+//! 7. **socket** — the same work-list again, this time across a loopback
+//!    fleet of spawned `osp-worker --listen` processes ([`SocketPool`]:
+//!    handshake, heartbeats, timeout/re-dispatch), asserting the fleet
+//!    bit-identical to sequential `run_spec` — including one row where a
+//!    seeded `OSP_FAULT=die:5` kills a worker mid-batch and its
+//!    unanswered jobs are re-dispatched to the survivors (that row's
+//!    identity cell also requires the killed worker to have exited with
+//!    the fault code 86). Worker stderr goes to `socket-worker-logs/`
+//!    for CI to upload on failure. Like `distributed`, only the identity
+//!    booleans are guarded.
 //!
 //! Wall-clock numbers vary with the machine; the *identity* columns must
 //! read `true` everywhere (CI's `bench_guard` enforces this, and holds the
@@ -45,9 +55,10 @@ use std::time::Instant;
 use osp_core::algorithms::{GreedyOnline, HashRandPr, RandPr, RandomAssign, TieBreak};
 use osp_core::gen::{random_instance, RandomInstanceConfig, UniformSource};
 use osp_core::spec::{run_spec, AlgorithmSpec, ScenarioSpec};
+use osp_core::wire::socket::WorkerAddr;
 use osp_core::{
-    derived_jobs, run as engine_run, run_source, Dispatcher, OnlineAlgorithm, Outcome, ProcessPool,
-    ReplayJob, SpecPool,
+    derived_jobs, run as engine_run, run_source, worker_binary, Dispatcher, OnlineAlgorithm,
+    Outcome, ProcessPool, ReplayJob, SocketPool, SpecPool,
 };
 use osp_gf::hash::PolyHash;
 use osp_net::NetResolver;
@@ -73,6 +84,70 @@ fn arrivals_per_sec(trials: usize, elements: usize, seconds: f64) -> String {
 
 /// A seeded constructor for one benchmarked algorithm family.
 type AlgorithmFactory = fn(u64) -> Box<dyn OnlineAlgorithm>;
+
+/// One spawned `osp-worker --listen` child of the socket section's
+/// loopback fleet: the process and its resolved address (parsed from
+/// the worker's `listening on <addr>` banner). Stderr goes to
+/// `<log_dir>/<name>.log` for CI to collect.
+struct FleetWorker {
+    child: std::process::Child,
+    addr: WorkerAddr,
+}
+
+/// Spawns one `osp-worker --listen 127.0.0.1:0` child, stderr to
+/// `<log_dir>/<name>.log`, optionally carrying an `OSP_FAULT` plan (the
+/// ambient variable is always cleared first so only the explicit plan
+/// applies).
+fn spawn_worker(
+    log_dir: &std::path::Path,
+    name: &str,
+    fault: Option<&str>,
+) -> Result<FleetWorker, String> {
+    let binary = worker_binary().map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(log_dir).map_err(|e| format!("creating {}: {e}", log_dir.display()))?;
+    let log = log_dir.join(format!("{name}.log"));
+    let stderr =
+        std::fs::File::create(&log).map_err(|e| format!("creating {}: {e}", log.display()))?;
+    let mut command = std::process::Command::new(binary);
+    command
+        .args(["--listen", "127.0.0.1:0"])
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::piped())
+        .stderr(stderr)
+        .env_remove("OSP_FAULT");
+    if let Some(plan) = fault {
+        command.env("OSP_FAULT", plan);
+    }
+    let mut child = command
+        .spawn()
+        .map_err(|e| format!("spawning osp-worker --listen: {e}"))?;
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut banner = String::new();
+    std::io::BufRead::read_line(&mut std::io::BufReader::new(stdout), &mut banner)
+        .map_err(|e| format!("reading worker banner: {e}"))?;
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .ok_or_else(|| format!("unexpected worker banner {banner:?}"))
+        .and_then(WorkerAddr::parse)?;
+    Ok(FleetWorker { child, addr })
+}
+
+/// Waits up to ~5 s for `child` to exit on its own (a fault-killed
+/// worker does, with code 86); returns its exit code, killing a child
+/// that outlives the deadline.
+fn reap(child: &mut std::process::Child) -> Option<i32> {
+    for _ in 0..100 {
+        match child.try_wait() {
+            Ok(Some(status)) => return status.code(),
+            Ok(None) => std::thread::sleep(std::time::Duration::from_millis(50)),
+            Err(_) => break,
+        }
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    None
+}
 
 /// Runs the experiment.
 pub fn run(scale: Scale, seed: u64) -> Report {
@@ -548,6 +623,168 @@ pub fn run(scale: Scale, seed: u64) -> Report {
     }
     report.table(dist_table);
 
+    // --- 7: socket — the work-list across a loopback worker fleet. ---
+    let mut socket_table = NamedTable::new(
+        "socket: JobSpec fan-out — sequential vs a loopback osp-worker --listen fleet",
+        &[
+            "workload × algorithm",
+            "jobs",
+            "sequential s",
+            "fleet s",
+            "speedup",
+            "workers",
+            "bit-identical",
+        ],
+    );
+    let mut all_socket_identical = true;
+    let log_dir = std::path::Path::new("socket-worker-logs");
+    let fleet: Result<Vec<FleetWorker>, String> = (0..3)
+        .map(|i| spawn_worker(log_dir, &format!("worker-{i}"), None))
+        .collect();
+    match fleet {
+        Err(e) => {
+            all_socket_identical = false;
+            report.note(format!(
+                "socket: SKIPPED — {e}. Build the worker \
+                 (`cargo build --release --bin osp-worker`) and regenerate; \
+                 bench_guard treats the missing section as a failure."
+            ));
+        }
+        Ok(mut fleet) => {
+            let addrs: Vec<WorkerAddr> = fleet.iter().map(|w| w.addr.clone()).collect();
+            let pool = SocketPool::new(addrs);
+            let (m, n, sigma) = (200usize, 2_000usize, 6u32);
+            let uniform = ScenarioSpec::Uniform(RandomInstanceConfig::unweighted(m, n, sigma));
+            let video = ScenarioSpec::VideoTrace {
+                sources: 8,
+                frames_per_source: scale.pick(20, 60),
+                frame_interval: 8,
+                capacity: 4,
+                jitter: 2,
+            };
+            let trials: u64 = scale.pick(8, 64);
+            let roster: &[(&ScenarioSpec, AlgorithmSpec)] = &[
+                (&uniform, AlgorithmSpec::RandPr),
+                (&uniform, AlgorithmSpec::HashRandPr { independence: 8 }),
+                (&video, AlgorithmSpec::TailDrop),
+                (&video, AlgorithmSpec::RandomDrop),
+            ];
+            for (scenario, algorithm) in roster {
+                let jobs = derived_jobs(scenario, algorithm, seeds.next_seed(), trials);
+                let rounds: usize = scale.pick(2, 3);
+                let mut t_seq = f64::INFINITY;
+                let mut t_fleet = f64::INFINITY;
+                let mut identical = true;
+                for _ in 0..rounds {
+                    let (t, sequential) = timed(|| {
+                        jobs.iter()
+                            .map(|j| run_spec(j, &NetResolver).unwrap())
+                            .collect::<Vec<Outcome>>()
+                    });
+                    t_seq = t_seq.min(t);
+                    let (t, fleet_out) = timed(|| pool.run_specs(&jobs));
+                    t_fleet = t_fleet.min(t);
+                    identical &= fleet_out.len() == sequential.len()
+                        && fleet_out
+                            .iter()
+                            .zip(&sequential)
+                            .all(|(g, w)| g.as_ref() == Ok(w));
+                }
+                all_socket_identical &= identical;
+                let workload = match scenario {
+                    ScenarioSpec::Uniform(_) => format!("m={m} n={n} σ={sigma}"),
+                    other => other.label(),
+                };
+                socket_table.row(vec![
+                    format!("{workload} × {}", algorithm.label()),
+                    trials.to_string(),
+                    format!("{t_seq:.3}"),
+                    format!("{t_fleet:.3}"),
+                    format!("{:.2}×", t_seq / t_fleet.max(1e-9)),
+                    pool.lanes().to_string(),
+                    identical.to_string(),
+                ]);
+            }
+            for worker in &mut fleet {
+                let _ = worker.child.kill();
+                let _ = worker.child.wait();
+            }
+
+            // The fault row: a fresh mini-fleet whose first worker dies
+            // after 5 answered jobs (OSP_FAULT=die:5, mid-chunk), its
+            // leftovers re-dispatched to the two survivors. One
+            // measurement pass — the kill is once-per-process. The
+            // identity cell requires both bit-identical outcomes AND the
+            // planned death (exit code 86).
+            let fault_trials: u64 = scale.pick(18, 48);
+            let fault_fleet: Result<Vec<FleetWorker>, String> = ["die:5", "", ""]
+                .iter()
+                .enumerate()
+                .map(|(i, plan)| {
+                    spawn_worker(
+                        log_dir,
+                        &format!("fault-worker-{i}"),
+                        (!plan.is_empty()).then_some(plan),
+                    )
+                })
+                .collect();
+            match fault_fleet {
+                Err(e) => {
+                    all_socket_identical = false;
+                    report.note(format!("socket fault row: SKIPPED — {e}."));
+                }
+                Ok(mut fleet) => {
+                    let pool = SocketPool::new(fleet.iter().map(|w| w.addr.clone()).collect());
+                    let jobs = derived_jobs(
+                        &uniform,
+                        &AlgorithmSpec::RandPr,
+                        seeds.next_seed(),
+                        fault_trials,
+                    );
+                    let (t_seq, sequential) = timed(|| {
+                        jobs.iter()
+                            .map(|j| run_spec(j, &NetResolver).unwrap())
+                            .collect::<Vec<Outcome>>()
+                    });
+                    let (t_fleet, fleet_out) = timed(|| pool.run_specs(&jobs));
+                    let outcomes_identical = fleet_out.len() == sequential.len()
+                        && fleet_out
+                            .iter()
+                            .zip(&sequential)
+                            .all(|(g, w)| g.as_ref() == Ok(w));
+                    let fault_fired = reap(&mut fleet[0].child) == Some(86);
+                    for worker in fleet.iter_mut().skip(1) {
+                        let _ = worker.child.kill();
+                        let _ = worker.child.wait();
+                    }
+                    let identical = outcomes_identical && fault_fired;
+                    all_socket_identical &= identical;
+                    socket_table.row(vec![
+                        format!("m={m} n={n} σ={sigma} × randPr, die:5 kills worker 1 of 3"),
+                        fault_trials.to_string(),
+                        format!("{t_seq:.3}"),
+                        format!("{t_fleet:.3}"),
+                        format!("{:.2}×", t_seq / t_fleet.max(1e-9)),
+                        "3".to_string(),
+                        identical.to_string(),
+                    ]);
+                }
+            }
+            report.note(format!(
+                "socket: the same serialized JobSpecs across 3 spawned `osp-worker --listen` \
+                 processes on loopback — handshake, windowed in-band heartbeats, per-frame \
+                 read deadlines, and (in the fault row) mid-batch death with re-dispatch to \
+                 the survivors; worker stderr is under {}/. Only the identity booleans are \
+                 guarded: wall clocks include connect/serialize/kernel-socket overhead and \
+                 scale with the machine — in particular, under 1-core CPU affinity (taskset, \
+                 cgroup quota, CI runners) the fleet serializes against the sequential leg \
+                 and the speedup column reads ≲ 1× by construction.",
+                log_dir.display()
+            ));
+        }
+    }
+    report.table(socket_table);
+
     report.note(format!(
         "Replay pool: {} shards (override with OSP_REPLAY_SHARDS; outcomes are \
          shard-count-invariant by construction, see tests/batch_equivalence.rs).{}",
@@ -575,15 +812,22 @@ pub fn run(scale: Scale, seed: u64) -> Report {
          bit-identical.",
     );
     report.note(
-        if all_identical && all_agree && all_stream_identical && all_dist_identical {
+        if all_identical
+            && all_agree
+            && all_stream_identical
+            && all_dist_identical
+            && all_socket_identical
+        {
             "Verdict: batch replay is bit-identical to sequential replay, fused streaming \
-             is bit-identical to materialize-then-replay, distributed (process) replay is \
+             is bit-identical to materialize-then-replay, distributed (process) replay and \
+             the socket worker fleet — surviving an injected mid-batch kill — are \
              bit-identical to both, and the hash fast path agrees with the naive \
              reference; timings above are the tracked baseline."
                 .to_string()
         } else {
             "Verdict: an identity check FAILED — the batch engine, the streaming pipeline, \
-             the distributed dispatch layer or the hash fast path diverged."
+             the distributed dispatch layer, the socket fleet or the hash fast path \
+             diverged."
                 .to_string()
         },
     );

@@ -9,7 +9,8 @@
 //!    osp-worker processes ≡ threads) and must never regress, on any
 //!    machine. Sections that carry such claims and could be skipped
 //!    silently (`REQUIRED_TABLES`: the `distributed` section, which
-//!    needs the `osp-worker` binary built) must additionally be *present
+//!    needs the `osp-worker` binary built, and the `socket` section,
+//!    which needs a loopback worker fleet) must additionally be *present
 //!    with rows* in every candidate once the baseline has them — an
 //!    absent table would otherwise pass vacuously.
 //! 2. **Algorithmic speedups** — for tables whose comparison is
@@ -56,12 +57,15 @@ const RATIO_GUARDED_TABLES: [&str; 3] = ["poly_hash_eval", "weighted sampling", 
 /// Table-title prefixes that must be *present with rows* in every
 /// candidate whenever the committed baseline has them. The `distributed`
 /// section encodes the process-boundary identity claim (osp-worker
-/// outcomes ≡ threads ≡ sequential); a run that silently skipped it —
-/// e.g. because the worker binary was not built — would otherwise pass
-/// rule 1 vacuously. Its wall-clock columns stay unguarded (the
+/// outcomes ≡ threads ≡ sequential) and the `socket` section the
+/// network-boundary claim (a loopback `osp-worker --listen` fleet —
+/// including one killed mid-batch by its fault plan — ≡ sequential); a
+/// run that silently skipped either — e.g. because the worker binary was
+/// not built or the fleet failed to come up — would otherwise pass
+/// rule 1 vacuously. Their wall-clock columns stay unguarded (the
 /// thread/worker counts are machine properties); only presence and the
 /// identity booleans are enforced.
-const REQUIRED_TABLES: [&str; 1] = ["distributed"];
+const REQUIRED_TABLES: [&str; 2] = ["distributed", "socket"];
 
 /// Headers holding boolean identity verdicts.
 const IDENTITY_HEADERS: [&str; 2] = ["bit-identical", "agree"];
@@ -329,6 +333,29 @@ mod tests {
         assert!(v[0].contains("missing or empty"));
         // Baselines without the section (pre-PR-5 reports, other
         // experiment ids) require nothing.
+        assert!(check(&absent, &absent.clone()).is_empty());
+    }
+
+    #[test]
+    fn socket_section_is_required_once_the_baseline_has_it() {
+        let mk = |identical: &str| {
+            report_with(
+                "socket: JobSpec fan-out — sequential vs a loopback osp-worker fleet",
+                &["workload × algorithm", "fleet", "bit-identical"],
+                vec![vec!["m=200 n=2000 σ=6 × randPr", "3", identical]],
+            )
+        };
+        // Identity booleans are rule-1 checked like every other section…
+        let v = check(&mk("true"), &mk("false"));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("bit-identical"));
+        // …and a candidate that silently dropped the section (fleet never
+        // came up) fails the presence rule rather than passing vacuously.
+        let absent = report_with("engine_run: x", &["workload", "bit-identical"], vec![]);
+        let v = check(&mk("true"), &absent);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("required section 'socket'"));
+        // Baselines without the section require nothing.
         assert!(check(&absent, &absent.clone()).is_empty());
     }
 

@@ -22,7 +22,7 @@
 //! seeds, same order, bit-identical outcomes either way (pinned by
 //! `tests/process_pool_conformance.rs`).
 
-pub use osp_core::{Dispatcher, ProcessPool, ReplayJob, ReplayPool, SpecPool};
+pub use osp_core::{Dispatcher, ProcessPool, ReplayJob, ReplayPool, SocketPool, SpecPool};
 use osp_net::NetResolver;
 use osp_stats::SeedSequence;
 
@@ -33,35 +33,86 @@ pub fn pool() -> ReplayPool {
 }
 
 /// The spec-job backend the experiments share, selected by
-/// `OSP_DISPATCH`:
+/// `OSP_DISPATCH` (case-insensitive, surrounding whitespace ignored):
 ///
 /// * unset or `threads` — [`SpecPool`] over the shared [`pool`], resolving
 ///   specs in-process through the full workspace registry
 ///   ([`NetResolver`]);
 /// * `processes` — a [`ProcessPool`] of `osp-worker` children sized by
 ///   `OSP_WORKERS` (build the binary first:
-///   `cargo build --release --bin osp-worker`).
+///   `cargo build --release --bin osp-worker`);
+/// * `socket` (or `sockets`) — a [`SocketPool`] over the fleet named by
+///   `OSP_WORKER_ADDRS` (comma-separated `host:port` / `uds:/path`
+///   addresses of running `osp-worker --listen` processes).
 ///
-/// If `processes` is requested but the worker binary cannot be located,
-/// the selection falls back to threads with a note on stderr — outcomes
-/// are bit-identical either way, so an experiment never blocks on the
-/// missing binary.
+/// Unrecognized values fall back to threads with a note on stderr — the
+/// same hardened junk-tolerant policy as
+/// [`env_parallelism`](osp_core::env_parallelism), because outcomes are
+/// bit-identical on every backend, so an experiment never blocks on a
+/// typo. Likewise `processes` without a locatable worker binary and
+/// `socket` without a reachable `OSP_WORKER_ADDRS` fall back to threads.
 pub fn dispatcher() -> Box<dyn Dispatcher> {
     dispatcher_for(std::env::var("OSP_DISPATCH").ok().as_deref())
 }
 
-/// Pure core of [`dispatcher`]: `choice` is the raw `OSP_DISPATCH`
-/// content (or `None` if unset).
+/// Which backend an `OSP_DISPATCH` value selects — the pure, unit-tested
+/// parse core of [`dispatcher`] (no environment, no I/O).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchChoice {
+    /// In-process thread shards (the default).
+    Threads,
+    /// `osp-worker` child processes over pipes.
+    Processes,
+    /// A socket fleet from `OSP_WORKER_ADDRS`.
+    Socket,
+    /// Junk: fall back to threads, with a note naming the raw value.
+    Unknown,
+}
+
+impl DispatchChoice {
+    /// Parses a raw `OSP_DISPATCH` value: trimmed, case-insensitive;
+    /// `None`/empty means [`Threads`](Self::Threads).
+    pub fn parse(raw: Option<&str>) -> DispatchChoice {
+        let Some(raw) = raw else {
+            return DispatchChoice::Threads;
+        };
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "" | "threads" | "thread" => DispatchChoice::Threads,
+            "processes" | "process" => DispatchChoice::Processes,
+            "socket" | "sockets" => DispatchChoice::Socket,
+            _ => DispatchChoice::Unknown,
+        }
+    }
+}
+
+/// Backend construction behind [`dispatcher`]: `choice` is the raw
+/// `OSP_DISPATCH` content (or `None` if unset).
 fn dispatcher_for(choice: Option<&str>) -> Box<dyn Dispatcher> {
-    match choice {
-        Some("processes") => match ProcessPool::from_env() {
+    let threads = || -> Box<dyn Dispatcher> { Box::new(SpecPool::new(pool(), NetResolver)) };
+    match DispatchChoice::parse(choice) {
+        DispatchChoice::Threads => threads(),
+        DispatchChoice::Processes => match ProcessPool::from_env() {
             Ok(pool) => Box::new(pool),
             Err(e) => {
                 eprintln!("OSP_DISPATCH=processes unavailable ({e}); falling back to threads");
-                Box::new(SpecPool::new(pool(), NetResolver))
+                threads()
             }
         },
-        _ => Box::new(SpecPool::new(pool(), NetResolver)),
+        DispatchChoice::Socket => match SocketPool::from_env() {
+            Ok(pool) => Box::new(pool),
+            Err(e) => {
+                eprintln!("OSP_DISPATCH=socket unavailable ({e}); falling back to threads");
+                threads()
+            }
+        },
+        DispatchChoice::Unknown => {
+            eprintln!(
+                "OSP_DISPATCH={} is not a backend (want threads, processes or socket); \
+                 falling back to threads",
+                choice.unwrap_or_default()
+            );
+            threads()
+        }
     }
 }
 
@@ -94,11 +145,56 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_choice_parses_case_insensitively() {
+        // The pure parse core: no env, no I/O, every policy branch.
+        assert_eq!(DispatchChoice::parse(None), DispatchChoice::Threads);
+        assert_eq!(DispatchChoice::parse(Some("")), DispatchChoice::Threads);
+        assert_eq!(
+            DispatchChoice::parse(Some("threads")),
+            DispatchChoice::Threads
+        );
+        assert_eq!(
+            DispatchChoice::parse(Some("THREADS")),
+            DispatchChoice::Threads
+        );
+        assert_eq!(
+            DispatchChoice::parse(Some(" Thread ")),
+            DispatchChoice::Threads
+        );
+        assert_eq!(
+            DispatchChoice::parse(Some("processes")),
+            DispatchChoice::Processes
+        );
+        assert_eq!(
+            DispatchChoice::parse(Some("Processes")),
+            DispatchChoice::Processes
+        );
+        assert_eq!(
+            DispatchChoice::parse(Some(" PROCESS ")),
+            DispatchChoice::Processes
+        );
+        assert_eq!(
+            DispatchChoice::parse(Some("socket")),
+            DispatchChoice::Socket
+        );
+        assert_eq!(
+            DispatchChoice::parse(Some("Sockets")),
+            DispatchChoice::Socket
+        );
+        // Junk is Unknown — the constructor then falls back to threads.
+        assert_eq!(
+            DispatchChoice::parse(Some("bogus")),
+            DispatchChoice::Unknown
+        );
+        assert_eq!(DispatchChoice::parse(Some("42")), DispatchChoice::Unknown);
+    }
+
+    #[test]
     fn dispatcher_selection_policy() {
         // Exercised through the pure core so the assertions do not depend
         // on whatever OSP_DISPATCH happens to be in the ambient
         // environment (and no test ever mutates the process env).
-        for unset_or_threads in [None, Some("threads"), Some("bogus")] {
+        for unset_or_threads in [None, Some("threads"), Some("bogus"), Some("THReads ")] {
             let d = dispatcher_for(unset_or_threads);
             assert_eq!(d.backend(), "threads", "choice {unset_or_threads:?}");
             assert!(d.lanes() >= 1);
@@ -107,6 +203,12 @@ mod tests {
         // locatable, and falls back to threads (never panics) otherwise.
         let d = dispatcher_for(Some("processes"));
         assert!(matches!(d.backend(), "processes" | "threads"));
+        assert!(d.lanes() >= 1);
+        // `socket` needs a live OSP_WORKER_ADDRS fleet; without one the
+        // selection falls back to threads rather than failing. (When the
+        // ambient env does name a fleet, the socket backend is selected.)
+        let d = dispatcher_for(Some("socket"));
+        assert!(matches!(d.backend(), "sockets" | "threads"));
         assert!(d.lanes() >= 1);
     }
 }

@@ -13,29 +13,41 @@
 //! * **order is submission order** — results are merged back
 //!   positionally, never by completion time.
 //!
-//! Two backends implement it:
+//! Three backends implement it:
 //!
 //! * [`SpecPool`] — `std::thread` shards via
 //!   [`ReplayPool::run_specs`](ReplayPool::run_specs), resolving specs
 //!   in-process;
 //! * [`ProcessPool`] — `osp-worker` child processes fed framed specs over
-//!   stdin and answering framed outcomes over stdout
-//!   ([`wire`]) — the same spec that crosses a pipe here
-//!   crosses a socket to another machine unchanged.
+//!   stdin and answering framed outcomes over stdout ([`wire`]);
+//! * [`SocketPool`] — a fleet of `osp-worker --listen` endpoints
+//!   (TCP or Unix-domain, [`WorkerAddr`]) spoken to over the same frames,
+//!   with connect retry/backoff ([`RetryPolicy`]), read deadlines, an
+//!   in-band heartbeat, and **chunk re-dispatch**: when a worker dies
+//!   mid-batch its unanswered jobs are re-chunked across the survivors,
+//!   and only with every worker dead does a job fail
+//!   ([`WorkerError::AllWorkersDead`]). Because outcomes are pure
+//!   functions of the specs, recovery never changes results — just who
+//!   computes them.
 //!
-//! `tests/process_pool_conformance.rs` pins all three (sequential,
-//! threads, processes) bit-identical across the algorithm × generator
-//! grid at worker counts 1, 2 and 4.
+//! `tests/process_pool_conformance.rs` pins sequential, threads and
+//! processes bit-identical across the algorithm × generator grid at
+//! worker counts 1, 2 and 4; `tests/socket_pool_conformance.rs` extends
+//! the same grid to socket fleets, including fleets with injected
+//! mid-batch faults ([`FaultPlan`](crate::wire::FaultPlan)).
 
+use std::collections::VecDeque;
 use std::io::{BufReader, Write};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
 
 use crate::engine::batch::{derive_seed, env_parallelism, ReplayPool};
 use crate::engine::Outcome;
-use crate::error::Error;
+use crate::error::{Error, WorkerError};
 use crate::spec::{AlgorithmSpec, JobSpec, ScenarioSpec, SpecResolver};
 use crate::wire;
+use crate::wire::socket::{read_hello, Stream, WorkerAddr};
 
 /// A backend that replays [`JobSpec`] work-lists deterministically: same
 /// jobs ⇒ same outcomes, in submission order, at any lane count.
@@ -130,13 +142,16 @@ fn locate_worker() -> Result<PathBuf, Error> {
         if path.is_file() {
             return Ok(path);
         }
-        return Err(Error::Worker(format!(
+        return Err(Error::Worker(WorkerError::Spawn(format!(
             "OSP_WORKER_BIN points at {}, which is not a file",
             path.display()
-        )));
+        ))));
     }
-    let exe = std::env::current_exe()
-        .map_err(|e| Error::Worker(format!("cannot resolve current executable: {e}")))?;
+    let exe = std::env::current_exe().map_err(|e| {
+        Error::Worker(WorkerError::Spawn(format!(
+            "cannot resolve current executable: {e}"
+        )))
+    })?;
     let name = worker_bin_name();
     let mut dir = exe.parent();
     while let Some(d) = dir {
@@ -150,11 +165,23 @@ fn locate_worker() -> Result<PathBuf, Error> {
         }
         dir = d.parent();
     }
-    Err(Error::Worker(format!(
+    Err(Error::Worker(WorkerError::Spawn(format!(
         "cannot locate {name} next to {} — build it with `cargo build --bin osp-worker` \
          or set OSP_WORKER_BIN",
         exe.display()
-    )))
+    ))))
+}
+
+/// The located `osp-worker` binary — `OSP_WORKER_BIN` if set, otherwise a
+/// sibling of the current executable. Public so fleet-hosting harnesses
+/// (the bench socket section, CI bring-up scripts run through examples)
+/// can spawn `osp-worker --listen` themselves.
+///
+/// # Errors
+///
+/// [`WorkerError::Spawn`] when no binary can be found.
+pub fn worker_binary() -> Result<PathBuf, Error> {
+    locate_worker()
 }
 
 /// The process backend: `N` `osp-worker` child processes, each fed a
@@ -232,10 +259,10 @@ impl ProcessPool {
         let mut child: Child = match spawned {
             Ok(child) => child,
             Err(e) => {
-                let msg = format!("spawning worker `{}`: {e}", self.command[0]);
+                let err = WorkerError::Spawn(format!("spawning worker `{}`: {e}", self.command[0]));
                 return jobs
                     .iter()
-                    .map(|_| Err(Error::Worker(msg.clone())))
+                    .map(|_| Err(Error::Worker(err.clone())))
                     .collect();
             }
         };
@@ -280,12 +307,15 @@ impl ProcessPool {
         // Reap; a nonzero exit only matters if replies are also missing.
         let status = child.wait();
         while results.len() < jobs.len() {
-            let why = match &status {
+            let cause = match &status {
                 Ok(s) if !s.success() => format!("worker exited with {s} before answering"),
                 Ok(_) => "worker closed its stream before answering".to_string(),
                 Err(e) => format!("worker did not terminate cleanly: {e}"),
             };
-            results.push(Err(Error::Worker(why)));
+            results.push(Err(Error::Worker(WorkerError::Disconnect {
+                addr: self.command[0].clone(),
+                cause,
+            })));
         }
         results
     }
@@ -322,6 +352,430 @@ impl Dispatcher for ProcessPool {
 
     fn backend(&self) -> &'static str {
         "processes"
+    }
+}
+
+/// Bounded exponential backoff for worker connects — the pure schedule
+/// behind [`SocketPool`]'s retry loop, testable without sockets or
+/// clocks: attempt `i` (0-based) waits `base_delay × 2^i`, capped at
+/// `max_delay`, and after `attempts` failures the worker is declared
+/// unreachable ([`WorkerError::Connect`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total connect attempts before giving up (zero is treated as one).
+    pub attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to sleep after failed attempt `attempt` (0-based):
+    /// `base_delay × 2^attempt`, saturating, capped at `max_delay`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base_delay.saturating_mul(factor).min(self.max_delay)
+    }
+
+    /// Whether a failure on `attempt` (0-based) leaves retries in budget.
+    pub fn should_retry(&self, attempt: u32) -> bool {
+        attempt + 1 < self.attempts.max(1)
+    }
+}
+
+/// Tuning knobs for [`SocketPool`]. The defaults suit a loopback or
+/// rack-local fleet; raise the deadlines for anything slower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocketConfig {
+    /// Deadline for one TCP connect attempt.
+    pub connect_timeout: Duration,
+    /// Read deadline per reply frame; expiry marks the worker
+    /// [`WorkerError::Timeout`] and re-dispatches its unanswered jobs.
+    pub read_timeout: Duration,
+    /// Connect retry/backoff schedule.
+    pub retry: RetryPolicy,
+    /// Maximum unanswered requests in flight per connection. Keeps the
+    /// send side ahead of the worker without try_clone or feeder threads:
+    /// `window` job frames are far smaller than any socket buffer, so a
+    /// single thread can alternate send/receive without deadlocking.
+    pub window: usize,
+    /// Send one in-band heartbeat ping every this many jobs (0 disables).
+    /// A stalled worker then fails the batch within `read_timeout` even
+    /// when the stall hits between replies.
+    pub heartbeat_every: usize,
+}
+
+impl Default for SocketConfig {
+    fn default() -> Self {
+        SocketConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(30),
+            retry: RetryPolicy::default(),
+            window: 32,
+            heartbeat_every: 16,
+        }
+    }
+}
+
+/// What the next in-order reply frame on a connection must be — requests
+/// are answered strictly in submission order, so the client tracks a
+/// FIFO of expectations instead of tagging frames.
+enum Expected {
+    /// A [`wire::reply`] for the job at this index of the full work-list.
+    Job(usize),
+    /// A pong carrying this nonce.
+    Ping(u64),
+}
+
+/// The socket backend: a fleet of `osp-worker --listen` endpoints
+/// ([`WorkerAddr`]), each lane one framed connection. Jobs are chunked
+/// contiguously across live workers like every other backend, and the
+/// same bit-identity contract holds — outcomes are pure functions of the
+/// specs, so *which* worker answers is invisible in the results.
+///
+/// What is new over [`ProcessPool`] is the failure model:
+///
+/// * connects retry with bounded exponential backoff ([`RetryPolicy`]);
+///   a worker that never connects or fails its [`Hello`](crate::wire::Hello) handshake is
+///   excluded before taking any jobs;
+/// * each connection enforces a read deadline and sends in-band
+///   heartbeat pings; expiry is a typed [`WorkerError::Timeout`];
+/// * a worker dying mid-batch (EOF, reset, garbage) is a typed
+///   [`WorkerError::Disconnect`], and its **unanswered jobs are
+///   re-dispatched** to the surviving workers — rounds continue until
+///   every job is answered or every worker is dead, in which case the
+///   leftovers fail with [`WorkerError::AllWorkersDead`];
+/// * per-job failures answered by a healthy worker
+///   ([`WorkerError::Remote`]) are final and never re-dispatched.
+///
+/// `tests/socket_pool_conformance.rs` pins the full matrix, including
+/// bit-identity under an injected mid-batch worker kill.
+#[derive(Debug, Clone)]
+pub struct SocketPool {
+    addrs: Vec<WorkerAddr>,
+    config: SocketConfig,
+}
+
+impl SocketPool {
+    /// A pool over `addrs` with default [`SocketConfig`].
+    ///
+    /// # Panics
+    ///
+    /// If `addrs` is empty — a socket fleet needs at least one worker.
+    pub fn new(addrs: Vec<WorkerAddr>) -> Self {
+        SocketPool::with_config(addrs, SocketConfig::default())
+    }
+
+    /// A pool over `addrs` with explicit tuning.
+    ///
+    /// # Panics
+    ///
+    /// If `addrs` is empty.
+    pub fn with_config(addrs: Vec<WorkerAddr>, config: SocketConfig) -> Self {
+        assert!(
+            !addrs.is_empty(),
+            "socket fleet must name at least one worker"
+        );
+        SocketPool { addrs, config }
+    }
+
+    /// A pool over the fleet named by `OSP_WORKER_ADDRS` (comma-separated
+    /// [`WorkerAddr`]s).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkerError::Spawn`] when the variable is unset, empty, or
+    /// unparseable — there is no sensible default fleet.
+    pub fn from_env() -> Result<Self, Error> {
+        let raw = std::env::var("OSP_WORKER_ADDRS").map_err(|_| {
+            WorkerError::Spawn(
+                "OSP_WORKER_ADDRS is not set (want comma-separated worker addresses)".into(),
+            )
+        })?;
+        let addrs = WorkerAddr::parse_list(&raw)
+            .map_err(|e| WorkerError::Spawn(format!("OSP_WORKER_ADDRS: {e}")))?;
+        if addrs.is_empty() {
+            return Err(WorkerError::Spawn("OSP_WORKER_ADDRS names no workers".into()).into());
+        }
+        Ok(SocketPool::new(addrs))
+    }
+
+    /// The fleet's addresses, in lane order.
+    pub fn addrs(&self) -> &[WorkerAddr] {
+        &self.addrs
+    }
+
+    /// Connects to `addr` under the retry schedule and completes the
+    /// handshake.
+    fn connect(&self, addr: &WorkerAddr) -> Result<Stream, WorkerError> {
+        let retry = self.config.retry;
+        let attempts = retry.attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            match Stream::connect(addr, self.config.connect_timeout) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => {
+                    last = e.to_string();
+                    if retry.should_retry(attempt) {
+                        std::thread::sleep(retry.delay(attempt));
+                    }
+                }
+            }
+        }
+        Err(WorkerError::Connect {
+            addr: addr.to_string(),
+            attempts,
+            cause: last,
+        })
+    }
+
+    /// Classifies a failed/EOF'd read: a full-deadline wait is a timeout,
+    /// anything quicker is the stream dying under us. (The io error kind
+    /// is gone by the time [`wire::read_frame`] has wrapped it, so the
+    /// clock is the discriminator.)
+    fn classify(&self, addr: &WorkerAddr, started: Instant, cause: String) -> WorkerError {
+        if started.elapsed() >= self.config.read_timeout {
+            WorkerError::Timeout {
+                addr: addr.to_string(),
+                cause,
+            }
+        } else {
+            WorkerError::Disconnect {
+                addr: addr.to_string(),
+                cause,
+            }
+        }
+    }
+
+    /// Runs the chunk `assigned` (indices into `jobs`) over one
+    /// connection to `addr`. Returns every answer obtained plus the
+    /// connection's fate; on an `Err` fate the unanswered indices are the
+    /// caller's to re-dispatch.
+    #[allow(clippy::type_complexity)]
+    fn run_chunk(
+        &self,
+        addr: &WorkerAddr,
+        assigned: &[usize],
+        jobs: &[JobSpec],
+    ) -> (
+        Vec<(usize, Result<Outcome, Error>)>,
+        Result<(), WorkerError>,
+    ) {
+        let mut answered = Vec::with_capacity(assigned.len());
+        let stream = match self.connect(addr) {
+            Ok(stream) => stream,
+            Err(e) => return (answered, Err(e)),
+        };
+        if let Err(e) = stream.set_read_timeout(Some(self.config.read_timeout)) {
+            return (
+                answered,
+                Err(WorkerError::Connect {
+                    addr: addr.to_string(),
+                    attempts: 1,
+                    cause: format!("setting read deadline: {e}"),
+                }),
+            );
+        }
+        let mut reader = BufReader::new(&stream);
+        let mut writer = &stream;
+        if let Err(e) = read_hello(&mut reader, &addr.to_string()) {
+            return (answered, Err(e));
+        }
+
+        let window = self.config.window.max(1);
+        let mut expected: VecDeque<Expected> = VecDeque::with_capacity(window);
+        let mut to_send = assigned.iter().copied();
+        let mut sent_all = false;
+        let mut jobs_since_ping = 0usize;
+        let mut ping_nonce = 0u64;
+        loop {
+            // Keep the window full, interleaving a heartbeat every
+            // `heartbeat_every` jobs.
+            while !sent_all && expected.len() < window {
+                if self.config.heartbeat_every > 0 && jobs_since_ping >= self.config.heartbeat_every
+                {
+                    ping_nonce += 1;
+                    if let Err(e) =
+                        wire::write_message(&mut writer, &wire::Request::Ping(ping_nonce))
+                    {
+                        return (
+                            answered,
+                            Err(WorkerError::Disconnect {
+                                addr: addr.to_string(),
+                                cause: e.to_string(),
+                            }),
+                        );
+                    }
+                    expected.push_back(Expected::Ping(ping_nonce));
+                    jobs_since_ping = 0;
+                    continue;
+                }
+                match to_send.next() {
+                    Some(index) => {
+                        if let Err(e) = wire::write_message(
+                            &mut writer,
+                            &wire::Request::Job(jobs[index].clone()),
+                        ) {
+                            return (
+                                answered,
+                                Err(WorkerError::Disconnect {
+                                    addr: addr.to_string(),
+                                    cause: e.to_string(),
+                                }),
+                            );
+                        }
+                        expected.push_back(Expected::Job(index));
+                        jobs_since_ping += 1;
+                    }
+                    None => {
+                        sent_all = true;
+                        let _ = writer.flush();
+                        // Clean EOF between frames is the shutdown signal.
+                        stream.shutdown_write();
+                    }
+                }
+            }
+            if !sent_all {
+                let _ = writer.flush();
+            }
+            let Some(next) = expected.pop_front() else {
+                return (answered, Ok(()));
+            };
+            let started = Instant::now();
+            match next {
+                Expected::Job(index) => {
+                    match wire::read_message::<_, wire::reply::Reply>(&mut reader) {
+                        Ok(Some(reply)) => answered.push((index, wire::reply::decode(reply))),
+                        Ok(None) => {
+                            return (
+                                answered,
+                                Err(self.classify(
+                                    addr,
+                                    started,
+                                    "stream closed with replies outstanding".to_string(),
+                                )),
+                            )
+                        }
+                        Err(e) => {
+                            return (answered, Err(self.classify(addr, started, e.to_string())))
+                        }
+                    }
+                }
+                Expected::Ping(nonce) => match wire::read_message::<_, wire::Pong>(&mut reader) {
+                    Ok(Some(wire::Pong { pong })) if pong == nonce => {}
+                    Ok(Some(wire::Pong { pong })) => {
+                        return (
+                            answered,
+                            Err(WorkerError::Disconnect {
+                                addr: addr.to_string(),
+                                cause: format!(
+                                    "heartbeat answered out of order: sent {nonce}, got {pong}"
+                                ),
+                            }),
+                        )
+                    }
+                    Ok(None) => {
+                        return (
+                            answered,
+                            Err(self.classify(
+                                addr,
+                                started,
+                                "stream closed at a heartbeat".to_string(),
+                            )),
+                        )
+                    }
+                    Err(e) => return (answered, Err(self.classify(addr, started, e.to_string()))),
+                },
+            }
+        }
+    }
+}
+
+impl Dispatcher for SocketPool {
+    fn run_specs(&self, jobs: &[JobSpec]) -> Vec<Result<Outcome, Error>> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let mut results: Vec<Option<Result<Outcome, Error>>> = vec![None; jobs.len()];
+        let mut alive = vec![true; self.addrs.len()];
+        loop {
+            let pending: Vec<usize> = (0..jobs.len()).filter(|&i| results[i].is_none()).collect();
+            if pending.is_empty() {
+                break;
+            }
+            let lanes: Vec<usize> = (0..self.addrs.len()).filter(|&w| alive[w]).collect();
+            if lanes.is_empty() {
+                // Every worker is gone; fail what's left, uniformly.
+                let err = Error::Worker(WorkerError::AllWorkersDead {
+                    pending: pending.len(),
+                });
+                for index in pending {
+                    results[index] = Some(Err(err.clone()));
+                }
+                break;
+            }
+            // Contiguous chunks over the live lanes — the same split
+            // discipline as every other backend, re-applied each round so
+            // recovery keeps the submission order intact positionally.
+            let lanes_used = lanes.len().min(pending.len());
+            let chunk = pending.len().div_ceil(lanes_used);
+            // One lane's round: (lane index, answered jobs, lane fate).
+            type LaneRound = (
+                usize,
+                Vec<(usize, Result<Outcome, Error>)>,
+                Result<(), WorkerError>,
+            );
+            let round: Vec<LaneRound> = std::thread::scope(|scope| {
+                let handles: Vec<_> = pending
+                    .chunks(chunk)
+                    .zip(&lanes)
+                    .map(|(slice, &w)| {
+                        let handle =
+                            scope.spawn(move || self.run_chunk(&self.addrs[w], slice, jobs));
+                        (w, handle)
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|(w, h)| {
+                        let (answers, fate) = h.join().expect("socket lane thread panicked");
+                        (w, answers, fate)
+                    })
+                    .collect()
+            });
+            for (w, answers, fate) in round {
+                for (index, result) in answers {
+                    results[index] = Some(result);
+                }
+                if let Err(e) = fate {
+                    alive[w] = false;
+                    eprintln!("osp: excluding worker {}: {e}", self.addrs[w]);
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every job answered or failed"))
+            .collect()
+    }
+
+    fn lanes(&self) -> usize {
+        self.addrs.len()
+    }
+
+    fn backend(&self) -> &'static str {
+        "sockets"
     }
 }
 
@@ -396,6 +850,72 @@ mod tests {
         let out = pool.run_specs(&jobs(3000));
         assert_eq!(out.len(), 3000);
         assert!(out.iter().all(|r| r.is_err()));
+    }
+
+    #[test]
+    fn retry_policy_backs_off_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_millis(300),
+        };
+        assert_eq!(policy.delay(0), Duration::from_millis(50));
+        assert_eq!(policy.delay(1), Duration::from_millis(100));
+        assert_eq!(policy.delay(2), Duration::from_millis(200));
+        // Capped from here on — including shift amounts that would
+        // overflow the factor.
+        assert_eq!(policy.delay(3), Duration::from_millis(300));
+        assert_eq!(policy.delay(31), Duration::from_millis(300));
+        assert_eq!(policy.delay(64), Duration::from_millis(300));
+        assert!(policy.should_retry(0));
+        assert!(policy.should_retry(3));
+        assert!(!policy.should_retry(4));
+        // Zero attempts behaves as one: no retries.
+        let one = RetryPolicy {
+            attempts: 0,
+            ..policy
+        };
+        assert!(!one.should_retry(0));
+    }
+
+    #[test]
+    fn socket_pool_reports_backend_and_lanes() {
+        let pool = SocketPool::new(vec![
+            WorkerAddr::Tcp("127.0.0.1:7401".into()),
+            WorkerAddr::Tcp("127.0.0.1:7402".into()),
+        ]);
+        assert_eq!(pool.backend(), "sockets");
+        assert_eq!(pool.lanes(), 2);
+        assert_eq!(pool.addrs().len(), 2);
+        assert!(pool.run_specs(&[]).is_empty());
+    }
+
+    #[test]
+    fn unreachable_fleet_fails_every_job_with_all_workers_dead() {
+        // Loopback port 1 refuses instantly; with a 1-attempt policy the
+        // whole fleet dies in round one and every job gets the typed
+        // exhaustion error.
+        let config = SocketConfig {
+            connect_timeout: Duration::from_millis(300),
+            retry: RetryPolicy {
+                attempts: 1,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(1),
+            },
+            ..SocketConfig::default()
+        };
+        let pool = SocketPool::with_config(vec![WorkerAddr::Tcp("127.0.0.1:1".into())], config);
+        let out = pool.run_specs(&jobs(3));
+        assert_eq!(out.len(), 3);
+        for r in &out {
+            assert!(
+                matches!(
+                    r,
+                    Err(Error::Worker(WorkerError::AllWorkersDead { pending: 3 }))
+                ),
+                "got {r:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The online execution engine.
 //!
-//! Five entry points:
+//! Six entry points:
 //!
 //! * [`run_source`] drives an [`OnlineAlgorithm`] over any
 //!   [`ArrivalSource`] — the primary ingestion path. Sources stream
@@ -32,6 +32,15 @@
 //!   crosses a process boundary crosses a socket unchanged. Outcomes stay
 //!   bit-identical to sequential [`run_spec`](crate::spec::run_spec) at
 //!   any lane count.
+//! * [`dispatch::SocketPool`] extends the same contract **across the
+//!   network**: a fleet of `osp-worker --listen` endpoints
+//!   (TCP/Unix-domain) spoken to over the identical frames, with
+//!   handshake, heartbeat, connect retry/backoff, read deadlines, and
+//!   chunk re-dispatch to surviving workers when one dies mid-batch —
+//!   the cluster entry point. Faults move jobs between workers but never
+//!   change results, because outcomes are pure functions of the specs
+//!   (pinned by `tests/socket_pool_conformance.rs`, including under
+//!   injected [`FaultPlan`](crate::wire::FaultPlan) kills).
 //!
 //! All paths enforce the model's rules (§2): each decision must pick at
 //! most `b(u)` distinct sets from `C(u)`. A set is **completed** iff it was

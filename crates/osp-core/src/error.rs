@@ -86,10 +86,102 @@ pub enum Error {
     /// A wire-protocol violation: truncated/oversized frame, or a payload
     /// that does not decode as the expected message.
     Protocol(String),
-    /// A worker process failed out-of-band: it could not be spawned, died
-    /// before answering, or reported a failure that only survives the
-    /// process boundary as text.
-    Worker(String),
+    /// A worker failed out-of-band — see [`WorkerError`] for the typed
+    /// failure modes (spawn, connect, handshake, timeout, disconnect,
+    /// fleet exhaustion, or a remote failure that crossed the boundary as
+    /// text).
+    Worker(WorkerError),
+}
+
+/// Typed out-of-band worker failures, shared by the process and socket
+/// dispatch backends.
+///
+/// The distinction matters operationally: a [`Connect`](Self::Connect) or
+/// [`Handshake`](Self::Handshake) failure means the worker never took any
+/// jobs (safe to exclude from the fleet immediately), a
+/// [`Timeout`](Self::Timeout) or [`Disconnect`](Self::Disconnect) means it
+/// died *mid-batch* (its unanswered jobs are re-dispatched to surviving
+/// workers by [`SocketPool`](crate::SocketPool)), and a
+/// [`Remote`](Self::Remote) is a *per-job* answer — the worker is healthy,
+/// that one job failed on it — which is final and never re-dispatched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerError {
+    /// The worker binary could not be located or its process not spawned.
+    Spawn(String),
+    /// A worker address could not be connected within the configured
+    /// timeout and retry budget.
+    Connect {
+        /// The address dialed.
+        addr: String,
+        /// Connection attempts made before giving up.
+        attempts: u32,
+        /// The last I/O failure.
+        cause: String,
+    },
+    /// The connection opened but the hello exchange failed: missing or
+    /// malformed hello frame, or a protocol-version mismatch.
+    Handshake {
+        /// The address dialed.
+        addr: String,
+        /// What went wrong.
+        cause: String,
+    },
+    /// A read deadline expired mid-conversation — the worker stalled.
+    Timeout {
+        /// The worker's address (or command, for pipe workers).
+        addr: String,
+        /// The expired deadline's description.
+        cause: String,
+    },
+    /// The byte stream died mid-batch: premature EOF, a broken pipe, or
+    /// undecodable frames where replies were expected.
+    Disconnect {
+        /// The worker's address (or command, for pipe workers).
+        addr: String,
+        /// What the stream did.
+        cause: String,
+    },
+    /// Every worker of the fleet is dead and jobs remain unanswered.
+    AllWorkersDead {
+        /// How many jobs were left undispatched.
+        pending: usize,
+    },
+    /// The job failed *on* the worker; the structured engine error only
+    /// survives the boundary as display text.
+    Remote(String),
+}
+
+impl fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerError::Spawn(why) => write!(f, "cannot start worker: {why}"),
+            WorkerError::Connect {
+                addr,
+                attempts,
+                cause,
+            } => write!(
+                f,
+                "cannot connect to {addr} after {attempts} attempt(s): {cause}"
+            ),
+            WorkerError::Handshake { addr, cause } => {
+                write!(f, "handshake with {addr} failed: {cause}")
+            }
+            WorkerError::Timeout { addr, cause } => write!(f, "worker {addr} timed out: {cause}"),
+            WorkerError::Disconnect { addr, cause } => {
+                write!(f, "worker {addr} disconnected: {cause}")
+            }
+            WorkerError::AllWorkersDead { pending } => {
+                write!(f, "every worker is dead with {pending} job(s) unanswered")
+            }
+            WorkerError::Remote(why) => write!(f, "{why}"),
+        }
+    }
+}
+
+impl From<WorkerError> for Error {
+    fn from(e: WorkerError) -> Error {
+        Error::Worker(e)
+    }
 }
 
 impl fmt::Display for Error {
@@ -141,7 +233,7 @@ impl fmt::Display for Error {
             }
             Error::InvalidSpec(why) => write!(f, "invalid spec: {why}"),
             Error::Protocol(why) => write!(f, "wire protocol error: {why}"),
-            Error::Worker(why) => write!(f, "worker process error: {why}"),
+            Error::Worker(why) => write!(f, "worker error: {why}"),
         }
     }
 }

@@ -61,12 +61,17 @@ pub use algorithm::{EngineView, OnlineAlgorithm};
 pub use engine::batch::{
     derive_seed, env_parallelism, ReplayJob, ReplayPool, ReplayScratch, SourceJob,
 };
-pub use engine::dispatch::{derived_jobs, Dispatcher, ProcessPool, SpecPool};
+pub use engine::dispatch::{
+    derived_jobs, worker_binary, Dispatcher, ProcessPool, RetryPolicy, SocketConfig, SocketPool,
+    SpecPool,
+};
 pub use engine::{
     run, run_source, run_source_with_scratch, run_with_scratch, DecisionLog, Outcome, Session,
 };
-pub use error::Error;
+pub use error::{Error, WorkerError};
 pub use ids::{ElementId, SetId};
 pub use instance::{Arrival, Arrivals, Instance, InstanceBuilder, SetMeta};
-pub use source::{ArrivalSource, InstanceSource, OwnedInstanceSource};
+pub use source::{ArrivalSource, FramedSource, InstanceSource, OwnedInstanceSource, SocketSource};
 pub use spec::{run_spec, AlgorithmSpec, CoreResolver, JobSpec, ScenarioSpec, SpecResolver};
+pub use wire::socket::{SocketServer, WorkerAddr};
+pub use wire::FaultPlan;

@@ -210,6 +210,16 @@ pub trait SpecResolver {
 
     /// Builds the arrival stream `spec` describes, seeding it with `seed`.
     fn scenario(&self, spec: &ScenarioSpec, seed: u64) -> Result<Box<dyn ArrivalSource>, Error>;
+
+    /// The wire tags of every spec variant this resolver can build —
+    /// scenario tags plus algorithm tags, as they appear in the JSON
+    /// encoding (`"uniform"`, `"rand_pr"`, …). A socket worker announces
+    /// this in its [`Hello`](crate::wire::Hello) handshake so a
+    /// dispatcher can fail fast on a fleet that cannot run its roster.
+    /// The default is empty (announce nothing).
+    fn roster(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// The core registry: resolves every spec variant defined by this crate's
@@ -288,6 +298,21 @@ impl SpecResolver for CoreResolver {
                 spec.label()
             ))),
         }
+    }
+
+    fn roster(&self) -> Vec<String> {
+        [
+            "uniform",
+            "biregular",
+            "fixed_size",
+            "rand_pr",
+            "hash_pr",
+            "greedy",
+            "random_assign",
+            "oracle",
+        ]
+        .map(String::from)
+        .to_vec()
     }
 }
 

@@ -1,0 +1,540 @@
+//! TCP / Unix-domain-socket transport for the frame protocol.
+//!
+//! Everything above the byte stream — framing, [`Hello`] handshake,
+//! [`Request`]/[`reply`](super::reply) ordering, [`FaultPlan`] semantics —
+//! lives in [`wire`](super); this module only supplies the streams:
+//!
+//! * [`WorkerAddr`] — a parsed worker address, `host:port` TCP or
+//!   `uds:/path` Unix-domain, as written in `OSP_WORKER_ADDRS` and on the
+//!   `osp-worker --listen` command line;
+//! * [`Stream`] — one connected byte stream over either transport, with
+//!   connect/read deadlines;
+//! * [`SocketServer`] — an in-process worker fleet member: an accept loop
+//!   serving [`serve_session`] per connection, used by tests and examples
+//!   (the `osp-worker --listen` binary wraps the same loop around a real
+//!   process);
+//! * [`ping`] — one full handshake + heartbeat round trip, the readiness
+//!   probe behind `osp-worker --ping` and CI fleet bring-up.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use super::{
+    read_message, serve_session, write_message, FaultPlan, Hello, Pong, Request, SessionEnd,
+    WIRE_VERSION,
+};
+use crate::error::{Error, WorkerError};
+use crate::spec::SpecResolver;
+
+/// The nonce [`ping`] sends; any fixed value works because a session's
+/// requests are answered strictly in order.
+const PING_NONCE: u64 = 0x6F73_7050; // "ospP"
+
+/// One worker's address, as written in `OSP_WORKER_ADDRS` and accepted by
+/// `osp-worker --listen`:
+///
+/// * `host:port` — TCP (e.g. `127.0.0.1:7401`; port `0` asks the OS for
+///   an ephemeral port, resolved by [`SocketServer::local_addr`]);
+/// * `uds:/path` (or `unix:/path`) — a Unix-domain socket path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerAddr {
+    /// A TCP `host:port` endpoint.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Uds(PathBuf),
+}
+
+impl WorkerAddr {
+    /// Parses one address; see the type docs for the accepted forms.
+    ///
+    /// # Errors
+    ///
+    /// A description of why the text is not an address.
+    pub fn parse(text: &str) -> Result<WorkerAddr, String> {
+        let text = text.trim();
+        if let Some(path) = text
+            .strip_prefix("uds:")
+            .or_else(|| text.strip_prefix("unix:"))
+        {
+            if path.is_empty() {
+                return Err(format!("`{text}`: empty socket path"));
+            }
+            return Ok(WorkerAddr::Uds(PathBuf::from(path)));
+        }
+        match text.rsplit_once(':') {
+            Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => {
+                Ok(WorkerAddr::Tcp(text.to_string()))
+            }
+            _ => Err(format!(
+                "`{text}`: want host:port (TCP) or uds:/path (Unix-domain)"
+            )),
+        }
+    }
+
+    /// Parses a comma-separated fleet list (`OSP_WORKER_ADDRS` syntax);
+    /// empty entries are skipped.
+    ///
+    /// # Errors
+    ///
+    /// The first unparseable entry's description.
+    pub fn parse_list(text: &str) -> Result<Vec<WorkerAddr>, String> {
+        text.split(',')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .map(WorkerAddr::parse)
+            .collect()
+    }
+}
+
+impl std::fmt::Display for WorkerAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerAddr::Tcp(hostport) => write!(f, "{hostport}"),
+            WorkerAddr::Uds(path) => write!(f, "uds:{}", path.display()),
+        }
+    }
+}
+
+/// One connected byte stream to a worker, over either transport. Created
+/// by [`Stream::connect`]; both halves of the frame conversation run over
+/// the one object (`&Stream` implements `Read` and `Write`, like the
+/// underlying `std` streams).
+#[derive(Debug)]
+pub enum Stream {
+    /// A connected TCP stream.
+    Tcp(TcpStream),
+    /// A connected Unix-domain stream.
+    Uds(UnixStream),
+}
+
+impl Stream {
+    /// Connects to `addr` within `timeout` (TCP; Unix-domain connects are
+    /// local rendezvous and use the plain blocking connect).
+    ///
+    /// # Errors
+    ///
+    /// The underlying I/O error — resolution failure, refusal, or the
+    /// deadline expiring.
+    pub fn connect(addr: &WorkerAddr, timeout: Duration) -> std::io::Result<Stream> {
+        match addr {
+            WorkerAddr::Tcp(hostport) => {
+                let resolved = hostport.to_socket_addrs()?.next().ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::AddrNotAvailable,
+                        format!("{hostport} resolved to no address"),
+                    )
+                })?;
+                TcpStream::connect_timeout(&resolved, timeout).map(Stream::Tcp)
+            }
+            WorkerAddr::Uds(path) => UnixStream::connect(path).map(Stream::Uds),
+        }
+    }
+
+    /// Sets the read deadline for subsequent frame reads (`None` blocks
+    /// forever).
+    ///
+    /// # Errors
+    ///
+    /// The underlying `setsockopt` failure.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+            Stream::Uds(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Half-closes the write side, signalling clean end-of-stream to the
+    /// worker (its [`serve_session`] returns [`SessionEnd::Eof`]).
+    pub fn shutdown_write(&self) {
+        let _ = match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+            Stream::Uds(s) => s.shutdown(std::net::Shutdown::Write),
+        };
+    }
+}
+
+macro_rules! delegate_io {
+    ($ty:ty) => {
+        impl Read for $ty {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                match self {
+                    Stream::Tcp(s) => s.read(buf),
+                    Stream::Uds(s) => s.read(buf),
+                }
+            }
+        }
+
+        impl Write for $ty {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                match self {
+                    Stream::Tcp(s) => s.write(buf),
+                    Stream::Uds(s) => s.write(buf),
+                }
+            }
+
+            fn flush(&mut self) -> std::io::Result<()> {
+                match self {
+                    Stream::Tcp(s) => s.flush(),
+                    Stream::Uds(s) => s.flush(),
+                }
+            }
+        }
+    };
+}
+
+delegate_io!(Stream);
+
+impl Read for &Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => (&*s).read(buf),
+            Stream::Uds(s) => (&*s).read(buf),
+        }
+    }
+}
+
+impl Write for &Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => (&*s).write(buf),
+            Stream::Uds(s) => (&*s).write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => (&*s).flush(),
+            Stream::Uds(s) => (&*s).flush(),
+        }
+    }
+}
+
+/// Client side of the handshake: reads the worker's [`Hello`] and checks
+/// the protocol version.
+///
+/// # Errors
+///
+/// [`WorkerError::Handshake`] if the stream closes or garbles before a
+/// hello arrives, or the worker speaks a different [`WIRE_VERSION`].
+pub fn read_hello<R: Read + ?Sized>(reader: &mut R, addr: &str) -> Result<Hello, WorkerError> {
+    let hello = match read_message::<_, Hello>(reader) {
+        Ok(Some(hello)) => hello,
+        Ok(None) => {
+            return Err(WorkerError::Handshake {
+                addr: addr.to_string(),
+                cause: "stream closed before the hello frame".to_string(),
+            })
+        }
+        Err(e) => {
+            return Err(WorkerError::Handshake {
+                addr: addr.to_string(),
+                cause: e.to_string(),
+            })
+        }
+    };
+    if hello.version != WIRE_VERSION {
+        return Err(WorkerError::Handshake {
+            addr: addr.to_string(),
+            cause: format!(
+                "protocol version mismatch: worker speaks {}, this build speaks {WIRE_VERSION}",
+                hello.version
+            ),
+        });
+    }
+    Ok(hello)
+}
+
+/// One full liveness probe: connect, handshake, one ping/pong. Returns
+/// the worker's [`Hello`] — what `osp-worker --ping` prints and what CI
+/// polls during fleet bring-up.
+///
+/// # Errors
+///
+/// [`Error::Worker`] with the typed connect/handshake/disconnect cause.
+pub fn ping(addr: &WorkerAddr, timeout: Duration) -> Result<Hello, Error> {
+    let stream = Stream::connect(addr, timeout).map_err(|e| WorkerError::Connect {
+        addr: addr.to_string(),
+        attempts: 1,
+        cause: e.to_string(),
+    })?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| WorkerError::Connect {
+            addr: addr.to_string(),
+            attempts: 1,
+            cause: format!("setting read deadline: {e}"),
+        })?;
+    let mut reader = BufReader::new(&stream);
+    let hello = read_hello(&mut reader, &addr.to_string())?;
+    let mut writer = &stream;
+    write_message(&mut writer, &Request::Ping(PING_NONCE))?;
+    match read_message::<_, Pong>(&mut reader) {
+        Ok(Some(Pong { pong })) if pong == PING_NONCE => Ok(hello),
+        Ok(Some(Pong { pong })) => Err(WorkerError::Handshake {
+            addr: addr.to_string(),
+            cause: format!("pong nonce mismatch: sent {PING_NONCE}, got {pong}"),
+        }
+        .into()),
+        Ok(None) => Err(WorkerError::Disconnect {
+            addr: addr.to_string(),
+            cause: "stream closed before the pong".to_string(),
+        }
+        .into()),
+        Err(e) => Err(WorkerError::Disconnect {
+            addr: addr.to_string(),
+            cause: e.to_string(),
+        }
+        .into()),
+    }
+}
+
+/// Either flavor of listener behind one accept call.
+enum Listener {
+    Tcp(TcpListener),
+    Uds(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+            Listener::Uds(l) => l.accept().map(|(s, _)| Stream::Uds(s)),
+        }
+    }
+}
+
+/// An in-process socket worker: a bound listener plus an accept loop
+/// serving [`serve_session`] on every connection, sharing one
+/// worker-lifetime job counter (so a [`FaultPlan`] kill is a pure
+/// function of the plan even across reconnects).
+///
+/// This is the same worker loop `osp-worker --listen` runs in a real
+/// process; the in-process form lets tests and examples stand up a whole
+/// fleet without spawning binaries. After a fault kill the server stops
+/// accepting — from the dispatcher's point of view the worker is dead,
+/// exactly like the process exiting with code 86.
+///
+/// Call [`stop`](SocketServer::stop) to shut the listener down; dropping
+/// without `stop` leaks the accept thread until process exit (harmless,
+/// but noisy under thread-leak tooling).
+pub struct SocketServer {
+    addr: WorkerAddr,
+    stop: Arc<AtomicBool>,
+    fault_killed: Arc<AtomicBool>,
+    jobs_answered: Arc<AtomicU64>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl SocketServer {
+    /// Binds `addr` and starts accepting. TCP port `0` binds an ephemeral
+    /// port; the resolved address is [`local_addr`](Self::local_addr).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkerError::Spawn`] if the address cannot be bound.
+    pub fn bind<R>(addr: &WorkerAddr, resolver: R, fault: FaultPlan) -> Result<SocketServer, Error>
+    where
+        R: SpecResolver + Send + Sync + 'static,
+    {
+        let (listener, local) = match addr {
+            WorkerAddr::Tcp(hostport) => {
+                let listener = TcpListener::bind(hostport)
+                    .map_err(|e| WorkerError::Spawn(format!("binding {hostport}: {e}")))?;
+                let local = listener.local_addr().map_err(|e| {
+                    WorkerError::Spawn(format!("resolving bound address of {hostport}: {e}"))
+                })?;
+                (Listener::Tcp(listener), WorkerAddr::Tcp(local.to_string()))
+            }
+            WorkerAddr::Uds(path) => {
+                let listener = UnixListener::bind(path).map_err(|e| {
+                    WorkerError::Spawn(format!("binding uds:{}: {e}", path.display()))
+                })?;
+                (Listener::Uds(listener), WorkerAddr::Uds(path.clone()))
+            }
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let fault_killed = Arc::new(AtomicBool::new(false));
+        let jobs_answered = Arc::new(AtomicU64::new(0));
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let fault_killed = Arc::clone(&fault_killed);
+            let jobs_answered = Arc::clone(&jobs_answered);
+            let local = local.clone();
+            let resolver = Arc::new(resolver);
+            std::thread::spawn(move || {
+                accept_loop(
+                    &listener,
+                    &local,
+                    &resolver,
+                    fault,
+                    &stop,
+                    &fault_killed,
+                    &jobs_answered,
+                );
+            })
+        };
+        Ok(SocketServer {
+            addr: local,
+            stop,
+            fault_killed,
+            jobs_answered,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The actually-bound address (the resolved port, for TCP `:0`) —
+    /// what clients dial.
+    pub fn local_addr(&self) -> &WorkerAddr {
+        &self.addr
+    }
+
+    /// Whether this worker's [`FaultPlan`] has killed it (it no longer
+    /// accepts connections).
+    pub fn fault_killed(&self) -> bool {
+        self.fault_killed.load(Ordering::SeqCst)
+    }
+
+    /// Jobs this worker has answered across all its connections.
+    pub fn jobs_answered(&self) -> u64 {
+        self.jobs_answered.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting and joins the accept loop. Connections already
+    /// being served run to their client-driven end.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // A blocked accept only wakes on a connection: poke ourselves.
+        let _ = Stream::connect(&self.addr, Duration::from_millis(200));
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        if let WorkerAddr::Uds(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn accept_loop<R>(
+    listener: &Listener,
+    local: &WorkerAddr,
+    resolver: &Arc<R>,
+    fault: FaultPlan,
+    stop: &Arc<AtomicBool>,
+    fault_killed: &Arc<AtomicBool>,
+    jobs_answered: &Arc<AtomicU64>,
+) where
+    R: SpecResolver + Send + Sync + 'static,
+{
+    loop {
+        let stream = match listener.accept() {
+            Ok(stream) => stream,
+            Err(_) => break,
+        };
+        if stop.load(Ordering::SeqCst) || fault_killed.load(Ordering::SeqCst) {
+            break;
+        }
+        let resolver = Arc::clone(resolver);
+        let stop = Arc::clone(stop);
+        let fault_killed = Arc::clone(fault_killed);
+        let jobs_answered = Arc::clone(jobs_answered);
+        let local = local.clone();
+        std::thread::spawn(move || {
+            let mut reader = BufReader::new(&stream);
+            let mut writer = BufWriter::new(&stream);
+            let end = serve_session(&*resolver, &mut reader, &mut writer, fault, &jobs_answered);
+            if matches!(end, Ok(SessionEnd::FaultKill)) && !stop.load(Ordering::SeqCst) {
+                fault_killed.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so the listener drops and
+                // further connects are refused — the worker is "dead".
+                let _ = Stream::connect(&local, Duration::from_millis(200));
+            }
+            // Dropping the stream closes the connection; a client mid-read
+            // sees EOF where a reply was expected (a Disconnect).
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CoreResolver;
+
+    #[test]
+    fn addresses_parse_and_display() {
+        assert_eq!(
+            WorkerAddr::parse("127.0.0.1:7401").unwrap(),
+            WorkerAddr::Tcp("127.0.0.1:7401".into())
+        );
+        assert_eq!(
+            WorkerAddr::parse(" uds:/tmp/w.sock ").unwrap(),
+            WorkerAddr::Uds(PathBuf::from("/tmp/w.sock"))
+        );
+        assert_eq!(
+            WorkerAddr::parse("unix:/tmp/w.sock").unwrap(),
+            WorkerAddr::Uds(PathBuf::from("/tmp/w.sock"))
+        );
+        assert!(WorkerAddr::parse("no-port").is_err());
+        assert!(WorkerAddr::parse(":7401").is_err());
+        assert!(WorkerAddr::parse("host:notaport").is_err());
+        assert!(WorkerAddr::parse("uds:").is_err());
+        let fleet =
+            WorkerAddr::parse_list("127.0.0.1:7401, 127.0.0.1:7402 ,, uds:/tmp/w.sock").unwrap();
+        assert_eq!(fleet.len(), 3);
+        assert_eq!(fleet[0].to_string(), "127.0.0.1:7401");
+        assert_eq!(fleet[2].to_string(), "uds:/tmp/w.sock");
+        assert!(WorkerAddr::parse_list("127.0.0.1:7401,garbage").is_err());
+        assert!(WorkerAddr::parse_list("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn server_answers_ping_and_stops_cleanly() {
+        let server = SocketServer::bind(
+            &WorkerAddr::Tcp("127.0.0.1:0".into()),
+            CoreResolver,
+            FaultPlan::NONE,
+        )
+        .unwrap();
+        let addr = server.local_addr().clone();
+        let hello = ping(&addr, Duration::from_secs(5)).unwrap();
+        assert_eq!(hello.version, WIRE_VERSION);
+        assert!(hello.roster.contains(&"rand_pr".to_string()));
+        assert!(!server.fault_killed());
+        assert_eq!(server.jobs_answered(), 0);
+        server.stop();
+        assert!(ping(&addr, Duration::from_millis(500)).is_err());
+    }
+
+    #[test]
+    fn uds_server_round_trips() {
+        let dir = std::env::temp_dir().join(format!("osp-uds-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("worker.sock");
+        let _ = std::fs::remove_file(&path);
+        let addr = WorkerAddr::Uds(path.clone());
+        let server = SocketServer::bind(&addr, CoreResolver, FaultPlan::NONE).unwrap();
+        assert!(ping(&addr, Duration::from_secs(5)).is_ok());
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ping_against_nothing_is_a_connect_error() {
+        // A host:port that is not listening (port 1 on loopback).
+        let err = ping(
+            &WorkerAddr::Tcp("127.0.0.1:1".into()),
+            Duration::from_millis(500),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, Error::Worker(WorkerError::Connect { .. })),
+            "got {err:?}"
+        );
+    }
+}

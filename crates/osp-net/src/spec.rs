@@ -100,6 +100,12 @@ impl SpecResolver for NetResolver {
             other => CoreResolver.scenario(other, seed),
         }
     }
+
+    fn roster(&self) -> Vec<String> {
+        let mut roster = CoreResolver.roster();
+        roster.extend(["video_trace", "tail_drop", "random_drop"].map(String::from));
+        roster
+    }
 }
 
 #[cfg(test)]

@@ -1,35 +1,137 @@
 //! `osp-worker` — the replay worker process behind
-//! [`ProcessPool`](osp_core::ProcessPool).
+//! [`ProcessPool`](osp_core::ProcessPool) and, in `--listen` mode, the
+//! fleet member behind [`SocketPool`](osp_core::SocketPool).
 //!
-//! Protocol (see [`osp_core::wire`]): the parent writes length-prefixed
-//! [`JobSpec`](osp_core::JobSpec) frames to this process's stdin; for
-//! each job the worker replays the spec through the full workspace
-//! registry ([`NetResolver`]: all five core algorithms, both router
-//! baselines, every generator family and the video-trace scenario) and
-//! answers one framed outcome on stdout, in order. A clean
-//! end-of-stream on stdin is the shutdown signal.
+//! Three modes:
+//!
+//! * **pipe worker** (no arguments, the PR 5 contract): the parent
+//!   writes length-prefixed [`JobSpec`](osp_core::JobSpec) frames to
+//!   stdin; each job is replayed through the full workspace registry
+//!   ([`NetResolver`]: all five core algorithms, both router baselines,
+//!   every generator family and the video-trace scenario) and answered
+//!   with one framed outcome on stdout, in order. Clean end-of-stream on
+//!   stdin is the shutdown signal.
+//! * **socket worker** (`--listen <addr>`): binds `addr` — `host:port`
+//!   TCP (port `0` for an OS-assigned port) or `uds:/path` — prints
+//!   `listening on <addr>` on stdout (the resolved address, for harness
+//!   scripts), and serves framed socket sessions: a
+//!   [`Hello`](osp_core::wire::Hello) handshake,
+//!   then job/ping requests. The `OSP_FAULT` environment variable loads
+//!   a deterministic [`FaultPlan`]
+//!   (`die:<n>`, `stall:<job>:<ms>`); a fault kill exits with code 86 so
+//!   harnesses can tell an injected death from a crash.
+//! * **probe** (`--ping <addr>`): one connect + handshake + heartbeat
+//!   round trip against a listening worker; exits 0 and prints the
+//!   worker's roster on success — what CI polls during fleet bring-up.
 //!
 //! ```text
 //! cargo build --release --bin osp-worker
-//! OSP_WORKERS=4 ... # the pool locates the binary next to the caller,
-//!                   # or via OSP_WORKER_BIN
+//! osp-worker --listen 127.0.0.1:7401 &
+//! osp-worker --ping 127.0.0.1:7401
+//! OSP_WORKER_ADDRS=127.0.0.1:7401 OSP_DISPATCH=socket ...
 //! ```
 //!
 //! Determinism: a job spec carries everything — scenario, algorithm,
 //! seed — so any worker anywhere produces the same outcome bit for bit
-//! (pinned by `tests/process_pool_conformance.rs`).
+//! (pinned by `tests/process_pool_conformance.rs` and
+//! `tests/socket_pool_conformance.rs`).
 
-use std::io::{stdin, stdout, BufReader, BufWriter};
+use std::io::{stdin, stdout, BufReader, BufWriter, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use osp::core::wire::serve;
+use osp::core::wire::socket::{ping, SocketServer, WorkerAddr};
+use osp::core::FaultPlan;
 use osp::net::NetResolver;
 
+/// Exit code of a worker killed by its own [`FaultPlan`] — distinct from
+/// success (0) and crash (1) so fleet harnesses can assert the kill was
+/// the injected one.
+const FAULT_EXIT: u8 = 86;
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => pipe_worker(),
+        Some("--listen") => match parse_addr(args.get(1), "--listen") {
+            Ok(addr) => socket_worker(&addr),
+            Err(code) => code,
+        },
+        Some("--ping") => match parse_addr(args.get(1), "--ping") {
+            Ok(addr) => probe(&addr),
+            Err(code) => code,
+        },
+        Some(other) => {
+            eprintln!(
+                "osp-worker: unknown argument `{other}` (want --listen <addr> or --ping <addr>)"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_addr(arg: Option<&String>, flag: &str) -> Result<WorkerAddr, ExitCode> {
+    let Some(text) = arg else {
+        eprintln!("osp-worker: {flag} needs an address (host:port or uds:/path)");
+        return Err(ExitCode::FAILURE);
+    };
+    WorkerAddr::parse(text).map_err(|e| {
+        eprintln!("osp-worker: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn pipe_worker() -> ExitCode {
     let mut reader = BufReader::new(stdin().lock());
     let mut writer = BufWriter::new(stdout().lock());
     match serve(&NetResolver, &mut reader, &mut writer) {
         Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("osp-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn socket_worker(addr: &WorkerAddr) -> ExitCode {
+    let fault = FaultPlan::from_env();
+    let server = match SocketServer::bind(addr, NetResolver, fault) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("osp-worker: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The resolved address (the OS-assigned port, for TCP `:0`), for the
+    // harness that launched us. Flushed now: scripts block on this line.
+    println!("listening on {}", server.local_addr());
+    let _ = stdout().flush();
+    // Park until the fault plan kills the worker (process death is the
+    // point of `die:<n>` — the dispatcher must see connections refused),
+    // or forever: the fleet harness owns this process's lifetime.
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        if server.fault_killed() {
+            eprintln!(
+                "osp-worker: fault plan kill after {} job(s)",
+                server.jobs_answered()
+            );
+            return ExitCode::from(FAULT_EXIT);
+        }
+    }
+}
+
+fn probe(addr: &WorkerAddr) -> ExitCode {
+    match ping(addr, Duration::from_secs(5)) {
+        Ok(hello) => {
+            println!(
+                "worker at {addr} speaks v{} ({})",
+                hello.version,
+                hello.roster.join(",")
+            );
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("osp-worker: {e}");
             ExitCode::FAILURE
