@@ -49,11 +49,74 @@ use crate::spec::{AlgorithmSpec, JobSpec, ScenarioSpec, SpecResolver};
 use crate::wire;
 use crate::wire::socket::{read_hello, Stream, WorkerAddr};
 
+/// A structured event emitted while a [`Dispatcher`] runs a work-list —
+/// what embedders (the replay service, progress UIs) observe instead of
+/// scraping stderr. Events describe the *run*, never the outcomes:
+/// results still come back only through the return value, in submission
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DispatchEvent {
+    /// A monotonic progress tick: `answered` of `total` jobs have a final
+    /// result (an outcome or a per-job error). Backends emit this at
+    /// their natural granularity — per lane for pools, per recovery round
+    /// for socket fleets — so ticks are coarse, not per-job.
+    Progress {
+        /// Jobs with a final result so far.
+        answered: usize,
+        /// Jobs in the work-list.
+        total: usize,
+    },
+    /// A fleet worker was excluded for the rest of the run (its
+    /// unanswered jobs re-dispatched to survivors). Carries the typed
+    /// cause so embedders can tell a refused connect from a mid-batch
+    /// death or a frame-order violation.
+    WorkerExcluded {
+        /// The excluded worker's address.
+        addr: String,
+        /// Why it was excluded.
+        error: WorkerError,
+    },
+}
+
+/// Where a [`Dispatcher`] run reports its [`DispatchEvent`]s. `Sync`
+/// because lanes run on scoped threads; implementations must tolerate
+/// concurrent calls.
+pub trait EventSink: Sync {
+    /// Observes one event. Must not block for long — it runs on the
+    /// dispatching thread between rounds.
+    fn event(&self, event: DispatchEvent);
+}
+
+/// The default sink: worker exclusions go to stderr (the pre-hook
+/// behavior, so plain `run_specs` callers keep their diagnostics),
+/// progress ticks are dropped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StderrSink;
+
+impl EventSink for StderrSink {
+    fn event(&self, event: DispatchEvent) {
+        if let DispatchEvent::WorkerExcluded { addr, error } = event {
+            eprintln!("osp: excluding worker {addr}: {error}");
+        }
+    }
+}
+
 /// A backend that replays [`JobSpec`] work-lists deterministically: same
 /// jobs ⇒ same outcomes, in submission order, at any lane count.
 pub trait Dispatcher {
-    /// Replays every job and returns the outcomes in job order.
-    fn run_specs(&self, jobs: &[JobSpec]) -> Vec<Result<Outcome, Error>>;
+    /// Replays every job and returns the outcomes in job order,
+    /// reporting run events (progress ticks, fleet exclusions) to `sink`.
+    fn run_specs_with_events(
+        &self,
+        jobs: &[JobSpec],
+        sink: &dyn EventSink,
+    ) -> Vec<Result<Outcome, Error>>;
+
+    /// Replays every job and returns the outcomes in job order, with
+    /// events going to the default [`StderrSink`].
+    fn run_specs(&self, jobs: &[JobSpec]) -> Vec<Result<Outcome, Error>> {
+        self.run_specs_with_events(jobs, &StderrSink)
+    }
 
     /// Number of parallel lanes (thread shards or worker processes).
     fn lanes(&self) -> usize;
@@ -115,8 +178,19 @@ impl<R: SpecResolver + Sync> SpecPool<R> {
 }
 
 impl<R: SpecResolver + Sync> Dispatcher for SpecPool<R> {
-    fn run_specs(&self, jobs: &[JobSpec]) -> Vec<Result<Outcome, Error>> {
-        self.pool.run_specs(jobs, &self.resolver)
+    fn run_specs_with_events(
+        &self,
+        jobs: &[JobSpec],
+        sink: &dyn EventSink,
+    ) -> Vec<Result<Outcome, Error>> {
+        let results = self.pool.run_specs(jobs, &self.resolver);
+        // The thread pool blocks until every shard is done, so one final
+        // tick is this backend's natural granularity.
+        sink.event(DispatchEvent::Progress {
+            answered: results.len(),
+            total: jobs.len(),
+        });
+        results
     }
 
     fn lanes(&self) -> usize {
@@ -322,7 +396,11 @@ impl ProcessPool {
 }
 
 impl Dispatcher for ProcessPool {
-    fn run_specs(&self, jobs: &[JobSpec]) -> Vec<Result<Outcome, Error>> {
+    fn run_specs_with_events(
+        &self,
+        jobs: &[JobSpec],
+        sink: &dyn EventSink,
+    ) -> Vec<Result<Outcome, Error>> {
         if jobs.is_empty() {
             return Vec::new();
         }
@@ -331,7 +409,12 @@ impl Dispatcher for ProcessPool {
         let lanes = self.workers.min(jobs.len());
         let chunk = jobs.len().div_ceil(lanes);
         if lanes == 1 {
-            return self.run_chunk(jobs);
+            let results = self.run_chunk(jobs);
+            sink.event(DispatchEvent::Progress {
+                answered: results.len(),
+                total: jobs.len(),
+            });
+            return results;
         }
         let mut results: Vec<Result<Outcome, Error>> = Vec::with_capacity(jobs.len());
         std::thread::scope(|scope| {
@@ -341,6 +424,10 @@ impl Dispatcher for ProcessPool {
                 .collect();
             for handle in handles {
                 results.extend(handle.join().expect("worker lane thread panicked"));
+                sink.event(DispatchEvent::Progress {
+                    answered: results.len(),
+                    total: jobs.len(),
+                });
             }
         });
         results
@@ -653,28 +740,30 @@ impl SocketPool {
                 return (answered, Ok(()));
             };
             let started = Instant::now();
-            match next {
-                Expected::Job(index) => {
-                    match wire::read_message::<_, wire::reply::Reply>(&mut reader) {
-                        Ok(Some(reply)) => answered.push((index, wire::reply::decode(reply))),
-                        Ok(None) => {
-                            return (
-                                answered,
-                                Err(self.classify(
-                                    addr,
-                                    started,
-                                    "stream closed with replies outstanding".to_string(),
-                                )),
-                            )
-                        }
-                        Err(e) => {
-                            return (answered, Err(self.classify(addr, started, e.to_string())))
-                        }
-                    }
+            // Read whichever frame the worker sent, then check it against
+            // the order: a frame that *decodes* but is the wrong type is a
+            // typed FrameOrder violation, not a generic decode failure —
+            // the worker is answering out of order, the stream is fine.
+            let frame = match wire::read_message::<_, wire::ServerFrame>(&mut reader) {
+                Ok(Some(frame)) => frame,
+                Ok(None) => {
+                    let cause = match next {
+                        Expected::Job(_) => "stream closed with replies outstanding",
+                        Expected::Ping(_) => "stream closed at a heartbeat",
+                    };
+                    return (
+                        answered,
+                        Err(self.classify(addr, started, cause.to_string())),
+                    );
                 }
-                Expected::Ping(nonce) => match wire::read_message::<_, wire::Pong>(&mut reader) {
-                    Ok(Some(wire::Pong { pong })) if pong == nonce => {}
-                    Ok(Some(wire::Pong { pong })) => {
+                Err(e) => return (answered, Err(self.classify(addr, started, e.to_string()))),
+            };
+            match (next, frame) {
+                (Expected::Job(index), wire::ServerFrame::Reply(reply)) => {
+                    answered.push((index, wire::reply::decode(reply)));
+                }
+                (Expected::Ping(nonce), wire::ServerFrame::Pong(wire::Pong { pong })) => {
+                    if pong != nonce {
                         return (
                             answered,
                             Err(WorkerError::Disconnect {
@@ -683,27 +772,34 @@ impl SocketPool {
                                     "heartbeat answered out of order: sent {nonce}, got {pong}"
                                 ),
                             }),
-                        )
+                        );
                     }
-                    Ok(None) => {
-                        return (
-                            answered,
-                            Err(self.classify(
-                                addr,
-                                started,
-                                "stream closed at a heartbeat".to_string(),
-                            )),
-                        )
-                    }
-                    Err(e) => return (answered, Err(self.classify(addr, started, e.to_string()))),
-                },
+                }
+                (expected, got) => {
+                    let expected = match expected {
+                        Expected::Job(_) => "job reply",
+                        Expected::Ping(_) => "pong",
+                    };
+                    return (
+                        answered,
+                        Err(WorkerError::FrameOrder {
+                            addr: addr.to_string(),
+                            expected,
+                            got: got.kind(),
+                        }),
+                    );
+                }
             }
         }
     }
 }
 
 impl Dispatcher for SocketPool {
-    fn run_specs(&self, jobs: &[JobSpec]) -> Vec<Result<Outcome, Error>> {
+    fn run_specs_with_events(
+        &self,
+        jobs: &[JobSpec],
+        sink: &dyn EventSink,
+    ) -> Vec<Result<Outcome, Error>> {
         if jobs.is_empty() {
             return Vec::new();
         }
@@ -760,9 +856,16 @@ impl Dispatcher for SocketPool {
                 }
                 if let Err(e) = fate {
                     alive[w] = false;
-                    eprintln!("osp: excluding worker {}: {e}", self.addrs[w]);
+                    sink.event(DispatchEvent::WorkerExcluded {
+                        addr: self.addrs[w].to_string(),
+                        error: e,
+                    });
                 }
             }
+            sink.event(DispatchEvent::Progress {
+                answered: results.iter().filter(|r| r.is_some()).count(),
+                total: jobs.len(),
+            });
         }
         results
             .into_iter()

@@ -1,6 +1,6 @@
 //! The online execution engine.
 //!
-//! Six entry points:
+//! Seven entry points:
 //!
 //! * [`run_source`] drives an [`OnlineAlgorithm`] over any
 //!   [`ArrivalSource`] — the primary ingestion path. Sources stream
@@ -41,6 +41,18 @@
 //!   change results, because outcomes are pure functions of the specs
 //!   (pinned by `tests/socket_pool_conformance.rs`, including under
 //!   injected [`FaultPlan`](crate::wire::FaultPlan) kills).
+//! * [`serve`](crate::serve) hosts any [`dispatch::Dispatcher`] behind a
+//!   long-running front door: [`ReplayService`](crate::serve::ReplayService)
+//!   executes submitted batches from a bounded queue on a background
+//!   executor with a content-addressed results cache, and
+//!   [`ServeServer`](crate::serve::ServeServer) /
+//!   [`ServeClient`](crate::serve::ServeClient) put the
+//!   submit → status → fetch → cancel flow on the same framed wire the
+//!   workers speak (`osp-serve --listen`) — the service entry point.
+//!   Served outcomes stay bit-identical to sequential
+//!   [`run_spec`](crate::spec::run_spec) whatever backend executes them
+//!   (pinned by `tests/replay_service.rs`, including across a
+//!   fault-injected fleet and cache resubmission).
 //!
 //! All paths enforce the model's rules (§2): each decision must pick at
 //! most `b(u)` distinct sets from `C(u)`. A set is **completed** iff it was

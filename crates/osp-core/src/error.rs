@@ -86,6 +86,10 @@ pub enum Error {
     /// A wire-protocol violation: truncated/oversized frame, or a payload
     /// that does not decode as the expected message.
     Protocol(String),
+    /// The service cannot take the work right now: the replay server's
+    /// submission queue is full or it is shutting down. Callers should
+    /// back off and resubmit — nothing was enqueued.
+    Unavailable(String),
     /// A worker failed out-of-band — see [`WorkerError`] for the typed
     /// failure modes (spawn, connect, handshake, timeout, disconnect,
     /// fleet exhaustion, or a remote failure that crossed the boundary as
@@ -141,6 +145,19 @@ pub enum WorkerError {
         /// What the stream did.
         cause: String,
     },
+    /// The worker answered with the wrong frame type for the strict
+    /// request/reply order — a job reply where a pong was due, or vice
+    /// versa. Distinct from [`Disconnect`](Self::Disconnect): the frame
+    /// *decoded*, it just was not the one owed next, which points at a
+    /// worker answering out of order rather than a corrupted stream.
+    FrameOrder {
+        /// The worker's address.
+        addr: String,
+        /// The frame type the protocol owed next (e.g. `"pong"`).
+        expected: &'static str,
+        /// The frame type actually received (e.g. `"job reply"`).
+        got: &'static str,
+    },
     /// Every worker of the fleet is dead and jobs remain unanswered.
     AllWorkersDead {
         /// How many jobs were left undispatched.
@@ -170,6 +187,14 @@ impl fmt::Display for WorkerError {
             WorkerError::Disconnect { addr, cause } => {
                 write!(f, "worker {addr} disconnected: {cause}")
             }
+            WorkerError::FrameOrder {
+                addr,
+                expected,
+                got,
+            } => write!(
+                f,
+                "worker {addr} answered out of order: expected a {expected}, got a {got}"
+            ),
             WorkerError::AllWorkersDead { pending } => {
                 write!(f, "every worker is dead with {pending} job(s) unanswered")
             }
@@ -233,6 +258,7 @@ impl fmt::Display for Error {
             }
             Error::InvalidSpec(why) => write!(f, "invalid spec: {why}"),
             Error::Protocol(why) => write!(f, "wire protocol error: {why}"),
+            Error::Unavailable(why) => write!(f, "service unavailable: {why}"),
             Error::Worker(why) => write!(f, "worker error: {why}"),
         }
     }

@@ -52,6 +52,7 @@ mod ids;
 mod instance;
 pub mod prelude;
 pub mod priority;
+pub mod serve;
 pub mod source;
 pub mod spec;
 pub mod stats;
@@ -62,8 +63,8 @@ pub use engine::batch::{
     derive_seed, env_parallelism, ReplayJob, ReplayPool, ReplayScratch, SourceJob,
 };
 pub use engine::dispatch::{
-    derived_jobs, worker_binary, Dispatcher, ProcessPool, RetryPolicy, SocketConfig, SocketPool,
-    SpecPool,
+    derived_jobs, worker_binary, DispatchEvent, Dispatcher, EventSink, ProcessPool, RetryPolicy,
+    SocketConfig, SocketPool, SpecPool, StderrSink,
 };
 pub use engine::{
     run, run_source, run_source_with_scratch, run_with_scratch, DecisionLog, Outcome, Session,
@@ -71,6 +72,9 @@ pub use engine::{
 pub use error::{Error, WorkerError};
 pub use ids::{ElementId, SetId};
 pub use instance::{Arrival, Arrivals, Instance, InstanceBuilder, SetMeta};
+pub use serve::{
+    job_digest, BatchStatus, JobResult, ReplayService, ServeClient, ServeServer, ServiceConfig,
+};
 pub use source::{ArrivalSource, FramedSource, InstanceSource, OwnedInstanceSource, SocketSource};
 pub use spec::{run_spec, AlgorithmSpec, CoreResolver, JobSpec, ScenarioSpec, SpecResolver};
 pub use wire::socket::{SocketServer, WorkerAddr};

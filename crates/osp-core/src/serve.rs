@@ -1,0 +1,1227 @@
+//! Replay as a service: a long-running front door over any
+//! [`Dispatcher`] backend.
+//!
+//! The engine so far is batch-invoked — somebody builds a job list, calls
+//! [`run_specs`](Dispatcher::run_specs), and waits. This module adds the
+//! contract a service-scale deployment needs: **accept work, track it,
+//! answer callers over time**. Three layers, all in this file:
+//!
+//! * [`ReplayService`] — the embeddable core: a background executor
+//!   thread draining a **bounded submission queue** of batches onto one
+//!   `Dispatcher` (threads, processes, or a socket fleet — the service
+//!   does not care), plus a **content-addressed results cache** keyed by
+//!   the digest of each job's canonical JSON ([`job_digest`]): a
+//!   resubmitted spec is answered without recompute, and the hit/miss
+//!   counters are surfaced in every [`BatchStatus`];
+//! * [`ServeServer`] — the wire front door: a [`WorkerAddr`] listener
+//!   (TCP or Unix-domain, the same transports as the worker fleet)
+//!   answering framed [`ServeRequest`]s — submit, status, fetch, cancel,
+//!   shutdown — against an embedded `ReplayService`, one thread per
+//!   connection, strict request/reply;
+//! * [`ServeClient`] — the caller side: connect + [`Hello`] check, then
+//!   typed submit/status/fetch/cancel calls and a polling
+//!   [`wait`](ServeClient::wait) helper.
+//!
+//! Determinism is inherited wholesale: outcomes are pure functions of the
+//! [`JobSpec`], so a batch fetched from the service is bit-identical to a
+//! sequential [`run_spec`](crate::spec::run_spec) loop over the same
+//! specs — whatever backend executes it, and whether or not the cache
+//! answered (pinned by `tests/replay_service.rs` across all three
+//! backends, including a fault-injected socket fleet).
+//!
+//! ```no_run
+//! use osp_core::serve::{ReplayService, ServeServer, ServeClient, ServiceConfig};
+//! use osp_core::spec::{AlgorithmSpec, CoreResolver, JobSpec, ScenarioSpec};
+//! use osp_core::gen::RandomInstanceConfig;
+//! use osp_core::wire::socket::WorkerAddr;
+//! use osp_core::{derived_jobs, ReplayPool, SpecPool};
+//! use std::time::Duration;
+//!
+//! let jobs = derived_jobs(
+//!     &ScenarioSpec::Uniform(RandomInstanceConfig::unweighted(24, 60, 3)),
+//!     &AlgorithmSpec::RandPr,
+//!     7,
+//!     4,
+//! );
+//! let service = ReplayService::new(
+//!     Box::new(SpecPool::new(ReplayPool::new(2), CoreResolver)),
+//!     ServiceConfig::default(),
+//! );
+//! let server = ServeServer::bind(&WorkerAddr::Tcp("127.0.0.1:0".into()), service)?;
+//! let mut client = ServeClient::connect(server.local_addr(), Duration::from_secs(5))?;
+//! let batch = client.submit(&jobs)?;
+//! let status = client.wait(batch, Duration::from_millis(20), Duration::from_secs(60))?;
+//! let results = client.fetch(batch)?;
+//! # Ok::<(), osp_core::Error>(())
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::dispatch::{DispatchEvent, Dispatcher, EventSink};
+use crate::engine::Outcome;
+use crate::error::{Error, WorkerError};
+use crate::spec::JobSpec;
+use crate::wire;
+use crate::wire::socket::{read_hello, Listener, Stream, WorkerAddr};
+use crate::wire::Hello;
+
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// The standard FNV-1a offset basis — first lane of the digest.
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+/// A second, independent basis — second lane, so a single-lane collision
+/// does not alias two different specs in the cache.
+const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+
+fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Content address of a job: a two-lane FNV-1a digest over the spec's
+/// canonical JSON. Canonical because the crate's serializer emits map
+/// keys in declaration order — the same spec always renders to the same
+/// bytes, so equal specs collide (the point of the cache) and different
+/// specs would need a simultaneous 128-bit collision to alias.
+///
+/// # Errors
+///
+/// [`Error::Protocol`] if the spec does not serialize (cannot happen for
+/// well-formed specs; surfaced rather than swallowed).
+pub fn job_digest(job: &JobSpec) -> Result<(u64, u64), Error> {
+    let json = serde_json::to_string(job)
+        .map_err(|e| Error::Protocol(format!("digesting job spec: {e}")))?;
+    let bytes = json.as_bytes();
+    Ok((fnv1a(bytes, FNV_OFFSET_A), fnv1a(bytes, FNV_OFFSET_B)))
+}
+
+/// Tuning for a [`ReplayService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Batches the submission queue holds before [`ReplayService::submit`]
+    /// answers [`Error::Unavailable`] (zero is treated as one). Bounded by
+    /// design: back-pressure belongs at the front door, not in an
+    /// unbounded queue that hides overload until memory runs out.
+    pub queue_capacity: usize,
+    /// Jobs per dispatcher call inside one batch (zero is treated as
+    /// one). Smaller chunks mean finer-grained progress in
+    /// [`BatchStatus`] and faster cancel response; larger chunks amortize
+    /// per-call overhead.
+    pub chunk: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 64,
+            chunk: 16,
+        }
+    }
+}
+
+/// Lifecycle of one submitted batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BatchState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+}
+
+impl BatchState {
+    fn as_str(self) -> &'static str {
+        match self {
+            BatchState::Queued => "queued",
+            BatchState::Running => "running",
+            BatchState::Done => "done",
+            BatchState::Failed => "failed",
+            BatchState::Cancelled => "cancelled",
+        }
+    }
+
+    fn terminal(self) -> bool {
+        matches!(
+            self,
+            BatchState::Done | BatchState::Failed | BatchState::Cancelled
+        )
+    }
+}
+
+/// One job's result as held by the service and answered by `Fetch` —
+/// incremental, so a batch can be fetched while still running.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobResult {
+    /// Not answered yet (or never will be, if the batch was cancelled).
+    Pending,
+    /// The outcome, bit-identical to sequential
+    /// [`run_spec`](crate::spec::run_spec).
+    Ok(Outcome),
+    /// The per-job failure, as display text (like
+    /// [`reply`](crate::wire::reply) across the worker boundary).
+    Err(String),
+}
+
+impl Serialize for JobResult {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            JobResult::Pending => {
+                serde::Value::Map(vec![("pending".to_string(), serde::Value::Bool(true))])
+            }
+            JobResult::Ok(outcome) => {
+                serde::Value::Map(vec![("ok".to_string(), outcome.to_value())])
+            }
+            JobResult::Err(err) => {
+                serde::Value::Map(vec![("err".to_string(), serde::Value::Str(err.clone()))])
+            }
+        }
+    }
+}
+
+impl Deserialize for JobResult {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        if let Ok(ok) = serde::get_field(value, "ok") {
+            return Ok(JobResult::Ok(Outcome::from_value(ok)?));
+        }
+        if let Ok(err) = serde::get_field(value, "err") {
+            return Ok(JobResult::Err(String::from_value(err)?));
+        }
+        bool::from_value(serde::get_field(value, "pending")?)?;
+        Ok(JobResult::Pending)
+    }
+}
+
+/// A point-in-time report on one batch, plus the service-lifetime cache
+/// counters — the `Status` answer.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BatchStatus {
+    /// The batch id.
+    pub id: u64,
+    /// `queued` / `running` / `done` / `failed` / `cancelled`. `failed`
+    /// means the batch finished with at least one per-job error; the
+    /// other jobs' outcomes are still valid and fetchable.
+    pub state: String,
+    /// Jobs in the batch.
+    pub total: u64,
+    /// Jobs with a final result so far (outcomes and per-job errors).
+    pub answered: u64,
+    /// Jobs whose final result is an error.
+    pub failed: u64,
+    /// Jobs of *this batch* answered from the results cache.
+    pub cached: u64,
+    /// Per-job progress, in submission order: `pending` / `done` /
+    /// `cached` / `failed` / `cancelled`.
+    pub jobs: Vec<String>,
+    /// Service-lifetime cache hits.
+    pub cache_hits: u64,
+    /// Service-lifetime cache misses.
+    pub cache_misses: u64,
+    /// Fleet workers excluded during dispatch since the service started
+    /// (`addr: cause`, most recent last; socket backend only).
+    pub excluded: Vec<String>,
+}
+
+/// One batch as the service tracks it.
+struct BatchRecord {
+    jobs: Vec<JobSpec>,
+    /// One slot per job, submission order; `None` is pending.
+    results: Vec<Option<Result<Outcome, String>>>,
+    /// Parallel to `results`: answered from the cache.
+    from_cache: Vec<bool>,
+    state: BatchState,
+    /// Set by [`ReplayService::cancel`]; the executor honors it between
+    /// chunks.
+    cancel: bool,
+}
+
+impl BatchRecord {
+    fn status(&self, id: u64, shared: &ServiceState) -> BatchStatus {
+        let answered = self.results.iter().filter(|r| r.is_some()).count() as u64;
+        let failed = self
+            .results
+            .iter()
+            .filter(|r| matches!(r, Some(Err(_))))
+            .count() as u64;
+        let cached = self.from_cache.iter().filter(|&&c| c).count() as u64;
+        let jobs = self
+            .results
+            .iter()
+            .zip(&self.from_cache)
+            .map(|(result, &from_cache)| {
+                match result {
+                    Some(Ok(_)) if from_cache => "cached",
+                    Some(Ok(_)) => "done",
+                    Some(Err(_)) => "failed",
+                    None if self.state == BatchState::Cancelled => "cancelled",
+                    None => "pending",
+                }
+                .to_string()
+            })
+            .collect();
+        BatchStatus {
+            id,
+            state: self.state.as_str().to_string(),
+            total: self.jobs.len() as u64,
+            answered,
+            failed,
+            cached,
+            jobs,
+            cache_hits: shared.cache_hits,
+            cache_misses: shared.cache_misses,
+            excluded: shared.excluded.clone(),
+        }
+    }
+}
+
+/// Everything behind the service mutex.
+struct ServiceState {
+    batches: HashMap<u64, BatchRecord>,
+    /// Content-addressed results: [`job_digest`] → outcome. Only
+    /// successes are cached — errors may be transient (a dead fleet) and
+    /// must re-execute on resubmit.
+    cache: HashMap<(u64, u64), Outcome>,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Excluded-worker log (`addr: cause`), capped at
+    /// [`EXCLUDED_LOG_CAP`] most recent entries.
+    excluded: Vec<String>,
+}
+
+/// Most recent worker exclusions kept for [`BatchStatus::excluded`].
+const EXCLUDED_LOG_CAP: usize = 32;
+
+/// The dispatch event sink the executor runs under: worker exclusions
+/// are recorded as structured fleet-health state (and echoed to stderr,
+/// keeping the pre-service diagnostics); progress ticks are dropped —
+/// per-chunk accounting in the batch records is already finer.
+struct ServiceSink {
+    state: Arc<Mutex<ServiceState>>,
+}
+
+impl EventSink for ServiceSink {
+    fn event(&self, event: DispatchEvent) {
+        if let DispatchEvent::WorkerExcluded { addr, error } = event {
+            eprintln!("osp: excluding worker {addr}: {error}");
+            let mut state = self.state.lock().expect("service state poisoned");
+            if state.excluded.len() >= EXCLUDED_LOG_CAP {
+                state.excluded.remove(0);
+            }
+            state.excluded.push(format!("{addr}: {error}"));
+        }
+    }
+}
+
+/// The embeddable replay service: one executor thread, one bounded
+/// submission queue, one results cache, any [`Dispatcher`] backend. See
+/// the [module docs](self) for the full contract.
+pub struct ReplayService {
+    state: Arc<Mutex<ServiceState>>,
+    /// `None` after [`shutdown`](Self::shutdown); dropping the sender is
+    /// the executor's stop signal.
+    sender: Mutex<Option<SyncSender<u64>>>,
+    executor: Mutex<Option<JoinHandle<()>>>,
+    next_id: AtomicU64,
+    backend: &'static str,
+    lanes: usize,
+}
+
+impl ReplayService {
+    /// Starts the service: spawns the executor thread owning
+    /// `dispatcher`.
+    pub fn new(dispatcher: Box<dyn Dispatcher + Send>, config: ServiceConfig) -> ReplayService {
+        let backend = dispatcher.backend();
+        let lanes = dispatcher.lanes();
+        let state = Arc::new(Mutex::new(ServiceState {
+            batches: HashMap::new(),
+            cache: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            excluded: Vec::new(),
+        }));
+        let (sender, receiver) = std::sync::mpsc::sync_channel(config.queue_capacity.max(1));
+        let executor = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || executor_loop(&state, &receiver, &*dispatcher, config))
+        };
+        ReplayService {
+            state,
+            sender: Mutex::new(Some(sender)),
+            executor: Mutex::new(Some(executor)),
+            next_id: AtomicU64::new(1),
+            backend,
+            lanes,
+        }
+    }
+
+    /// The executing backend's tag (`"threads"` / `"processes"` /
+    /// `"sockets"`).
+    pub fn backend(&self) -> &'static str {
+        self.backend
+    }
+
+    /// The executing backend's lane count.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Submits a batch; returns its id immediately (the batch runs in the
+    /// background — poll [`status`](Self::status), then
+    /// [`fetch`](Self::fetch)).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unavailable`] when the submission queue is full or the
+    /// service is shutting down; nothing was enqueued and the id was not
+    /// consumed durably — resubmit later.
+    pub fn submit(&self, jobs: Vec<JobSpec>) -> Result<u64, Error> {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut state = self.state.lock().expect("service state poisoned");
+            let total = jobs.len();
+            state.batches.insert(
+                id,
+                BatchRecord {
+                    jobs,
+                    results: vec![None; total],
+                    from_cache: vec![false; total],
+                    state: BatchState::Queued,
+                    cancel: false,
+                },
+            );
+        }
+        let sender = self.sender.lock().expect("service sender poisoned");
+        let enqueue = match sender.as_ref() {
+            Some(sender) => sender.try_send(id),
+            None => Err(TrySendError::Disconnected(id)),
+        };
+        if let Err(e) = enqueue {
+            let mut state = self.state.lock().expect("service state poisoned");
+            state.batches.remove(&id);
+            return Err(Error::Unavailable(match e {
+                TrySendError::Full(_) => "submission queue is full — resubmit later".to_string(),
+                TrySendError::Disconnected(_) => "service is shutting down".to_string(),
+            }));
+        }
+        Ok(id)
+    }
+
+    /// A point-in-time report on batch `id`; `None` for an unknown id.
+    pub fn status(&self, id: u64) -> Option<BatchStatus> {
+        let state = self.state.lock().expect("service state poisoned");
+        state.batches.get(&id).map(|r| r.status(id, &state))
+    }
+
+    /// The batch's per-job results so far, in submission order ([`Fetch`
+    /// is incremental](JobResult::Pending)); `None` for an unknown id.
+    pub fn fetch(&self, id: u64) -> Option<Vec<JobResult>> {
+        let state = self.state.lock().expect("service state poisoned");
+        state.batches.get(&id).map(|record| {
+            record
+                .results
+                .iter()
+                .map(|slot| match slot {
+                    None => JobResult::Pending,
+                    Some(Ok(outcome)) => JobResult::Ok(outcome.clone()),
+                    Some(Err(e)) => JobResult::Err(e.clone()),
+                })
+                .collect()
+        })
+    }
+
+    /// Requests cancellation of batch `id`. Returns whether the request
+    /// took hold — `false` for an unknown id or a batch already in a
+    /// terminal state. A queued batch cancels before running anything; a
+    /// running batch stops at the next chunk boundary (answers already
+    /// computed stay fetchable).
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut state = self.state.lock().expect("service state poisoned");
+        match state.batches.get_mut(&id) {
+            Some(record) if !record.state.terminal() => {
+                record.cancel = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Stops the service: no further submissions are accepted, the
+    /// executor finishes its current batch, and queued-but-unstarted
+    /// batches are marked `cancelled`. Idempotent; blocks until the
+    /// executor has exited.
+    pub fn shutdown(&self) {
+        // Dropping the sender disconnects the channel: the executor
+        // drains what is already queued (cancel flags still honored) and
+        // exits.
+        drop(self.sender.lock().expect("service sender poisoned").take());
+        if let Some(handle) = self
+            .executor
+            .lock()
+            .expect("service executor poisoned")
+            .take()
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ReplayService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The executor: drains batch ids off the queue, runs each through the
+/// dispatcher chunk by chunk with a cache pass first, and finalizes the
+/// record. Runs until the submission channel disconnects.
+fn executor_loop(
+    state: &Arc<Mutex<ServiceState>>,
+    receiver: &Receiver<u64>,
+    dispatcher: &(dyn Dispatcher + Send),
+    config: ServiceConfig,
+) {
+    let sink = ServiceSink {
+        state: Arc::clone(state),
+    };
+    let chunk = config.chunk.max(1);
+    while let Ok(id) = receiver.recv() {
+        // Claim the batch: cancelled-while-queued short-circuits here.
+        let jobs = {
+            let mut guard = state.lock().expect("service state poisoned");
+            let Some(record) = guard.batches.get_mut(&id) else {
+                continue; // submit() rolled it back
+            };
+            if record.cancel {
+                record.state = BatchState::Cancelled;
+                continue;
+            }
+            record.state = BatchState::Running;
+            record.jobs.clone()
+        };
+
+        // Cache pass: answer every hit up front, then dispatch only the
+        // misses. Digests computed outside the lock; it is pure CPU.
+        let digests: Vec<Option<(u64, u64)>> =
+            jobs.iter().map(|job| job_digest(job).ok()).collect();
+        let uncached: Vec<usize> = {
+            let mut guard = state.lock().expect("service state poisoned");
+            let mut uncached = Vec::new();
+            for (index, digest) in digests.iter().enumerate() {
+                let hit = digest.and_then(|d| guard.cache.get(&d).cloned());
+                match hit {
+                    Some(outcome) => {
+                        guard.cache_hits += 1;
+                        let record = guard.batches.get_mut(&id).expect("running batch exists");
+                        record.results[index] = Some(Ok(outcome));
+                        record.from_cache[index] = true;
+                    }
+                    None => {
+                        guard.cache_misses += 1;
+                        uncached.push(index);
+                    }
+                }
+            }
+            uncached
+        };
+
+        let mut cancelled = false;
+        for slice in uncached.chunks(chunk) {
+            if state
+                .lock()
+                .expect("service state poisoned")
+                .batches
+                .get(&id)
+                .is_some_and(|r| r.cancel)
+            {
+                cancelled = true;
+                break;
+            }
+            let specs: Vec<JobSpec> = slice.iter().map(|&i| jobs[i].clone()).collect();
+            let outcomes = dispatcher.run_specs_with_events(&specs, &sink);
+            let mut guard = state.lock().expect("service state poisoned");
+            for (&index, result) in slice.iter().zip(outcomes) {
+                if let (Ok(outcome), Some(digest)) = (&result, digests[index]) {
+                    guard.cache.insert(digest, outcome.clone());
+                }
+                let record = guard.batches.get_mut(&id).expect("running batch exists");
+                record.results[index] = Some(result.map_err(|e| e.to_string()));
+            }
+        }
+
+        let mut guard = state.lock().expect("service state poisoned");
+        let record = guard.batches.get_mut(&id).expect("running batch exists");
+        record.state = if cancelled || record.cancel {
+            BatchState::Cancelled
+        } else if record.results.iter().any(|r| matches!(r, Some(Err(_)))) {
+            BatchState::Failed
+        } else {
+            BatchState::Done
+        };
+    }
+    // Channel disconnected: whatever never started is cancelled, so
+    // late status calls see a terminal state instead of `queued` forever.
+    let mut guard = state.lock().expect("service state poisoned");
+    for record in guard.batches.values_mut() {
+        if record.state == BatchState::Queued {
+            record.state = BatchState::Cancelled;
+        }
+    }
+}
+
+/// One client → service message. Same tagged-map wire idiom as
+/// [`wire::Request`]: the single key names the verb.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeRequest {
+    /// Submit a batch; answered with [`ServeReply::Batch`] (or
+    /// [`ServeReply::Busy`] under back-pressure).
+    Submit(Vec<JobSpec>),
+    /// Report on a batch; answered with [`ServeReply::Report`].
+    Status(u64),
+    /// The batch's results so far; answered with [`ServeReply::Results`].
+    Fetch(u64),
+    /// Cancel a batch; answered with [`ServeReply::Cancelled`].
+    Cancel(u64),
+    /// Stop the whole server; answered with [`ServeReply::Bye`].
+    Shutdown,
+}
+
+impl Serialize for ServeRequest {
+    fn to_value(&self) -> serde::Value {
+        let (key, value) = match self {
+            ServeRequest::Submit(jobs) => ("submit", jobs.to_value()),
+            ServeRequest::Status(id) => ("status", serde::Value::U64(*id)),
+            ServeRequest::Fetch(id) => ("fetch", serde::Value::U64(*id)),
+            ServeRequest::Cancel(id) => ("cancel", serde::Value::U64(*id)),
+            ServeRequest::Shutdown => ("shutdown", serde::Value::Bool(true)),
+        };
+        serde::Value::Map(vec![(key.to_string(), value)])
+    }
+}
+
+impl Deserialize for ServeRequest {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        if let Ok(jobs) = serde::get_field(value, "submit") {
+            return Ok(ServeRequest::Submit(Vec::<JobSpec>::from_value(jobs)?));
+        }
+        if let Ok(id) = serde::get_field(value, "status") {
+            return Ok(ServeRequest::Status(u64::from_value(id)?));
+        }
+        if let Ok(id) = serde::get_field(value, "fetch") {
+            return Ok(ServeRequest::Fetch(u64::from_value(id)?));
+        }
+        if let Ok(id) = serde::get_field(value, "cancel") {
+            return Ok(ServeRequest::Cancel(u64::from_value(id)?));
+        }
+        bool::from_value(serde::get_field(value, "shutdown")?)?;
+        Ok(ServeRequest::Shutdown)
+    }
+}
+
+/// One service → client answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeReply {
+    /// The submitted batch's id.
+    Batch(u64),
+    /// The status report.
+    Report(BatchStatus),
+    /// Per-job results so far, submission order.
+    Results(Vec<JobResult>),
+    /// Whether the cancel request took hold.
+    Cancelled(bool),
+    /// Acknowledges [`ServeRequest::Shutdown`].
+    Bye,
+    /// Back-pressure: queue full or shutting down; resubmit later.
+    Busy(String),
+    /// The request could not be served (e.g. an unknown batch id).
+    Error(String),
+}
+
+impl Serialize for ServeReply {
+    fn to_value(&self) -> serde::Value {
+        let (key, value) = match self {
+            ServeReply::Batch(id) => ("batch", serde::Value::U64(*id)),
+            ServeReply::Report(status) => ("report", status.to_value()),
+            ServeReply::Results(results) => ("results", results.to_value()),
+            ServeReply::Cancelled(took) => ("cancelled", serde::Value::Bool(*took)),
+            ServeReply::Bye => ("bye", serde::Value::Bool(true)),
+            ServeReply::Busy(why) => ("busy", serde::Value::Str(why.clone())),
+            ServeReply::Error(why) => ("error", serde::Value::Str(why.clone())),
+        };
+        serde::Value::Map(vec![(key.to_string(), value)])
+    }
+}
+
+impl Deserialize for ServeReply {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        if let Ok(id) = serde::get_field(value, "batch") {
+            return Ok(ServeReply::Batch(u64::from_value(id)?));
+        }
+        if let Ok(status) = serde::get_field(value, "report") {
+            return Ok(ServeReply::Report(BatchStatus::from_value(status)?));
+        }
+        if let Ok(results) = serde::get_field(value, "results") {
+            return Ok(ServeReply::Results(Vec::<JobResult>::from_value(results)?));
+        }
+        if let Ok(took) = serde::get_field(value, "cancelled") {
+            return Ok(ServeReply::Cancelled(bool::from_value(took)?));
+        }
+        if let Ok(why) = serde::get_field(value, "busy") {
+            return Ok(ServeReply::Busy(String::from_value(why)?));
+        }
+        if let Ok(why) = serde::get_field(value, "error") {
+            return Ok(ServeReply::Error(String::from_value(why)?));
+        }
+        bool::from_value(serde::get_field(value, "bye")?)?;
+        Ok(ServeReply::Bye)
+    }
+}
+
+/// The verbs a serve front door answers — its [`Hello`] roster, so a
+/// probing client can tell a service endpoint from a worker endpoint.
+fn serve_roster() -> Vec<String> {
+    ["submit", "status", "fetch", "cancel", "shutdown"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect()
+}
+
+/// The wire front door: a listener answering [`ServeRequest`] frames
+/// against an embedded [`ReplayService`], one thread per connection.
+///
+/// On accept the server sends a [`Hello`] (protocol
+/// [`WIRE_VERSION`](crate::wire::WIRE_VERSION), roster = the serve
+/// verbs), mirroring the
+/// worker handshake so clients fail loudly on version skew. Stop with
+/// [`stop`](Self::stop); a client's `Shutdown` request sets
+/// [`shutdown_requested`](Self::shutdown_requested) for the hosting
+/// binary to observe — the server itself keeps serving until stopped, so
+/// in-flight connections drain.
+pub struct ServeServer {
+    addr: WorkerAddr,
+    service: Arc<ReplayService>,
+    stop: Arc<AtomicBool>,
+    shutdown_requested: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServeServer {
+    /// Binds `addr` and starts accepting. TCP port `0` binds an ephemeral
+    /// port; the resolved address is [`local_addr`](Self::local_addr).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkerError::Spawn`] if the address cannot be bound.
+    pub fn bind(addr: &WorkerAddr, service: ReplayService) -> Result<ServeServer, Error> {
+        let (listener, local) = Listener::bind(addr)?;
+        let service = Arc::new(service);
+        let stop = Arc::new(AtomicBool::new(false));
+        let shutdown_requested = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let shutdown_requested = Arc::clone(&shutdown_requested);
+            std::thread::spawn(move || loop {
+                let stream = match listener.accept() {
+                    Ok(stream) => stream,
+                    Err(_) => break,
+                };
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let service = Arc::clone(&service);
+                let shutdown_requested = Arc::clone(&shutdown_requested);
+                std::thread::spawn(move || {
+                    let _ = serve_connection(&stream, &service, &shutdown_requested);
+                });
+            })
+        };
+        Ok(ServeServer {
+            addr: local,
+            service,
+            stop,
+            shutdown_requested,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The actually-bound address (the resolved port, for TCP `:0`) —
+    /// what clients dial.
+    pub fn local_addr(&self) -> &WorkerAddr {
+        &self.addr
+    }
+
+    /// The embedded service, for in-process observation (tests, the
+    /// hosting binary's banner).
+    pub fn service(&self) -> &ReplayService {
+        &self.service
+    }
+
+    /// Whether a client has asked the whole server to shut down
+    /// ([`ServeRequest::Shutdown`]). The hosting binary polls this and
+    /// calls [`stop`](Self::stop).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, joins the accept loop, and shuts the embedded
+    /// [`ReplayService`] down (its executor finishes the running batch).
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // A blocked accept only wakes on a connection: poke ourselves.
+        let _ = Stream::connect(&self.addr, Duration::from_millis(200));
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        self.service.shutdown();
+        if let WorkerAddr::Uds(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One connection's request/reply loop.
+fn serve_connection(
+    stream: &Stream,
+    service: &ReplayService,
+    shutdown_requested: &AtomicBool,
+) -> Result<(), Error> {
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(stream);
+    wire::write_message(
+        &mut writer,
+        &Hello {
+            version: wire::WIRE_VERSION,
+            roster: serve_roster(),
+        },
+    )?;
+    writer
+        .flush()
+        .map_err(|e| Error::Protocol(format!("flushing hello: {e}")))?;
+    while let Some(request) = wire::read_message::<_, ServeRequest>(&mut reader)? {
+        let reply = match request {
+            ServeRequest::Submit(jobs) => match service.submit(jobs) {
+                Ok(id) => ServeReply::Batch(id),
+                Err(Error::Unavailable(why)) => ServeReply::Busy(why),
+                Err(e) => ServeReply::Error(e.to_string()),
+            },
+            ServeRequest::Status(id) => match service.status(id) {
+                Some(status) => ServeReply::Report(status),
+                None => ServeReply::Error(format!("unknown batch id {id}")),
+            },
+            ServeRequest::Fetch(id) => match service.fetch(id) {
+                Some(results) => ServeReply::Results(results),
+                None => ServeReply::Error(format!("unknown batch id {id}")),
+            },
+            ServeRequest::Cancel(id) => ServeReply::Cancelled(service.cancel(id)),
+            ServeRequest::Shutdown => {
+                shutdown_requested.store(true, Ordering::SeqCst);
+                ServeReply::Bye
+            }
+        };
+        wire::write_message(&mut writer, &reply)?;
+        writer
+            .flush()
+            .map_err(|e| Error::Protocol(format!("flushing reply: {e}")))?;
+    }
+    Ok(())
+}
+
+/// The caller side: one connection, strict request/reply, typed verbs.
+pub struct ServeClient {
+    stream: Stream,
+    addr: String,
+}
+
+impl ServeClient {
+    /// Connects to a [`ServeServer`] within `timeout` and completes the
+    /// [`Hello`] handshake (version-range checked like a worker dial).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkerError::Connect`] / [`WorkerError::Handshake`] with the
+    /// typed cause.
+    pub fn connect(addr: &WorkerAddr, timeout: Duration) -> Result<ServeClient, Error> {
+        let stream = Stream::connect(addr, timeout).map_err(|e| WorkerError::Connect {
+            addr: addr.to_string(),
+            attempts: 1,
+            cause: e.to_string(),
+        })?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| WorkerError::Connect {
+                addr: addr.to_string(),
+                attempts: 1,
+                cause: format!("setting read deadline: {e}"),
+            })?;
+        let addr = addr.to_string();
+        let mut reader = BufReader::new(&stream);
+        read_hello(&mut reader, &addr)?;
+        Ok(ServeClient { stream, addr })
+    }
+
+    /// One request/reply round trip. A fresh reader per call is safe:
+    /// the protocol is strictly one reply per request, so no bytes are in
+    /// flight between calls.
+    fn call(&mut self, request: &ServeRequest) -> Result<ServeReply, Error> {
+        let mut writer = &self.stream;
+        wire::write_message(&mut writer, request)?;
+        writer
+            .flush()
+            .map_err(|e| Error::Protocol(format!("flushing request: {e}")))?;
+        let mut reader = BufReader::new(&self.stream);
+        match wire::read_message::<_, ServeReply>(&mut reader)? {
+            Some(reply) => Ok(reply),
+            None => Err(Error::Worker(WorkerError::Disconnect {
+                addr: self.addr.clone(),
+                cause: "stream closed with a reply outstanding".to_string(),
+            })),
+        }
+    }
+
+    fn unexpected(&self, got: &ServeReply) -> Error {
+        Error::Protocol(format!(
+            "service at {} answered with an unexpected frame: {got:?}",
+            self.addr
+        ))
+    }
+
+    /// Submits a batch, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unavailable`] under back-pressure (nothing was enqueued),
+    /// [`Error::Worker`] for transport failures.
+    pub fn submit(&mut self, jobs: &[JobSpec]) -> Result<u64, Error> {
+        match self.call(&ServeRequest::Submit(jobs.to_vec()))? {
+            ServeReply::Batch(id) => Ok(id),
+            ServeReply::Busy(why) => Err(Error::Unavailable(why)),
+            ServeReply::Error(why) => Err(Error::Worker(WorkerError::Remote(why))),
+            other => Err(self.unexpected(&other)),
+        }
+    }
+
+    /// The batch's current [`BatchStatus`].
+    ///
+    /// # Errors
+    ///
+    /// [`WorkerError::Remote`] for an unknown id, [`Error::Worker`] for
+    /// transport failures.
+    pub fn status(&mut self, id: u64) -> Result<BatchStatus, Error> {
+        match self.call(&ServeRequest::Status(id))? {
+            ServeReply::Report(status) => Ok(status),
+            ServeReply::Error(why) => Err(Error::Worker(WorkerError::Remote(why))),
+            other => Err(self.unexpected(&other)),
+        }
+    }
+
+    /// The batch's per-job results so far (incremental; pending jobs come
+    /// back as [`JobResult::Pending`]).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkerError::Remote`] for an unknown id, [`Error::Worker`] for
+    /// transport failures.
+    pub fn fetch(&mut self, id: u64) -> Result<Vec<JobResult>, Error> {
+        match self.call(&ServeRequest::Fetch(id))? {
+            ServeReply::Results(results) => Ok(results),
+            ServeReply::Error(why) => Err(Error::Worker(WorkerError::Remote(why))),
+            other => Err(self.unexpected(&other)),
+        }
+    }
+
+    /// Requests cancellation; returns whether it took hold (see
+    /// [`ReplayService::cancel`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Worker`] for transport failures.
+    pub fn cancel(&mut self, id: u64) -> Result<bool, Error> {
+        match self.call(&ServeRequest::Cancel(id))? {
+            ServeReply::Cancelled(took) => Ok(took),
+            ServeReply::Error(why) => Err(Error::Worker(WorkerError::Remote(why))),
+            other => Err(self.unexpected(&other)),
+        }
+    }
+
+    /// Asks the whole server to shut down (acknowledged before the
+    /// server's hosting binary acts on it).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Worker`] for transport failures.
+    pub fn shutdown(&mut self) -> Result<(), Error> {
+        match self.call(&ServeRequest::Shutdown)? {
+            ServeReply::Bye => Ok(()),
+            other => Err(self.unexpected(&other)),
+        }
+    }
+
+    /// Polls [`status`](Self::status) every `poll` until the batch
+    /// reaches a terminal state (`done` / `failed` / `cancelled`),
+    /// returning the final report.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkerError::Timeout`] if `deadline` elapses first; any
+    /// [`status`](Self::status) error.
+    pub fn wait(
+        &mut self,
+        id: u64,
+        poll: Duration,
+        deadline: Duration,
+    ) -> Result<BatchStatus, Error> {
+        let started = Instant::now();
+        loop {
+            let status = self.status(id)?;
+            if matches!(status.state.as_str(), "done" | "failed" | "cancelled") {
+                return Ok(status);
+            }
+            if started.elapsed() >= deadline {
+                return Err(Error::Worker(WorkerError::Timeout {
+                    addr: self.addr.clone(),
+                    cause: format!("batch {id} still `{}` after {:?}", status.state, deadline),
+                }));
+            }
+            std::thread::sleep(poll);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::batch::ReplayPool;
+    use crate::engine::dispatch::{derived_jobs, SpecPool};
+    use crate::gen::RandomInstanceConfig;
+    use crate::spec::{run_spec, AlgorithmSpec, CoreResolver, ScenarioSpec};
+
+    fn jobs(n: u64) -> Vec<JobSpec> {
+        derived_jobs(
+            &ScenarioSpec::Uniform(RandomInstanceConfig::unweighted(18, 45, 3)),
+            &AlgorithmSpec::RandPr,
+            11,
+            n,
+        )
+    }
+
+    fn service() -> ReplayService {
+        ReplayService::new(
+            Box::new(SpecPool::new(ReplayPool::new(2), CoreResolver)),
+            ServiceConfig {
+                queue_capacity: 4,
+                chunk: 3,
+            },
+        )
+    }
+
+    fn wait_terminal(service: &ReplayService, id: u64) -> BatchStatus {
+        let started = Instant::now();
+        loop {
+            let status = service.status(id).expect("batch exists");
+            if matches!(status.state.as_str(), "done" | "failed" | "cancelled") {
+                return status;
+            }
+            assert!(started.elapsed() < Duration::from_secs(60), "batch stuck");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn digests_are_canonical_and_distinguish_specs() {
+        let a = jobs(2);
+        assert_eq!(
+            job_digest(&a[0]).unwrap(),
+            job_digest(&a[0].clone()).unwrap()
+        );
+        assert_ne!(job_digest(&a[0]).unwrap(), job_digest(&a[1]).unwrap());
+    }
+
+    #[test]
+    fn submit_runs_bit_identical_to_sequential_and_caches_resubmits() {
+        let service = service();
+        let batch = jobs(5);
+        let want: Vec<Outcome> = batch
+            .iter()
+            .map(|j| run_spec(j, &CoreResolver).unwrap())
+            .collect();
+
+        let first = service.submit(batch.clone()).unwrap();
+        let status = wait_terminal(&service, first);
+        assert_eq!(status.state, "done");
+        assert_eq!(status.answered, 5);
+        assert_eq!(status.cached, 0);
+        assert_eq!(status.cache_misses, 5);
+        let results = service.fetch(first).unwrap();
+        for (result, want) in results.iter().zip(&want) {
+            match result {
+                JobResult::Ok(got) => assert_eq!(got, want),
+                other => panic!("expected an outcome, got {other:?}"),
+            }
+        }
+
+        // Identical batch again: answered from the cache, bit-identical.
+        let second = service.submit(batch).unwrap();
+        let status = wait_terminal(&service, second);
+        assert_eq!(status.state, "done");
+        assert_eq!(status.cached, 5, "resubmission must hit the cache");
+        assert_eq!(status.cache_hits, 5);
+        assert!(status.jobs.iter().all(|s| s == "cached"));
+        let results = service.fetch(second).unwrap();
+        for (result, want) in results.iter().zip(&want) {
+            match result {
+                JobResult::Ok(got) => assert_eq!(got, want),
+                other => panic!("expected an outcome, got {other:?}"),
+            }
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn unknown_ids_and_cancel_semantics() {
+        let service = service();
+        assert!(service.status(999).is_none());
+        assert!(service.fetch(999).is_none());
+        assert!(!service.cancel(999));
+        let id = service.submit(jobs(3)).unwrap();
+        let status = wait_terminal(&service, id);
+        assert_eq!(status.state, "done");
+        // Terminal batches don't cancel.
+        assert!(!service.cancel(id));
+        service.shutdown();
+    }
+
+    #[test]
+    fn failed_jobs_mark_the_batch_failed_but_keep_good_outcomes() {
+        let service = service();
+        let mut batch = jobs(2);
+        // An infeasible generator config: capacity 4 demanded from 2 sets.
+        batch.push(JobSpec {
+            scenario: ScenarioSpec::Uniform(RandomInstanceConfig::unweighted(2, 5, 4)),
+            algorithm: AlgorithmSpec::RandPr,
+            seed: 0,
+        });
+        let id = service.submit(batch.clone()).unwrap();
+        let status = wait_terminal(&service, id);
+        assert_eq!(status.state, "failed");
+        assert_eq!(status.failed, 1);
+        assert_eq!(status.answered, 3);
+        assert_eq!(status.jobs[2], "failed");
+        let results = service.fetch(id).unwrap();
+        assert!(matches!(results[0], JobResult::Ok(_)));
+        assert!(matches!(results[2], JobResult::Err(_)));
+        // Errors are not cached: resubmitting the bad spec recomputes it.
+        let again = service.submit(batch).unwrap();
+        let status = wait_terminal(&service, again);
+        assert_eq!(status.cached, 2, "only the two good jobs hit the cache");
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions() {
+        let service = service();
+        service.shutdown();
+        let err = service.submit(jobs(1)).unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn serve_frames_round_trip() {
+        let requests = vec![
+            ServeRequest::Submit(jobs(2)),
+            ServeRequest::Status(7),
+            ServeRequest::Fetch(8),
+            ServeRequest::Cancel(9),
+            ServeRequest::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for r in &requests {
+            wire::write_message(&mut buf, r).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for want in &requests {
+            let got: ServeRequest = wire::read_message(&mut cursor).unwrap().unwrap();
+            assert_eq!(&got, want);
+        }
+
+        let outcome = run_spec(&jobs(1)[0], &CoreResolver).unwrap();
+        let replies = vec![
+            ServeReply::Batch(3),
+            ServeReply::Report(BatchStatus {
+                id: 3,
+                state: "running".into(),
+                total: 2,
+                answered: 1,
+                failed: 0,
+                cached: 1,
+                jobs: vec!["cached".into(), "pending".into()],
+                cache_hits: 4,
+                cache_misses: 2,
+                excluded: vec!["127.0.0.1:9: boom".into()],
+            }),
+            ServeReply::Results(vec![
+                JobResult::Ok(outcome),
+                JobResult::Err("bad".into()),
+                JobResult::Pending,
+            ]),
+            ServeReply::Cancelled(true),
+            ServeReply::Bye,
+            ServeReply::Busy("queue full".into()),
+            ServeReply::Error("unknown batch".into()),
+        ];
+        let mut buf = Vec::new();
+        for r in &replies {
+            wire::write_message(&mut buf, r).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for want in &replies {
+            let got: ServeReply = wire::read_message(&mut cursor).unwrap().unwrap();
+            assert_eq!(&got, want);
+        }
+    }
+
+    #[test]
+    fn server_and_client_round_trip_over_tcp() {
+        let server = ServeServer::bind(&WorkerAddr::Tcp("127.0.0.1:0".into()), service()).unwrap();
+        let addr = server.local_addr().clone();
+        let mut client = ServeClient::connect(&addr, Duration::from_secs(10)).unwrap();
+        let batch = jobs(4);
+        let want: Vec<Outcome> = batch
+            .iter()
+            .map(|j| run_spec(j, &CoreResolver).unwrap())
+            .collect();
+        let id = client.submit(&batch).unwrap();
+        let status = client
+            .wait(id, Duration::from_millis(10), Duration::from_secs(60))
+            .unwrap();
+        assert_eq!(status.state, "done");
+        let results = client.fetch(id).unwrap();
+        assert_eq!(results.len(), 4);
+        for (result, want) in results.iter().zip(&want) {
+            match result {
+                JobResult::Ok(got) => assert_eq!(got, want),
+                other => panic!("expected an outcome, got {other:?}"),
+            }
+        }
+        // Unknown ids are remote errors, not transport failures.
+        let err = client.status(999).unwrap_err();
+        assert!(
+            matches!(err, Error::Worker(WorkerError::Remote(_))),
+            "got {err:?}"
+        );
+        assert!(!server.shutdown_requested());
+        client.shutdown().unwrap();
+        assert!(server.shutdown_requested());
+        server.stop();
+        assert!(ServeClient::connect(&addr, Duration::from_millis(300)).is_err());
+    }
+}

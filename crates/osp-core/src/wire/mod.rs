@@ -60,12 +60,19 @@ use crate::engine::Outcome;
 use crate::error::Error;
 use crate::spec::{run_spec_with_scratch, JobSpec, SpecResolver};
 
-/// Version of the socket session protocol this build speaks. A
-/// [`Hello`] with any other version fails the handshake
-/// ([`WorkerError::Handshake`](crate::error::WorkerError::Handshake)) —
-/// mixed-build fleets must fail loudly at connect time, never by
-/// misinterpreting frames mid-batch.
-pub const WIRE_VERSION: u32 = 1;
+/// Version of the framed protocol this build speaks. `v2` added the
+/// service front door ([`serve`](crate::serve): submit/status/fetch/
+/// cancel frames); the worker job/ping session is unchanged since `v1`,
+/// so clients accept any [`Hello`] version in
+/// `MIN_WIRE_VERSION..=WIRE_VERSION` and fail the handshake
+/// ([`WorkerError::Handshake`](crate::error::WorkerError::Handshake))
+/// outside that range — mixed-build fleets must fail loudly at connect
+/// time, never by misinterpreting frames mid-batch.
+pub const WIRE_VERSION: u32 = 2;
+
+/// Oldest protocol version this build still interoperates with (the
+/// worker session has not changed since `v1`).
+pub const MIN_WIRE_VERSION: u32 = 1;
 
 /// Hard upper bound on a frame payload (64 MiB). Real messages are far
 /// smaller; the cap is what turns a garbage length prefix into a clean
@@ -271,8 +278,8 @@ where
 /// The handshake frame a socket worker sends immediately after accepting
 /// a connection: which protocol version it speaks and which spec variants
 /// its resolver can build (the roster, see
-/// [`SpecResolver::roster`]). Clients must verify
-/// `version == WIRE_VERSION` before sending any request.
+/// [`SpecResolver::roster`]). Clients must verify the version falls in
+/// [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`] before sending any request.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Hello {
     /// The worker's [`WIRE_VERSION`].
@@ -327,6 +334,51 @@ impl Deserialize for Request {
 pub struct Pong {
     /// The nonce of the ping being answered.
     pub pong: u64,
+}
+
+/// Any one worker → client frame of a socket session, decoded by key
+/// shape: `{"pong": …}` is a [`Pong`], `{"ok": …}` / `{"err": …}` is a
+/// job [`reply::Reply`]. Clients that expect a specific frame read this
+/// first, so a worker answering out of order (a job reply where a pong
+/// is due, or vice versa) surfaces as a typed
+/// [`WorkerError::FrameOrder`](crate::error::WorkerError::FrameOrder)
+/// naming both sides — not a generic decode failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerFrame {
+    /// A job answer.
+    Reply(reply::Reply),
+    /// A heartbeat answer.
+    Pong(Pong),
+}
+
+impl ServerFrame {
+    /// Human label for the frame type, used in
+    /// [`WorkerError::FrameOrder`](crate::error::WorkerError::FrameOrder)
+    /// messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServerFrame::Reply(_) => "job reply",
+            ServerFrame::Pong(_) => "pong",
+        }
+    }
+}
+
+impl Serialize for ServerFrame {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            ServerFrame::Reply(reply) => reply.to_value(),
+            ServerFrame::Pong(pong) => pong.to_value(),
+        }
+    }
+}
+
+impl Deserialize for ServerFrame {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        if serde::get_field(value, "pong").is_ok() {
+            return Ok(ServerFrame::Pong(Pong::from_value(value)?));
+        }
+        Ok(ServerFrame::Reply(reply::Reply::from_value(value)?))
+    }
 }
 
 /// A deterministic fault-injection plan for a socket worker, so
@@ -419,17 +471,21 @@ impl FaultPlan {
     }
 
     /// Reads the plan from the `OSP_FAULT` environment variable. Unset is
-    /// [`FaultPlan::NONE`]; a malformed value is reported on stderr and
-    /// treated as `NONE` (a worker must come up even if the harness
-    /// mistyped a clause — the test asserting on the fault then fails
-    /// visibly instead of the whole fleet refusing to start).
-    pub fn from_env() -> FaultPlan {
+    /// `Ok(FaultPlan::NONE)`; a malformed value is an error the caller
+    /// must treat as fatal (`osp-worker` exits with a usage code) — a
+    /// typo'd plan silently running a fault-*free* "fault test" is worse
+    /// than a worker that refuses to start, because nothing downstream
+    /// can tell the faults never happened.
+    ///
+    /// # Errors
+    ///
+    /// The [`FaultPlan::parse`] message for the first malformed clause.
+    pub fn from_env() -> Result<FaultPlan, String> {
         match std::env::var("OSP_FAULT") {
-            Err(_) => FaultPlan::NONE,
-            Ok(raw) => FaultPlan::parse(&raw).unwrap_or_else(|e| {
-                eprintln!("OSP_FAULT ignored: {e}");
-                FaultPlan::NONE
-            }),
+            Err(_) => Ok(FaultPlan::NONE),
+            Ok(raw) => {
+                FaultPlan::parse(&raw).map_err(|e| format!("malformed OSP_FAULT value: {e}"))
+            }
         }
     }
 }

@@ -27,7 +27,7 @@ use std::time::Duration;
 
 use super::{
     read_message, serve_session, write_message, FaultPlan, Hello, Pong, Request, SessionEnd,
-    WIRE_VERSION,
+    MIN_WIRE_VERSION, WIRE_VERSION,
 };
 use crate::error::{Error, WorkerError};
 use crate::spec::SpecResolver;
@@ -41,6 +41,9 @@ const PING_NONCE: u64 = 0x6F73_7050; // "ospP"
 ///
 /// * `host:port` — TCP (e.g. `127.0.0.1:7401`; port `0` asks the OS for
 ///   an ephemeral port, resolved by [`SocketServer::local_addr`]);
+/// * `[ipv6]:port` — TCP with a bracketed IPv6 host (e.g. `[::1]:7401`).
+///   The brackets are required: a bare-colon form like `::1:7401` cannot
+///   be split into host and port unambiguously and is rejected;
 /// * `uds:/path` (or `unix:/path`) — a Unix-domain socket path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorkerAddr {
@@ -67,12 +70,45 @@ impl WorkerAddr {
             }
             return Ok(WorkerAddr::Uds(PathBuf::from(path)));
         }
-        match text.rsplit_once(':') {
-            Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => {
+        if let Some(bracketed) = text.strip_prefix('[') {
+            // Bracketed IPv6: `[host]:port`, the form `to_socket_addrs`
+            // resolves directly.
+            let Some((host, port)) = bracketed.split_once("]:") else {
+                return Err(format!(
+                    "`{text}`: want [ipv6]:port (e.g. [::1]:7401) — missing `]:`"
+                ));
+            };
+            if host.is_empty() {
+                return Err(format!("`{text}`: empty IPv6 host inside the brackets"));
+            }
+            if port.parse::<u16>().is_err() {
+                return Err(format!("`{text}`: `{port}` is not a port number"));
+            }
+            return Ok(WorkerAddr::Tcp(text.to_string()));
+        }
+        match text.matches(':').count() {
+            0 => Err(format!(
+                "`{text}`: want host:port (TCP) or uds:/path (Unix-domain)"
+            )),
+            1 => {
+                let (host, port) = text.split_once(':').expect("exactly one colon");
+                if host.is_empty() {
+                    return Err(format!(
+                        "`{text}`: want host:port (TCP) or uds:/path (Unix-domain)"
+                    ));
+                }
+                if port.parse::<u16>().is_err() {
+                    return Err(format!("`{text}`: `{port}` is not a port number"));
+                }
                 Ok(WorkerAddr::Tcp(text.to_string()))
             }
+            // More than one colon without brackets: a bare IPv6 address
+            // like `::1:7401`, where "host `::1`, port `7401`" and
+            // "host `::1:7401`, no port" are both readable. Guessing one
+            // (the old rsplit behavior) produced an address that parsed
+            // but failed at connect time with a resolver error.
             _ => Err(format!(
-                "`{text}`: want host:port (TCP) or uds:/path (Unix-domain)"
+                "`{text}`: ambiguous bare-colon IPv6 address — bracket the host, e.g. `[::1]:7401`"
             )),
         }
     }
@@ -221,7 +257,9 @@ impl Write for &Stream {
 /// # Errors
 ///
 /// [`WorkerError::Handshake`] if the stream closes or garbles before a
-/// hello arrives, or the worker speaks a different [`WIRE_VERSION`].
+/// hello arrives, or the worker speaks a version outside the compatible
+/// range [`MIN_WIRE_VERSION`]`..=`[`WIRE_VERSION`] (older versions whose
+/// session frames are unchanged stay dialable after a bump).
 pub fn read_hello<R: Read + ?Sized>(reader: &mut R, addr: &str) -> Result<Hello, WorkerError> {
     let hello = match read_message::<_, Hello>(reader) {
         Ok(Some(hello)) => hello,
@@ -238,11 +276,12 @@ pub fn read_hello<R: Read + ?Sized>(reader: &mut R, addr: &str) -> Result<Hello,
             })
         }
     };
-    if hello.version != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&hello.version) {
         return Err(WorkerError::Handshake {
             addr: addr.to_string(),
             cause: format!(
-                "protocol version mismatch: worker speaks {}, this build speaks {WIRE_VERSION}",
+                "protocol version mismatch: worker speaks {}, this build speaks \
+                 {MIN_WIRE_VERSION}..={WIRE_VERSION}",
                 hello.version
             ),
         });
@@ -294,14 +333,37 @@ pub fn ping(addr: &WorkerAddr, timeout: Duration) -> Result<Hello, Error> {
     }
 }
 
-/// Either flavor of listener behind one accept call.
-enum Listener {
+/// Either flavor of listener behind one accept call — shared by the
+/// worker-side [`SocketServer`] and the service front door
+/// ([`serve`](crate::serve)).
+pub(crate) enum Listener {
     Tcp(TcpListener),
     Uds(UnixListener),
 }
 
 impl Listener {
-    fn accept(&self) -> std::io::Result<Stream> {
+    /// Binds `addr` and returns the listener plus the actually-bound
+    /// address (the OS-resolved port, for TCP `:0`).
+    pub(crate) fn bind(addr: &WorkerAddr) -> Result<(Listener, WorkerAddr), Error> {
+        match addr {
+            WorkerAddr::Tcp(hostport) => {
+                let listener = TcpListener::bind(hostport)
+                    .map_err(|e| WorkerError::Spawn(format!("binding {hostport}: {e}")))?;
+                let local = listener.local_addr().map_err(|e| {
+                    WorkerError::Spawn(format!("resolving bound address of {hostport}: {e}"))
+                })?;
+                Ok((Listener::Tcp(listener), WorkerAddr::Tcp(local.to_string())))
+            }
+            WorkerAddr::Uds(path) => {
+                let listener = UnixListener::bind(path).map_err(|e| {
+                    WorkerError::Spawn(format!("binding uds:{}: {e}", path.display()))
+                })?;
+                Ok((Listener::Uds(listener), WorkerAddr::Uds(path.clone())))
+            }
+        }
+    }
+
+    pub(crate) fn accept(&self) -> std::io::Result<Stream> {
         match self {
             Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
             Listener::Uds(l) => l.accept().map(|(s, _)| Stream::Uds(s)),
@@ -342,22 +404,7 @@ impl SocketServer {
     where
         R: SpecResolver + Send + Sync + 'static,
     {
-        let (listener, local) = match addr {
-            WorkerAddr::Tcp(hostport) => {
-                let listener = TcpListener::bind(hostport)
-                    .map_err(|e| WorkerError::Spawn(format!("binding {hostport}: {e}")))?;
-                let local = listener.local_addr().map_err(|e| {
-                    WorkerError::Spawn(format!("resolving bound address of {hostport}: {e}"))
-                })?;
-                (Listener::Tcp(listener), WorkerAddr::Tcp(local.to_string()))
-            }
-            WorkerAddr::Uds(path) => {
-                let listener = UnixListener::bind(path).map_err(|e| {
-                    WorkerError::Spawn(format!("binding uds:{}: {e}", path.display()))
-                })?;
-                (Listener::Uds(listener), WorkerAddr::Uds(path.clone()))
-            }
-        };
+        let (listener, local) = Listener::bind(addr)?;
         let stop = Arc::new(AtomicBool::new(false));
         let fault_killed = Arc::new(AtomicBool::new(false));
         let jobs_answered = Arc::new(AtomicU64::new(0));
@@ -491,6 +538,34 @@ mod tests {
         assert_eq!(fleet[2].to_string(), "uds:/tmp/w.sock");
         assert!(WorkerAddr::parse_list("127.0.0.1:7401,garbage").is_err());
         assert!(WorkerAddr::parse_list("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn ipv6_addresses_need_brackets() {
+        assert_eq!(
+            WorkerAddr::parse("[::1]:7401").unwrap(),
+            WorkerAddr::Tcp("[::1]:7401".into())
+        );
+        assert_eq!(
+            WorkerAddr::parse("[2001:db8::7]:80").unwrap(),
+            WorkerAddr::Tcp("[2001:db8::7]:80".into())
+        );
+        // The bare-colon form used to parse (host `::1`) and then fail at
+        // connect time with a resolver error; now it is rejected up front
+        // with the fix in the message.
+        let err = WorkerAddr::parse("::1:7401").unwrap_err();
+        assert!(err.contains("[::1]:7401"), "got: {err}");
+        assert!(err.contains("ambiguous"), "got: {err}");
+        assert!(WorkerAddr::parse("2001:db8::7:80").is_err());
+        // Bracketed but still malformed.
+        assert!(WorkerAddr::parse("[::1]").is_err());
+        assert!(WorkerAddr::parse("[::1]:notaport").is_err());
+        assert!(WorkerAddr::parse("[]:7401").is_err());
+        // Fleet lists accept bracketed entries and reject bare-colon ones.
+        let fleet = WorkerAddr::parse_list("[::1]:7401, 127.0.0.1:7402").unwrap();
+        assert_eq!(fleet.len(), 2);
+        assert_eq!(fleet[0].to_string(), "[::1]:7401");
+        assert!(WorkerAddr::parse_list("[::1]:7401, ::1:7402").is_err());
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! `osp-serve` — the long-running replay server: the
+//! [`ServeServer`] front door over the full
+//! workspace registry ([`NetResolver`]), executing submitted batches on
+//! any dispatcher backend.
+//!
+//! ```text
+//! osp-serve --listen <addr>      # host:port, [ipv6]:port, or uds:/path
+//! ```
+//!
+//! Prints `serving on <addr> via <backend>` on stdout once accepting
+//! (the resolved address, for harness scripts that block on the banner),
+//! then serves framed submit/status/fetch/cancel requests until a client
+//! sends `shutdown` — at which point the server stops accepting, finishes
+//! the running batch, and exits 0.
+//!
+//! Environment:
+//!
+//! * `OSP_DISPATCH` — `threads` (default) / `processes` / `socket`.
+//!   Unlike the bench harness, a junk value here is **fatal** (exit 64):
+//!   a long-running service silently falling back to the wrong backend is
+//!   a misconfiguration nobody notices until it matters.
+//! * `OSP_WORKERS` / `OSP_WORKER_ADDRS` — sizing/fleet for the chosen
+//!   backend, exactly as the dispatch layer reads them.
+//! * `OSP_SERVE_QUEUE` / `OSP_SERVE_CHUNK` — submission-queue capacity
+//!   and per-dispatch chunk size ([`ServiceConfig`]); junk is fatal.
+//!
+//! Determinism: outcomes fetched from this server are bit-identical to
+//! sequential `run_spec` over the same specs, whatever backend executes
+//! them (pinned by `tests/replay_service.rs` and the `serve-smoke` CI
+//! job).
+
+use std::io::{stdout, Write};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use osp::core::engine::batch::ReplayPool;
+use osp::core::serve::{ReplayService, ServeServer, ServiceConfig};
+use osp::core::wire::socket::WorkerAddr;
+use osp::core::{Dispatcher, ProcessPool, SocketPool, SpecPool};
+use osp::net::NetResolver;
+
+/// Exit code for a misconfigured environment or command line (the
+/// conventional `EX_USAGE`) — same discipline as `osp-worker`'s fatal
+/// `OSP_FAULT` handling.
+const USAGE_EXIT: u8 = 64;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = match args.first().map(String::as_str) {
+        Some("--listen") => match args.get(1) {
+            Some(text) => match WorkerAddr::parse(text) {
+                Ok(addr) => addr,
+                Err(e) => {
+                    eprintln!("osp-serve: {e}");
+                    return ExitCode::from(USAGE_EXIT);
+                }
+            },
+            None => {
+                eprintln!("osp-serve: --listen needs an address (host:port or uds:/path)");
+                return ExitCode::from(USAGE_EXIT);
+            }
+        },
+        _ => {
+            eprintln!("osp-serve: usage: osp-serve --listen <addr>");
+            return ExitCode::from(USAGE_EXIT);
+        }
+    };
+
+    let dispatcher = match build_dispatcher() {
+        Ok(dispatcher) => dispatcher,
+        Err(e) => {
+            eprintln!("osp-serve: {e}");
+            return ExitCode::from(USAGE_EXIT);
+        }
+    };
+    let config = match build_config() {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("osp-serve: {e}");
+            return ExitCode::from(USAGE_EXIT);
+        }
+    };
+
+    let service = ReplayService::new(dispatcher, config);
+    let backend = service.backend();
+    let lanes = service.lanes();
+    let server = match ServeServer::bind(&addr, service) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("osp-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The resolved address (the OS-assigned port, for TCP `:0`), for the
+    // harness that launched us. Flushed now: scripts block on this line.
+    println!(
+        "serving on {} via {backend} ({lanes} lane{})",
+        server.local_addr(),
+        if lanes == 1 { "" } else { "s" }
+    );
+    let _ = stdout().flush();
+
+    while !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("osp-serve: shutdown requested, draining");
+    server.stop();
+    ExitCode::SUCCESS
+}
+
+/// Builds the backend named by `OSP_DISPATCH`. Junk is an error — the
+/// caller exits 64 — never a silent fallback.
+fn build_dispatcher() -> Result<Box<dyn Dispatcher + Send>, String> {
+    let choice = std::env::var("OSP_DISPATCH").unwrap_or_else(|_| "threads".to_string());
+    match choice.trim().to_ascii_lowercase().as_str() {
+        "" | "threads" | "thread" => {
+            Ok(Box::new(SpecPool::new(ReplayPool::from_env(), NetResolver)))
+        }
+        "processes" | "process" | "procs" => ProcessPool::from_env()
+            .map(|p| Box::new(p) as Box<dyn Dispatcher + Send>)
+            .map_err(|e| e.to_string()),
+        "socket" | "sockets" => SocketPool::from_env()
+            .map(|p| Box::new(p) as Box<dyn Dispatcher + Send>)
+            .map_err(|e| e.to_string()),
+        other => Err(format!(
+            "OSP_DISPATCH=`{other}` is not a backend (want threads, processes, or socket)"
+        )),
+    }
+}
+
+/// Service tuning from `OSP_SERVE_QUEUE` / `OSP_SERVE_CHUNK`; unset keeps
+/// the defaults, junk is an error.
+fn build_config() -> Result<ServiceConfig, String> {
+    let mut config = ServiceConfig::default();
+    if let Ok(raw) = std::env::var("OSP_SERVE_QUEUE") {
+        config.queue_capacity = raw
+            .trim()
+            .parse()
+            .map_err(|e| format!("OSP_SERVE_QUEUE=`{raw}`: {e}"))?;
+    }
+    if let Ok(raw) = std::env::var("OSP_SERVE_CHUNK") {
+        config.chunk = raw
+            .trim()
+            .parse()
+            .map_err(|e| format!("OSP_SERVE_CHUNK=`{raw}`: {e}"))?;
+    }
+    Ok(config)
+}

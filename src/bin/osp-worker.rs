@@ -19,7 +19,9 @@
 //!   then job/ping requests. The `OSP_FAULT` environment variable loads
 //!   a deterministic [`FaultPlan`]
 //!   (`die:<n>`, `stall:<job>:<ms>`); a fault kill exits with code 86 so
-//!   harnesses can tell an injected death from a crash.
+//!   harnesses can tell an injected death from a crash, and a malformed
+//!   plan is fatal at startup with code 64 (`EX_USAGE`) — never silently
+//!   ignored.
 //! * **probe** (`--ping <addr>`): one connect + handshake + heartbeat
 //!   round trip against a listening worker; exits 0 and prints the
 //!   worker's roster on success — what CI polls during fleet bring-up.
@@ -49,6 +51,12 @@ use osp::net::NetResolver;
 /// success (0) and crash (1) so fleet harnesses can assert the kill was
 /// the injected one.
 const FAULT_EXIT: u8 = 86;
+
+/// Exit code for a malformed `OSP_FAULT` value (the conventional
+/// `EX_USAGE`). A typo'd plan must kill the worker at startup, loudly —
+/// silently running a fault-*free* "fault test" would let the harness
+/// believe its injected faults happened.
+const USAGE_EXIT: u8 = 64;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -95,7 +103,13 @@ fn pipe_worker() -> ExitCode {
 }
 
 fn socket_worker(addr: &WorkerAddr) -> ExitCode {
-    let fault = FaultPlan::from_env();
+    let fault = match FaultPlan::from_env() {
+        Ok(fault) => fault,
+        Err(e) => {
+            eprintln!("osp-worker: {e}");
+            return ExitCode::from(USAGE_EXIT);
+        }
+    };
     let server = match SocketServer::bind(addr, NetResolver, fault) {
         Ok(server) => server,
         Err(e) => {

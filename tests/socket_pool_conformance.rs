@@ -16,16 +16,17 @@
 
 use std::io::BufWriter;
 use std::net::TcpListener;
+use std::sync::Mutex;
 use std::time::Duration;
 
 use osp::core::gen::{CapacityModel, LoadModel, RandomInstanceConfig, UniformSource, WeightModel};
 use osp::core::prelude::*;
 use osp::core::spec::{run_spec, AlgorithmSpec, JobSpec, ScenarioSpec};
 use osp::core::wire::socket::{ping, SocketServer, WorkerAddr};
-use osp::core::wire::{write_message, Hello, Stall};
+use osp::core::wire::{read_message, reply, write_message, Hello, Pong, Request, Stall};
 use osp::core::{
-    derived_jobs, run_source, Dispatcher, FaultPlan, RetryPolicy, SocketConfig, SocketPool,
-    SocketSource, WorkerError,
+    derived_jobs, run_source, DispatchEvent, Dispatcher, EventSink, FaultPlan, RetryPolicy,
+    SocketConfig, SocketPool, SocketSource, WorkerError,
 };
 use osp::net::NetResolver;
 
@@ -397,6 +398,185 @@ fn all_workers_dead_fails_every_job_with_a_clean_worker_error() {
         let text = got.as_ref().unwrap_err().to_string();
         assert!(text.contains("worker error"), "job {i}: {text}");
     }
+}
+
+/// Records every dispatch event for post-run assertions.
+#[derive(Default)]
+struct Recorder(Mutex<Vec<DispatchEvent>>);
+
+impl EventSink for Recorder {
+    fn event(&self, event: DispatchEvent) {
+        self.0.lock().unwrap().push(event);
+    }
+}
+
+/// Which frame a [`rogue_worker`] answers *every* request with.
+enum RogueFrame {
+    /// Always a job reply — wrong where a pong is due.
+    Reply,
+    /// Always a pong — wrong where a job reply is due.
+    Pong,
+}
+
+/// A protocol-conforming handshake followed by systematically wrong
+/// answers: speaks a valid [`Hello`], decodes every [`Request`], and
+/// answers each with the same fixed frame type regardless of what was
+/// asked.
+fn rogue_worker(frame: RogueFrame) -> WorkerAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+    let addr = WorkerAddr::parse(&listener.local_addr().unwrap().to_string()).unwrap();
+    std::thread::spawn(move || {
+        while let Ok((stream, _)) = listener.accept() {
+            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = BufWriter::new(stream);
+            if write_message(&mut writer, &Hello::for_resolver(&NetResolver)).is_err() {
+                continue;
+            }
+            use std::io::Write;
+            let _ = writer.flush();
+            while let Ok(Some(_)) = read_message::<_, Request>(&mut reader) {
+                let sent = match frame {
+                    RogueFrame::Reply => write_message(
+                        &mut writer,
+                        &reply::Reply {
+                            ok: None,
+                            err: Some("rogue".to_string()),
+                        },
+                    ),
+                    RogueFrame::Pong => write_message(&mut writer, &Pong { pong: 0 }),
+                };
+                if sent.is_err() || writer.flush().is_err() {
+                    break;
+                }
+            }
+        }
+    });
+    addr
+}
+
+#[test]
+fn wrong_frame_type_is_a_typed_frame_order_error() {
+    // A pong where a job reply is due: the very first answer is the
+    // wrong frame type. The pool must surface a typed FrameOrder error
+    // naming both sides — not a generic decode failure — and exclude the
+    // worker (single-worker fleet, so the jobs then fail AllWorkersDead).
+    let pool = SocketPool::with_config(
+        vec![rogue_worker(RogueFrame::Pong)],
+        SocketConfig {
+            retry: RetryPolicy {
+                attempts: 1,
+                base_delay: Duration::from_millis(5),
+                max_delay: Duration::from_millis(5),
+            },
+            ..SocketConfig::default()
+        },
+    );
+    let scenario = ScenarioSpec::Uniform(RandomInstanceConfig::unweighted(20, 50, 3));
+    let jobs = derived_jobs(&scenario, &AlgorithmSpec::RandPr, 817, 3);
+    let recorder = Recorder::default();
+    let out = pool.run_specs_with_events(&jobs, &recorder);
+    assert!(out.iter().all(|r| r.is_err()), "no real worker answered");
+    let events = recorder.0.lock().unwrap();
+    let excluded: Vec<&WorkerError> = events
+        .iter()
+        .filter_map(|e| match e {
+            DispatchEvent::WorkerExcluded { error, .. } => Some(error),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(excluded.len(), 1, "exactly one exclusion: {events:?}");
+    match excluded[0] {
+        WorkerError::FrameOrder { expected, got, .. } => {
+            assert_eq!(*expected, "job reply");
+            assert_eq!(*got, "pong");
+        }
+        other => panic!("want FrameOrder, got {other:?}"),
+    }
+    let text = excluded[0].to_string();
+    assert!(
+        text.contains("answered out of order")
+            && text.contains("job reply")
+            && text.contains("pong"),
+        "message must name both frame types: {text}"
+    );
+}
+
+#[test]
+fn job_reply_where_pong_is_due_is_a_typed_frame_order_error() {
+    // The other direction: heartbeats every job, and the rogue answers
+    // the ping with a job reply. The job answers themselves decode fine
+    // (remote errors), so the violation is pinned precisely to the
+    // heartbeat slot.
+    let pool = SocketPool::with_config(
+        vec![rogue_worker(RogueFrame::Reply)],
+        SocketConfig {
+            heartbeat_every: 1,
+            retry: RetryPolicy {
+                attempts: 1,
+                base_delay: Duration::from_millis(5),
+                max_delay: Duration::from_millis(5),
+            },
+            ..SocketConfig::default()
+        },
+    );
+    let scenario = ScenarioSpec::Uniform(RandomInstanceConfig::unweighted(20, 50, 3));
+    let jobs = derived_jobs(&scenario, &AlgorithmSpec::RandPr, 818, 4);
+    let recorder = Recorder::default();
+    let _ = pool.run_specs_with_events(&jobs, &recorder);
+    let events = recorder.0.lock().unwrap();
+    let frame_orders: Vec<(&str, &str)> = events
+        .iter()
+        .filter_map(|e| match e {
+            DispatchEvent::WorkerExcluded {
+                error: WorkerError::FrameOrder { expected, got, .. },
+                ..
+            } => Some((*expected, *got)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        frame_orders,
+        vec![("pong", "job reply")],
+        "events: {events:?}"
+    );
+}
+
+#[test]
+fn malformed_fault_plan_is_fatal_at_worker_startup() {
+    // A typo'd OSP_FAULT must kill `osp-worker --listen` with the usage
+    // exit (64) before it binds — never a silently fault-free "fault
+    // test". Asserted against the real binary.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_osp-worker"))
+        .args(["--listen", "127.0.0.1:0"])
+        .env("OSP_FAULT", "explode:now")
+        .output()
+        .expect("spawn osp-worker");
+    assert_eq!(out.status.code(), Some(64), "status: {:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("OSP_FAULT") && stderr.contains("explode:now"),
+        "stderr must name the bad plan: {stderr}"
+    );
+    assert!(
+        !String::from_utf8_lossy(&out.stdout).contains("listening"),
+        "the worker must die before binding"
+    );
+
+    // A well-formed plan still comes up (and an unset one, trivially).
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_osp-worker"))
+        .args(["--listen", "127.0.0.1:0"])
+        .env("OSP_FAULT", "die:3")
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn osp-worker");
+    let mut banner = String::new();
+    use std::io::BufRead;
+    std::io::BufReader::new(child.stdout.take().expect("stdout piped"))
+        .read_line(&mut banner)
+        .expect("read banner");
+    assert!(banner.starts_with("listening on "), "banner: {banner}");
+    child.kill().expect("kill worker");
+    let _ = child.wait();
 }
 
 #[test]
