@@ -40,14 +40,17 @@ use std::collections::VecDeque;
 use std::io::{BufReader, Write};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
 
 use crate::engine::batch::{derive_seed, env_parallelism, ReplayPool};
 use crate::engine::Outcome;
 use crate::error::{Error, WorkerError};
 use crate::spec::{AlgorithmSpec, JobSpec, ScenarioSpec, SpecResolver};
 use crate::wire;
-use crate::wire::socket::{read_hello, Stream, WorkerAddr};
+use crate::wire::socket::{ping, read_hello, Stream, WorkerAddr};
 
 /// A structured event emitted while a [`Dispatcher`] runs a work-list —
 /// what embedders (the replay service, progress UIs) observe instead of
@@ -66,15 +69,34 @@ pub enum DispatchEvent {
         /// Jobs in the work-list.
         total: usize,
     },
-    /// A fleet worker was excluded for the rest of the run (its
-    /// unanswered jobs re-dispatched to survivors). Carries the typed
-    /// cause so embedders can tell a refused connect from a mid-batch
-    /// death or a frame-order violation.
+    /// A fleet worker was excluded (its unanswered jobs re-dispatched to
+    /// survivors). Carries the typed cause so embedders can tell a
+    /// refused connect from a mid-batch death or a frame-order
+    /// violation. Exclusion is no longer forever: the rejoin probe loop
+    /// ([`RejoinPolicy`]) pings excluded lanes with capped exponential
+    /// backoff and re-admits them on success.
     WorkerExcluded {
         /// The excluded worker's address.
         addr: String,
         /// Why it was excluded.
         error: WorkerError,
+    },
+    /// An excluded worker answered a rejoin probe and is back in the
+    /// fleet — it takes chunks again from the next round on.
+    WorkerRejoined {
+        /// The re-admitted worker's address.
+        addr: String,
+    },
+    /// A rejoin probe was sent to an excluded worker (one ping per due
+    /// lane per round). `ok` tells whether it answered; a failed probe
+    /// pushes the lane's next probe out by the capped exponential
+    /// backoff of [`RejoinPolicy`].
+    WorkerProbed {
+        /// The probed worker's address.
+        addr: String,
+        /// Whether the probe succeeded (success also emits
+        /// [`DispatchEvent::WorkerRejoined`]).
+        ok: bool,
     },
 }
 
@@ -124,6 +146,13 @@ pub trait Dispatcher {
     /// A short backend tag for tables and logs (`"threads"`,
     /// `"processes"`).
     fn backend(&self) -> &'static str;
+
+    /// A live handle onto this backend's supervised fleet, if it has
+    /// one. Only the socket backend does — in-process and child-process
+    /// pools have fixed lanes and return `None` (the default).
+    fn fleet(&self) -> Option<FleetHandle> {
+        None
+    }
 }
 
 /// Builds the standard trial fan-out: `trials` jobs over one
@@ -481,6 +510,42 @@ impl RetryPolicy {
     }
 }
 
+/// The rejoin-probe schedule for excluded fleet lanes: an excluded
+/// worker is pinged again after `base_delay`, then with capped
+/// exponential backoff (`base_delay × 2^failures`, at most `max_delay`)
+/// until a probe succeeds and the lane rejoins — the healing half of the
+/// exclusion discipline, so a restarted worker is re-admitted without
+/// anyone touching the fleet by hand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejoinPolicy {
+    /// Wait before the first probe of a freshly excluded lane.
+    pub base_delay: Duration,
+    /// Backoff ceiling between probes.
+    pub max_delay: Duration,
+    /// Deadline for one probe (connect + handshake + ping round trip).
+    pub probe_timeout: Duration,
+}
+
+impl Default for RejoinPolicy {
+    fn default() -> Self {
+        RejoinPolicy {
+            base_delay: Duration::from_millis(500),
+            max_delay: Duration::from_secs(10),
+            probe_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RejoinPolicy {
+    /// The wait after `failures` consecutive failed probes (the first
+    /// probe after exclusion uses `failures = 0`, i.e. `base_delay`):
+    /// `base_delay × 2^failures`, saturating, capped at `max_delay`.
+    pub fn delay(&self, failures: u32) -> Duration {
+        let factor = 1u32.checked_shl(failures).unwrap_or(u32::MAX);
+        self.base_delay.saturating_mul(factor).min(self.max_delay)
+    }
+}
+
 /// Tuning knobs for [`SocketPool`]. The defaults suit a loopback or
 /// rack-local fleet; raise the deadlines for anything slower.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -501,6 +566,8 @@ pub struct SocketConfig {
     /// A stalled worker then fails the batch within `read_timeout` even
     /// when the stall hits between replies.
     pub heartbeat_every: usize,
+    /// Probe/backoff schedule for re-admitting excluded lanes.
+    pub rejoin: RejoinPolicy,
 }
 
 impl Default for SocketConfig {
@@ -511,6 +578,7 @@ impl Default for SocketConfig {
             retry: RetryPolicy::default(),
             window: 32,
             heartbeat_every: 16,
+            rejoin: RejoinPolicy::default(),
         }
     }
 }
@@ -548,10 +616,50 @@ enum Expected {
 ///
 /// `tests/socket_pool_conformance.rs` pins the full matrix, including
 /// bit-identity under an injected mid-batch worker kill.
+///
+/// Since PR 8 the fleet is *supervised state*, not a static list:
+/// exclusion persists across runs, a rejoin probe loop re-admits lanes
+/// that answer pings again ([`RejoinPolicy`]), and membership can change
+/// at runtime ([`add_worker`](Self::add_worker) /
+/// [`remove_worker`](Self::remove_worker), also reachable through the
+/// shareable [`FleetHandle`]). Clones of a pool share one fleet.
 #[derive(Debug, Clone)]
 pub struct SocketPool {
-    addrs: Vec<WorkerAddr>,
+    fleet: Arc<Mutex<FleetState>>,
     config: SocketConfig,
+}
+
+/// The shared, supervised fleet behind a [`SocketPool`] and its
+/// [`FleetHandle`]s.
+#[derive(Debug)]
+struct FleetState {
+    lanes: Vec<Lane>,
+    /// Lifetime count of lanes re-admitted by a successful probe.
+    rejoined: u64,
+    /// Lifetime count of rejoin probes sent (successful or not).
+    probes: u64,
+}
+
+/// One fleet member and its supervision state.
+#[derive(Debug)]
+struct Lane {
+    addr: WorkerAddr,
+    status: LaneStatus,
+}
+
+#[derive(Debug)]
+enum LaneStatus {
+    /// Taking chunks.
+    Up,
+    /// Out of the rotation; probed on the [`RejoinPolicy`] schedule.
+    Excluded {
+        /// Consecutive failed probes since exclusion.
+        failures: u32,
+        /// When the next probe is due.
+        next_probe: Instant,
+        /// The exclusion cause (display of the [`WorkerError`]).
+        cause: String,
+    },
 }
 
 impl SocketPool {
@@ -574,7 +682,47 @@ impl SocketPool {
             !addrs.is_empty(),
             "socket fleet must name at least one worker"
         );
-        SocketPool { addrs, config }
+        let lanes = addrs
+            .into_iter()
+            .map(|addr| Lane {
+                addr,
+                status: LaneStatus::Up,
+            })
+            .collect();
+        SocketPool {
+            fleet: Arc::new(Mutex::new(FleetState {
+                lanes,
+                rejoined: 0,
+                probes: 0,
+            })),
+            config,
+        }
+    }
+
+    /// A cloneable handle onto this pool's fleet — membership, probe
+    /// triggering and the [`FleetReport`] counters, without holding the
+    /// pool itself.
+    pub fn fleet_handle(&self) -> FleetHandle {
+        FleetHandle {
+            fleet: Arc::clone(&self.fleet),
+            rejoin: self.config.rejoin,
+        }
+    }
+
+    /// Adds a worker to the fleet (immediately `Up`). Returns `false`
+    /// (and changes nothing) if the address is already a member.
+    pub fn add_worker(&self, addr: WorkerAddr) -> bool {
+        self.fleet_handle().add(addr)
+    }
+
+    /// Removes a worker from the fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSpec`] if the address is not a member or is the
+    /// last remaining lane (a fleet must keep at least one).
+    pub fn remove_worker(&self, addr: &WorkerAddr) -> Result<(), Error> {
+        self.fleet_handle().remove(addr)
     }
 
     /// A pool over the fleet named by `OSP_WORKER_ADDRS` (comma-separated
@@ -598,9 +746,11 @@ impl SocketPool {
         Ok(SocketPool::new(addrs))
     }
 
-    /// The fleet's addresses, in lane order.
-    pub fn addrs(&self) -> &[WorkerAddr] {
-        &self.addrs
+    /// The fleet's current addresses, in lane order (a snapshot — the
+    /// membership can change under a [`FleetHandle`]).
+    pub fn addrs(&self) -> Vec<WorkerAddr> {
+        let fleet = self.fleet.lock().expect("fleet lock");
+        fleet.lanes.iter().map(|lane| lane.addr.clone()).collect()
     }
 
     /// Connects to `addr` under the retry schedule and completes the
@@ -804,15 +954,31 @@ impl Dispatcher for SocketPool {
             return Vec::new();
         }
         let mut results: Vec<Option<Result<Outcome, Error>>> = vec![None; jobs.len()];
-        let mut alive = vec![true; self.addrs.len()];
         loop {
             let pending: Vec<usize> = (0..jobs.len()).filter(|&i| results[i].is_none()).collect();
             if pending.is_empty() {
                 break;
             }
-            let lanes: Vec<usize> = (0..self.addrs.len()).filter(|&w| alive[w]).collect();
+            // Heal first: probe any excluded lane whose backoff has
+            // elapsed, so a restarted worker takes chunks this round.
+            probe_excluded(&self.fleet, self.config.rejoin, false, Some(sink));
+            let lanes: Vec<WorkerAddr> = {
+                let fleet = self.fleet.lock().expect("fleet lock");
+                fleet
+                    .lanes
+                    .iter()
+                    .filter(|lane| matches!(lane.status, LaneStatus::Up))
+                    .map(|lane| lane.addr.clone())
+                    .collect()
+            };
             if lanes.is_empty() {
-                // Every worker is gone; fail what's left, uniformly.
+                // Last chance before failing the leftovers: force-probe
+                // every excluded lane right now, backoff or not. A
+                // restarted worker rejoins here; a dead loopback refuses
+                // instantly, so the unreachable path stays fast.
+                if probe_excluded(&self.fleet, self.config.rejoin, true, Some(sink)) > 0 {
+                    continue;
+                }
                 let err = Error::Worker(WorkerError::AllWorkersDead {
                     pending: pending.len(),
                 });
@@ -826,9 +992,9 @@ impl Dispatcher for SocketPool {
             // recovery keeps the submission order intact positionally.
             let lanes_used = lanes.len().min(pending.len());
             let chunk = pending.len().div_ceil(lanes_used);
-            // One lane's round: (lane index, answered jobs, lane fate).
+            // One lane's round: (lane address, answered jobs, lane fate).
             type LaneRound = (
-                usize,
+                WorkerAddr,
                 Vec<(usize, Result<Outcome, Error>)>,
                 Result<(), WorkerError>,
             );
@@ -836,28 +1002,27 @@ impl Dispatcher for SocketPool {
                 let handles: Vec<_> = pending
                     .chunks(chunk)
                     .zip(&lanes)
-                    .map(|(slice, &w)| {
-                        let handle =
-                            scope.spawn(move || self.run_chunk(&self.addrs[w], slice, jobs));
-                        (w, handle)
+                    .map(|(slice, addr)| {
+                        let handle = scope.spawn(move || self.run_chunk(addr, slice, jobs));
+                        (addr, handle)
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|(w, h)| {
+                    .map(|(addr, h)| {
                         let (answers, fate) = h.join().expect("socket lane thread panicked");
-                        (w, answers, fate)
+                        (addr.clone(), answers, fate)
                     })
                     .collect()
             });
-            for (w, answers, fate) in round {
+            for (addr, answers, fate) in round {
                 for (index, result) in answers {
                     results[index] = Some(result);
                 }
                 if let Err(e) = fate {
-                    alive[w] = false;
+                    exclude_lane(&self.fleet, &addr, &e, self.config.rejoin);
                     sink.event(DispatchEvent::WorkerExcluded {
-                        addr: self.addrs[w].to_string(),
+                        addr: addr.to_string(),
                         error: e,
                     });
                 }
@@ -874,12 +1039,235 @@ impl Dispatcher for SocketPool {
     }
 
     fn lanes(&self) -> usize {
-        self.addrs.len()
+        let fleet = self.fleet.lock().expect("fleet lock");
+        fleet.lanes.len()
     }
 
     fn backend(&self) -> &'static str {
         "sockets"
     }
+
+    fn fleet(&self) -> Option<FleetHandle> {
+        Some(self.fleet_handle())
+    }
+}
+
+/// Marks the lane at `addr` excluded (if still a member and `Up`), with
+/// its first probe due after the policy's base delay.
+fn exclude_lane(
+    fleet: &Mutex<FleetState>,
+    addr: &WorkerAddr,
+    error: &WorkerError,
+    rejoin: RejoinPolicy,
+) {
+    let mut fleet = fleet.lock().expect("fleet lock");
+    if let Some(lane) = fleet
+        .lanes
+        .iter_mut()
+        .find(|lane| &lane.addr == addr && matches!(lane.status, LaneStatus::Up))
+    {
+        lane.status = LaneStatus::Excluded {
+            failures: 0,
+            next_probe: Instant::now() + rejoin.delay(0),
+            cause: error.to_string(),
+        };
+    }
+}
+
+/// One pass of the rejoin probe loop: ping every excluded lane whose
+/// backoff has elapsed (every excluded lane when `force`), re-admitting
+/// the ones that answer. Pings happen outside the fleet lock so a slow
+/// probe cannot stall membership queries. Returns how many rejoined.
+fn probe_excluded(
+    fleet: &Mutex<FleetState>,
+    rejoin: RejoinPolicy,
+    force: bool,
+    sink: Option<&dyn EventSink>,
+) -> usize {
+    let now = Instant::now();
+    let due: Vec<WorkerAddr> = {
+        let fleet = fleet.lock().expect("fleet lock");
+        fleet
+            .lanes
+            .iter()
+            .filter(|lane| match &lane.status {
+                LaneStatus::Up => false,
+                LaneStatus::Excluded { next_probe, .. } => force || *next_probe <= now,
+            })
+            .map(|lane| lane.addr.clone())
+            .collect()
+    };
+    if due.is_empty() {
+        return 0;
+    }
+    let verdicts: Vec<(WorkerAddr, bool)> = due
+        .into_iter()
+        .map(|addr| {
+            let ok = ping(&addr, rejoin.probe_timeout).is_ok();
+            (addr, ok)
+        })
+        .collect();
+    let mut rejoined = 0;
+    // Events are collected under the lock and emitted after it drops: a
+    // sink may take its own locks (the replay service's state lock, which
+    // is also held *around* fleet queries in status calls), so emitting
+    // under the fleet lock would invert the lock order.
+    let mut events = Vec::new();
+    {
+        let mut guard = fleet.lock().expect("fleet lock");
+        for (addr, ok) in verdicts {
+            guard.probes += 1;
+            events.push(DispatchEvent::WorkerProbed {
+                addr: addr.to_string(),
+                ok,
+            });
+            let Some(lane) = guard.lanes.iter_mut().find(|lane| lane.addr == addr) else {
+                continue; // removed while we probed
+            };
+            match (&mut lane.status, ok) {
+                (LaneStatus::Up, _) => {}
+                (LaneStatus::Excluded { .. }, true) => {
+                    lane.status = LaneStatus::Up;
+                    guard.rejoined += 1;
+                    rejoined += 1;
+                    events.push(DispatchEvent::WorkerRejoined {
+                        addr: addr.to_string(),
+                    });
+                }
+                (
+                    LaneStatus::Excluded {
+                        failures,
+                        next_probe,
+                        ..
+                    },
+                    false,
+                ) => {
+                    *failures = failures.saturating_add(1);
+                    *next_probe = Instant::now() + rejoin.delay(*failures);
+                }
+            }
+        }
+    }
+    if let Some(sink) = sink {
+        for event in events {
+            sink.event(event);
+        }
+    }
+    rejoined
+}
+
+/// A cloneable handle onto a [`SocketPool`]'s supervised fleet —
+/// membership changes, probe triggering and the counters, detached from
+/// the pool so the serve layer can keep one after the dispatcher is
+/// boxed away ([`Dispatcher::fleet`]).
+#[derive(Debug, Clone)]
+pub struct FleetHandle {
+    fleet: Arc<Mutex<FleetState>>,
+    rejoin: RejoinPolicy,
+}
+
+impl FleetHandle {
+    /// A snapshot of every lane plus the lifetime counters.
+    pub fn report(&self) -> FleetReport {
+        let fleet = self.fleet.lock().expect("fleet lock");
+        FleetReport {
+            lanes: fleet
+                .lanes
+                .iter()
+                .map(|lane| match &lane.status {
+                    LaneStatus::Up => LaneReport {
+                        addr: lane.addr.to_string(),
+                        state: "up".to_string(),
+                        failures: 0,
+                        cause: String::new(),
+                    },
+                    LaneStatus::Excluded {
+                        failures, cause, ..
+                    } => LaneReport {
+                        addr: lane.addr.to_string(),
+                        state: "excluded".to_string(),
+                        failures: *failures,
+                        cause: cause.clone(),
+                    },
+                })
+                .collect(),
+            rejoined: fleet.rejoined,
+            probes: fleet.probes,
+        }
+    }
+
+    /// Adds a worker (immediately `Up`); `false` if already a member.
+    pub fn add(&self, addr: WorkerAddr) -> bool {
+        let mut fleet = self.fleet.lock().expect("fleet lock");
+        if fleet.lanes.iter().any(|lane| lane.addr == addr) {
+            return false;
+        }
+        fleet.lanes.push(Lane {
+            addr,
+            status: LaneStatus::Up,
+        });
+        true
+    }
+
+    /// Removes a worker.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSpec`] if `addr` is not a member or is the last
+    /// remaining lane.
+    pub fn remove(&self, addr: &WorkerAddr) -> Result<(), Error> {
+        let mut fleet = self.fleet.lock().expect("fleet lock");
+        let Some(index) = fleet.lanes.iter().position(|lane| &lane.addr == addr) else {
+            return Err(Error::InvalidSpec(format!("{addr} is not a fleet member")));
+        };
+        if fleet.lanes.len() == 1 {
+            return Err(Error::InvalidSpec(format!(
+                "{addr} is the last lane — a fleet must keep at least one"
+            )));
+        }
+        fleet.lanes.remove(index);
+        Ok(())
+    }
+
+    /// Force-probes every excluded lane right now (ignoring backoff) and
+    /// returns how many rejoined. The synchronous form of the probe loop,
+    /// for admin verbs and tests.
+    pub fn probe(&self) -> usize {
+        probe_excluded(&self.fleet, self.rejoin, true, None)
+    }
+}
+
+/// Snapshot of a supervised fleet: one [`LaneReport`] per member plus
+/// the lifetime rejoin/probe counters. Serializable — this is the
+/// payload of `osp-serve`'s `fleet` admin verb.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Every fleet member, in lane order.
+    pub lanes: Vec<LaneReport>,
+    /// Lanes re-admitted by a successful probe, over the fleet's life.
+    pub rejoined: u64,
+    /// Rejoin probes sent (successful or not), over the fleet's life.
+    pub probes: u64,
+}
+
+impl FleetReport {
+    /// Lanes currently taking chunks.
+    pub fn up(&self) -> usize {
+        self.lanes.iter().filter(|lane| lane.state == "up").count()
+    }
+}
+
+/// One lane of a [`FleetReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaneReport {
+    /// The worker's address.
+    pub addr: String,
+    /// `"up"` or `"excluded"`.
+    pub state: String,
+    /// Consecutive failed rejoin probes since exclusion (0 when up).
+    pub failures: u32,
+    /// Why the lane was excluded (empty when up).
+    pub cause: String,
 }
 
 #[cfg(test)]
@@ -991,6 +1379,95 @@ mod tests {
         assert_eq!(pool.lanes(), 2);
         assert_eq!(pool.addrs().len(), 2);
         assert!(pool.run_specs(&[]).is_empty());
+    }
+
+    #[test]
+    fn rejoin_policy_backs_off_exponentially_and_caps() {
+        let policy = RejoinPolicy {
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(600),
+            probe_timeout: Duration::from_millis(50),
+        };
+        assert_eq!(policy.delay(0), Duration::from_millis(100));
+        assert_eq!(policy.delay(1), Duration::from_millis(200));
+        assert_eq!(policy.delay(2), Duration::from_millis(400));
+        assert_eq!(policy.delay(3), Duration::from_millis(600));
+        assert_eq!(policy.delay(31), Duration::from_millis(600));
+        assert_eq!(policy.delay(64), Duration::from_millis(600));
+    }
+
+    #[test]
+    fn fleet_membership_adds_removes_and_reports() {
+        let a = WorkerAddr::Tcp("127.0.0.1:7401".into());
+        let b = WorkerAddr::Tcp("127.0.0.1:7402".into());
+        let pool = SocketPool::new(vec![a.clone()]);
+        let handle = pool.fleet().expect("socket pools supervise a fleet");
+
+        assert!(pool.add_worker(b.clone()), "new address joins");
+        assert!(!pool.add_worker(b.clone()), "duplicate is refused");
+        assert_eq!(pool.lanes(), 2);
+        assert_eq!(pool.addrs(), vec![a.clone(), b.clone()]);
+
+        let report = handle.report();
+        assert_eq!(report.up(), 2);
+        assert_eq!(report.rejoined, 0);
+        assert_eq!(report.probes, 0);
+        assert!(report
+            .lanes
+            .iter()
+            .all(|lane| lane.state == "up" && lane.failures == 0 && lane.cause.is_empty()));
+
+        handle.remove(&a).expect("removing a member");
+        assert_eq!(pool.lanes(), 1);
+        let err = handle.remove(&a).unwrap_err();
+        assert!(err.to_string().contains("not a fleet member"), "{err}");
+        let err = handle.remove(&b).unwrap_err();
+        assert!(err.to_string().contains("last lane"), "{err}");
+        assert_eq!(pool.lanes(), 1, "the last lane survives");
+    }
+
+    #[test]
+    fn probe_of_unreachable_excluded_lane_backs_off_and_counts() {
+        let dead = WorkerAddr::Tcp("127.0.0.1:1".into());
+        let rejoin = RejoinPolicy {
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            probe_timeout: Duration::from_millis(100),
+        };
+        let pool = SocketPool::with_config(
+            vec![dead.clone()],
+            SocketConfig {
+                rejoin,
+                ..SocketConfig::default()
+            },
+        );
+        exclude_lane(
+            &pool.fleet,
+            &dead,
+            &WorkerError::Disconnect {
+                addr: dead.to_string(),
+                cause: "test".into(),
+            },
+            rejoin,
+        );
+        let handle = pool.fleet_handle();
+        let report = handle.report();
+        assert_eq!(report.up(), 0);
+        assert_eq!(report.lanes[0].state, "excluded");
+        assert_eq!(handle.probe(), 0, "port 1 refuses, nothing rejoins");
+        assert_eq!(handle.probe(), 0);
+        let report = handle.report();
+        assert_eq!(report.probes, 2);
+        assert_eq!(report.rejoined, 0);
+        assert_eq!(report.lanes[0].failures, 2, "failed probes accumulate");
+    }
+
+    #[test]
+    fn non_socket_backends_have_no_fleet() {
+        let pool = SpecPool::new(ReplayPool::new(2), CoreResolver);
+        assert!(pool.fleet().is_none());
+        let procs = ProcessPool::with_command(1, vec!["unused".into()]);
+        assert!(procs.fleet().is_none());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The online execution engine.
 //!
-//! Seven entry points:
+//! Eight entry points:
 //!
 //! * [`run_source`] drives an [`OnlineAlgorithm`] over any
 //!   [`ArrivalSource`] — the primary ingestion path. Sources stream
@@ -53,6 +53,20 @@
 //!   [`run_spec`](crate::spec::run_spec) whatever backend executes them
 //!   (pinned by `tests/replay_service.rs`, including across a
 //!   fault-injected fleet and cache resubmission).
+//! * [`store`](crate::store) makes the service **crash-safe**: the
+//!   results cache behind a [`ResultStore`](crate::store::ResultStore)
+//!   seam — LRU-bounded in memory
+//!   ([`MemStore`](crate::store::MemStore)), journaled to disk with
+//!   checksummed records, torn-tail recovery, and snapshot compaction
+//!   ([`JournalStore`](crate::store::JournalStore)). With
+//!   `osp-serve --state-dir`, batch manifests checkpoint at every chunk
+//!   boundary, so a `kill -9` mid-batch resumes on restart recomputing
+//!   only unjournaled jobs; and the [`dispatch::SocketPool`] fleet is
+//!   *supervised* — excluded workers are probed with capped exponential
+//!   backoff ([`dispatch::RejoinPolicy`]) and re-admitted when they come
+//!   back, with membership editable at runtime over the serve wire's
+//!   `fleet` verb ([`dispatch::FleetHandle`]). Pinned by
+//!   `tests/crash_recovery.rs` against the real binaries.
 //!
 //! All paths enforce the model's rules (§2): each decision must pick at
 //! most `b(u)` distinct sets from `C(u)`. A set is **completed** iff it was

@@ -90,6 +90,18 @@ pub enum Error {
     /// submission queue is full or it is shutting down. Callers should
     /// back off and resubmit — nothing was enqueued.
     Unavailable(String),
+    /// A persisted journal record failed its checksum or did not decode.
+    ///
+    /// Raised (and recorded, never panicked on) by
+    /// [`JournalStore`](crate::store::JournalStore) while replaying a
+    /// results journal: the offending record is skipped and recovery
+    /// continues with the records that survive.
+    Corrupt {
+        /// Byte offset of the bad record within the journal or snapshot.
+        offset: u64,
+        /// What failed: checksum mismatch, undecodable payload, …
+        cause: String,
+    },
     /// A worker failed out-of-band — see [`WorkerError`] for the typed
     /// failure modes (spawn, connect, handshake, timeout, disconnect,
     /// fleet exhaustion, or a remote failure that crossed the boundary as
@@ -259,6 +271,9 @@ impl fmt::Display for Error {
             Error::InvalidSpec(why) => write!(f, "invalid spec: {why}"),
             Error::Protocol(why) => write!(f, "wire protocol error: {why}"),
             Error::Unavailable(why) => write!(f, "service unavailable: {why}"),
+            Error::Corrupt { offset, cause } => {
+                write!(f, "corrupt journal record at byte {offset}: {cause}")
+            }
             Error::Worker(why) => write!(f, "worker error: {why}"),
         }
     }

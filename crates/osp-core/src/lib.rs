@@ -56,6 +56,7 @@ pub mod serve;
 pub mod source;
 pub mod spec;
 pub mod stats;
+pub mod store;
 pub mod wire;
 
 pub use algorithm::{EngineView, OnlineAlgorithm};
@@ -63,8 +64,9 @@ pub use engine::batch::{
     derive_seed, env_parallelism, ReplayJob, ReplayPool, ReplayScratch, SourceJob,
 };
 pub use engine::dispatch::{
-    derived_jobs, worker_binary, DispatchEvent, Dispatcher, EventSink, ProcessPool, RetryPolicy,
-    SocketConfig, SocketPool, SpecPool, StderrSink,
+    derived_jobs, worker_binary, DispatchEvent, Dispatcher, EventSink, FleetHandle, FleetReport,
+    LaneReport, ProcessPool, RejoinPolicy, RetryPolicy, SocketConfig, SocketPool, SpecPool,
+    StderrSink,
 };
 pub use engine::{
     run, run_source, run_source_with_scratch, run_with_scratch, DecisionLog, Outcome, Session,
@@ -73,9 +75,11 @@ pub use error::{Error, WorkerError};
 pub use ids::{ElementId, SetId};
 pub use instance::{Arrival, Arrivals, Instance, InstanceBuilder, SetMeta};
 pub use serve::{
-    job_digest, BatchStatus, JobResult, ReplayService, ServeClient, ServeServer, ServiceConfig,
+    job_digest, BatchStatus, FleetCommand, JobResult, ReplayService, ServeClient, ServeServer,
+    ServiceConfig,
 };
 pub use source::{ArrivalSource, FramedSource, InstanceSource, OwnedInstanceSource, SocketSource};
 pub use spec::{run_spec, AlgorithmSpec, CoreResolver, JobSpec, ScenarioSpec, SpecResolver};
+pub use store::{JournalStore, MemStore, ResultStore, StoreLimits};
 pub use wire::socket::{SocketServer, WorkerAddr};
 pub use wire::FaultPlan;

@@ -12,12 +12,19 @@
 //!   does not care), plus a **content-addressed results cache** keyed by
 //!   the digest of each job's canonical JSON ([`job_digest`]): a
 //!   resubmitted spec is answered without recompute, and the hit/miss
-//!   counters are surfaced in every [`BatchStatus`];
+//!   counters are surfaced in every [`BatchStatus`]. The cache is a
+//!   [`ResultStore`]: bounded in memory (LRU, [`ServiceConfig`] caps)
+//!   and — with [`ServiceConfig::state_dir`] set — journaled to disk
+//!   ([`JournalStore`]), with **batch
+//!   manifests checkpointed at chunk boundaries** so a service killed
+//!   mid-batch resumes on restart, re-serving journaled results
+//!   bit-identically and recomputing only the missing jobs;
 //! * [`ServeServer`] — the wire front door: a [`WorkerAddr`] listener
 //!   (TCP or Unix-domain, the same transports as the worker fleet)
 //!   answering framed [`ServeRequest`]s — submit, status, fetch, cancel,
-//!   shutdown — against an embedded `ReplayService`, one thread per
-//!   connection, strict request/reply;
+//!   shutdown, and the `fleet` admin verb ([`FleetCommand`]: inspect,
+//!   add/remove workers, trigger a rejoin probe) — against an embedded
+//!   `ReplayService`, one thread per connection, strict request/reply;
 //! * [`ServeClient`] — the caller side: connect + [`Hello`] check, then
 //!   typed submit/status/fetch/cancel calls and a polling
 //!   [`wait`](ServeClient::wait) helper.
@@ -46,7 +53,7 @@
 //! let service = ReplayService::new(
 //!     Box::new(SpecPool::new(ReplayPool::new(2), CoreResolver)),
 //!     ServiceConfig::default(),
-//! );
+//! )?;
 //! let server = ServeServer::bind(&WorkerAddr::Tcp("127.0.0.1:0".into()), service)?;
 //! let mut client = ServeClient::connect(server.local_addr(), Duration::from_secs(5))?;
 //! let batch = client.submit(&jobs)?;
@@ -57,6 +64,7 @@
 
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -65,10 +73,11 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use crate::engine::dispatch::{DispatchEvent, Dispatcher, EventSink};
+use crate::engine::dispatch::{DispatchEvent, Dispatcher, EventSink, FleetHandle, FleetReport};
 use crate::engine::Outcome;
 use crate::error::{Error, WorkerError};
 use crate::spec::JobSpec;
+use crate::store::{JournalStore, MemStore, ResultStore, StoreLimits};
 use crate::wire;
 use crate::wire::socket::{read_hello, Listener, Stream, WorkerAddr};
 use crate::wire::Hello;
@@ -107,7 +116,7 @@ pub fn job_digest(job: &JobSpec) -> Result<(u64, u64), Error> {
 }
 
 /// Tuning for a [`ReplayService`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Batches the submission queue holds before [`ReplayService::submit`]
     /// answers [`Error::Unavailable`] (zero is treated as one). Bounded by
@@ -117,8 +126,28 @@ pub struct ServiceConfig {
     /// Jobs per dispatcher call inside one batch (zero is treated as
     /// one). Smaller chunks mean finer-grained progress in
     /// [`BatchStatus`] and faster cancel response; larger chunks amortize
-    /// per-call overhead.
+    /// per-call overhead. With a `state_dir` this is also the checkpoint
+    /// granularity: the batch manifest is rewritten after every chunk.
     pub chunk: usize,
+    /// Results-cache entry cap (`0` = unlimited). Least-recently-used
+    /// outcomes are evicted past the cap; evictions are counted in
+    /// [`BatchStatus::cache_evictions`].
+    pub cache_entries: usize,
+    /// Results-cache byte cap (`0` = unlimited), counting canonical-JSON
+    /// outcome bytes plus the 16-byte digest per entry.
+    pub cache_bytes: u64,
+    /// Persist the cache and batch manifests under this directory. The
+    /// cache becomes a [`JournalStore`] (journal + snapshot, crash-safe),
+    /// and interrupted batches found in the directory are re-queued on
+    /// construction — journaled jobs answered from the store, only the
+    /// rest recomputed.
+    pub state_dir: Option<PathBuf>,
+    /// Serve-side fault injection for crash drills: exit the process with
+    /// status 86 after this many dispatched chunks (lifetime count,
+    /// *after* the chunk's results are journaled and its manifest is
+    /// checkpointed). Wired to `OSP_FAULT=die-after-chunk:<n>` in
+    /// `osp-serve`; never set in production.
+    pub die_after_chunk: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -126,6 +155,10 @@ impl Default for ServiceConfig {
         ServiceConfig {
             queue_capacity: 64,
             chunk: 16,
+            cache_entries: StoreLimits::DEFAULT.max_entries,
+            cache_bytes: StoreLimits::DEFAULT.max_bytes,
+            state_dir: None,
+            die_after_chunk: None,
         }
     }
 }
@@ -227,9 +260,17 @@ pub struct BatchStatus {
     pub cache_hits: u64,
     /// Service-lifetime cache misses.
     pub cache_misses: u64,
+    /// Outcomes evicted from the results cache over the store's life
+    /// (LRU past the [`ServiceConfig`] caps).
+    pub cache_evictions: u64,
     /// Fleet workers excluded during dispatch since the service started
     /// (`addr: cause`, most recent last; socket backend only).
     pub excluded: Vec<String>,
+    /// Excluded workers re-admitted by the rejoin probe (socket backend
+    /// only; zero elsewhere).
+    pub workers_rejoined: u64,
+    /// Rejoin probes attempted, successful or not (socket backend only).
+    pub worker_probes: u64,
 }
 
 /// One batch as the service tracks it.
@@ -269,6 +310,7 @@ impl BatchRecord {
                 .to_string()
             })
             .collect();
+        let fleet = shared.fleet.as_ref().map(FleetHandle::report);
         BatchStatus {
             id,
             state: self.state.as_str().to_string(),
@@ -279,7 +321,10 @@ impl BatchRecord {
             jobs,
             cache_hits: shared.cache_hits,
             cache_misses: shared.cache_misses,
+            cache_evictions: shared.cache.evictions(),
             excluded: shared.excluded.clone(),
+            workers_rejoined: fleet.as_ref().map_or(0, |r| r.rejoined),
+            worker_probes: fleet.as_ref().map_or(0, |r| r.probes),
         }
     }
 }
@@ -289,13 +334,19 @@ struct ServiceState {
     batches: HashMap<u64, BatchRecord>,
     /// Content-addressed results: [`job_digest`] → outcome. Only
     /// successes are cached — errors may be transient (a dead fleet) and
-    /// must re-execute on resubmit.
-    cache: HashMap<(u64, u64), Outcome>,
+    /// must re-execute on resubmit. A [`MemStore`] by default; a
+    /// [`JournalStore`] when [`ServiceConfig::state_dir`] is set.
+    cache: Box<dyn ResultStore>,
     cache_hits: u64,
     cache_misses: u64,
     /// Excluded-worker log (`addr: cause`), capped at
     /// [`EXCLUDED_LOG_CAP`] most recent entries.
     excluded: Vec<String>,
+    /// Handle into the socket fleet's membership state, when the backend
+    /// has one — lets `Status` report rejoin counters and the `fleet`
+    /// admin verb mutate membership while the executor owns the
+    /// dispatcher. Lock order is always service state → fleet state.
+    fleet: Option<FleetHandle>,
 }
 
 /// Most recent worker exclusions kept for [`BatchStatus::excluded`].
@@ -311,13 +362,19 @@ struct ServiceSink {
 
 impl EventSink for ServiceSink {
     fn event(&self, event: DispatchEvent) {
-        if let DispatchEvent::WorkerExcluded { addr, error } = event {
-            eprintln!("osp: excluding worker {addr}: {error}");
-            let mut state = self.state.lock().expect("service state poisoned");
-            if state.excluded.len() >= EXCLUDED_LOG_CAP {
-                state.excluded.remove(0);
+        match event {
+            DispatchEvent::WorkerExcluded { addr, error } => {
+                eprintln!("osp: excluding worker {addr}: {error}");
+                let mut state = self.state.lock().expect("service state poisoned");
+                if state.excluded.len() >= EXCLUDED_LOG_CAP {
+                    state.excluded.remove(0);
+                }
+                state.excluded.push(format!("{addr}: {error}"));
             }
-            state.excluded.push(format!("{addr}: {error}"));
+            DispatchEvent::WorkerRejoined { addr } => {
+                eprintln!("osp: worker {addr} rejoined the fleet");
+            }
+            _ => {}
         }
     }
 }
@@ -334,34 +391,99 @@ pub struct ReplayService {
     next_id: AtomicU64,
     backend: &'static str,
     lanes: usize,
+    /// Where batch manifests live, when persistence is on.
+    state_dir: Option<PathBuf>,
 }
 
 impl ReplayService {
     /// Starts the service: spawns the executor thread owning
     /// `dispatcher`.
-    pub fn new(dispatcher: Box<dyn Dispatcher + Send>, config: ServiceConfig) -> ReplayService {
+    ///
+    /// With [`ServiceConfig::state_dir`] set, the results cache is opened
+    /// as a [`JournalStore`] (corrupt records are skipped and logged, a
+    /// torn tail is truncated) and every `batch-<id>.json` manifest found
+    /// in the directory — a batch interrupted by a crash — is re-queued
+    /// in id order: journaled jobs are answered from the store as cache
+    /// hits, only the rest are recomputed.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unavailable`] when the state directory cannot be created
+    /// or its journal cannot be opened. A corrupt journal is *not* an
+    /// error — recovery salvages every intact record.
+    pub fn new(
+        dispatcher: Box<dyn Dispatcher + Send>,
+        config: ServiceConfig,
+    ) -> Result<ReplayService, Error> {
         let backend = dispatcher.backend();
         let lanes = dispatcher.lanes();
+        let fleet = dispatcher.fleet();
+        let limits = StoreLimits {
+            max_entries: config.cache_entries,
+            max_bytes: config.cache_bytes,
+        };
+        let mut resumed: Vec<BatchManifest> = Vec::new();
+        let cache: Box<dyn ResultStore> = match &config.state_dir {
+            Some(dir) => {
+                let store = JournalStore::open(dir, limits)?;
+                for err in store.corrupt() {
+                    eprintln!("osp: warning: journal recovery skipped a record: {err}");
+                }
+                resumed = load_manifests(dir);
+                Box::new(store)
+            }
+            None => Box::new(MemStore::new(limits)),
+        };
+        let next_id = resumed.iter().map(|m| m.id).max().unwrap_or(0) + 1;
+        let mut batches = HashMap::new();
+        for manifest in &resumed {
+            let total = manifest.jobs.len();
+            batches.insert(
+                manifest.id,
+                BatchRecord {
+                    jobs: manifest.jobs.clone(),
+                    results: vec![None; total],
+                    from_cache: vec![false; total],
+                    state: BatchState::Queued,
+                    cancel: false,
+                },
+            );
+        }
         let state = Arc::new(Mutex::new(ServiceState {
-            batches: HashMap::new(),
-            cache: HashMap::new(),
+            batches,
+            cache,
             cache_hits: 0,
             cache_misses: 0,
             excluded: Vec::new(),
+            fleet,
         }));
-        let (sender, receiver) = std::sync::mpsc::sync_channel(config.queue_capacity.max(1));
+        // The channel must hold every resumed batch up front — resume
+        // happens before the executor starts, so nothing is draining yet.
+        let capacity = config.queue_capacity.max(resumed.len()).max(1);
+        let (sender, receiver) = std::sync::mpsc::sync_channel(capacity);
+        for manifest in &resumed {
+            eprintln!(
+                "osp: resuming batch {} ({} job{})",
+                manifest.id,
+                manifest.jobs.len(),
+                if manifest.jobs.len() == 1 { "" } else { "s" }
+            );
+            sender.send(manifest.id).expect("resume queue sized to fit");
+        }
+        let state_dir = config.state_dir.clone();
         let executor = {
             let state = Arc::clone(&state);
             std::thread::spawn(move || executor_loop(&state, &receiver, &*dispatcher, config))
         };
-        ReplayService {
+        Ok(ReplayService {
             state,
             sender: Mutex::new(Some(sender)),
             executor: Mutex::new(Some(executor)),
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(next_id),
             backend,
             lanes,
-        }
+            state_dir,
+        })
     }
 
     /// The executing backend's tag (`"threads"` / `"processes"` /
@@ -392,13 +514,19 @@ impl ReplayService {
             state.batches.insert(
                 id,
                 BatchRecord {
-                    jobs,
+                    jobs: jobs.clone(),
                     results: vec![None; total],
                     from_cache: vec![false; total],
                     state: BatchState::Queued,
                     cancel: false,
                 },
             );
+        }
+        // Checkpoint the manifest *before* enqueueing: once the executor
+        // can see the batch, the on-disk record must already exist, or a
+        // crash in the gap would lose it.
+        if let Some(dir) = &self.state_dir {
+            write_manifest(dir, &BatchManifest::new(id, &jobs));
         }
         let sender = self.sender.lock().expect("service sender poisoned");
         let enqueue = match sender.as_ref() {
@@ -408,12 +536,54 @@ impl ReplayService {
         if let Err(e) = enqueue {
             let mut state = self.state.lock().expect("service state poisoned");
             state.batches.remove(&id);
+            drop(state);
+            if let Some(dir) = &self.state_dir {
+                remove_manifest(dir, id);
+            }
             return Err(Error::Unavailable(match e {
                 TrySendError::Full(_) => "submission queue is full — resubmit later".to_string(),
                 TrySendError::Disconnected(_) => "service is shutting down".to_string(),
             }));
         }
         Ok(id)
+    }
+
+    /// Runs a fleet-supervision command against the backend's socket
+    /// fleet: inspect membership, add or remove a worker, or force a
+    /// rejoin probe of every excluded lane. Always answers with the
+    /// post-command [`FleetReport`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Unavailable`] when the backend is not a socket fleet;
+    /// [`Error::InvalidSpec`] for an unparseable address, removing a
+    /// non-member, or removing the last lane.
+    pub fn fleet(&self, command: FleetCommand) -> Result<FleetReport, Error> {
+        let handle = {
+            let state = self.state.lock().expect("service state poisoned");
+            state.fleet.clone()
+        };
+        let Some(handle) = handle else {
+            return Err(Error::Unavailable(format!(
+                "the {} backend has no socket fleet to supervise",
+                self.backend
+            )));
+        };
+        match command {
+            FleetCommand::Status => {}
+            FleetCommand::Add(addr) => {
+                let addr = WorkerAddr::parse(&addr).map_err(Error::InvalidSpec)?;
+                handle.add(addr);
+            }
+            FleetCommand::Remove(addr) => {
+                let addr = WorkerAddr::parse(&addr).map_err(Error::InvalidSpec)?;
+                handle.remove(&addr)?;
+            }
+            FleetCommand::Probe => {
+                handle.probe();
+            }
+        }
+        Ok(handle.report())
     }
 
     /// A point-in-time report on batch `id`; `None` for an unknown id.
@@ -484,6 +654,12 @@ impl Drop for ReplayService {
 /// The executor: drains batch ids off the queue, runs each through the
 /// dispatcher chunk by chunk with a cache pass first, and finalizes the
 /// record. Runs until the submission channel disconnects.
+///
+/// With a state directory, every chunk boundary is a checkpoint: the
+/// chunk's outcomes land in the journal (inside `cache.put`), then the
+/// batch manifest is rewritten with the enlarged `completed` list — so a
+/// crash at any instant loses at most the in-flight chunk. Terminal
+/// batches drop their manifest (the journal keeps the outcomes).
 fn executor_loop(
     state: &Arc<Mutex<ServiceState>>,
     receiver: &Receiver<u64>,
@@ -494,6 +670,9 @@ fn executor_loop(
         state: Arc::clone(state),
     };
     let chunk = config.chunk.max(1);
+    let state_dir = config.state_dir.as_deref();
+    // Lifetime dispatched-chunk count, for `die-after-chunk` drills.
+    let mut chunks_dispatched: u64 = 0;
     while let Ok(id) = receiver.recv() {
         // Claim the batch: cancelled-while-queued short-circuits here.
         let jobs = {
@@ -503,6 +682,10 @@ fn executor_loop(
             };
             if record.cancel {
                 record.state = BatchState::Cancelled;
+                drop(guard);
+                if let Some(dir) = state_dir {
+                    remove_manifest(dir, id);
+                }
                 continue;
             }
             record.state = BatchState::Running;
@@ -510,14 +693,19 @@ fn executor_loop(
         };
 
         // Cache pass: answer every hit up front, then dispatch only the
-        // misses. Digests computed outside the lock; it is pure CPU.
+        // misses. Digests computed outside the lock; it is pure CPU. On a
+        // post-crash resume this is where journaled outcomes short-circuit
+        // recompute — they surface as cache hits.
         let digests: Vec<Option<(u64, u64)>> =
             jobs.iter().map(|job| job_digest(job).ok()).collect();
         let uncached: Vec<usize> = {
             let mut guard = state.lock().expect("service state poisoned");
             let mut uncached = Vec::new();
             for (index, digest) in digests.iter().enumerate() {
-                let hit = digest.and_then(|d| guard.cache.get(&d).cloned());
+                let hit = match digest {
+                    Some(d) => guard.cache.get(*d),
+                    None => None,
+                };
                 match hit {
                     Some(outcome) => {
                         guard.cache_hits += 1;
@@ -548,13 +736,33 @@ fn executor_loop(
             }
             let specs: Vec<JobSpec> = slice.iter().map(|&i| jobs[i].clone()).collect();
             let outcomes = dispatcher.run_specs_with_events(&specs, &sink);
+            chunks_dispatched += 1;
             let mut guard = state.lock().expect("service state poisoned");
             for (&index, result) in slice.iter().zip(outcomes) {
                 if let (Ok(outcome), Some(digest)) = (&result, digests[index]) {
-                    guard.cache.insert(digest, outcome.clone());
+                    guard.cache.put(digest, outcome);
                 }
                 let record = guard.batches.get_mut(&id).expect("running batch exists");
                 record.results[index] = Some(result.map_err(|e| e.to_string()));
+            }
+            if let Some(dir) = state_dir {
+                // Chunk boundary checkpoint: journal first (the puts
+                // above), then the manifest naming what is journaled.
+                guard.cache.flush();
+                let record = guard.batches.get_mut(&id).expect("running batch exists");
+                write_manifest(dir, &BatchManifest::checkpoint(id, record, &digests));
+            }
+            drop(guard);
+            if config
+                .die_after_chunk
+                .is_some_and(|n| chunks_dispatched >= n)
+            {
+                // Fault drill: the checkpoint above is durable; die the
+                // way a power cut would — no unwinding, no Drop glue.
+                eprintln!(
+                    "osp: fault injection: dying after chunk {chunks_dispatched} (die-after-chunk)"
+                );
+                std::process::exit(i32::from(wire::FAULT_EXIT));
             }
         }
 
@@ -567,15 +775,157 @@ fn executor_loop(
         } else {
             BatchState::Done
         };
+        drop(guard);
+        if let Some(dir) = state_dir {
+            // Terminal: the manifest has done its job; results live in
+            // the journal (and in memory until the service drops).
+            remove_manifest(dir, id);
+        }
     }
     // Channel disconnected: whatever never started is cancelled, so
     // late status calls see a terminal state instead of `queued` forever.
     let mut guard = state.lock().expect("service state poisoned");
-    for record in guard.batches.values_mut() {
+    let mut cancelled_ids = Vec::new();
+    for (&id, record) in guard.batches.iter_mut() {
         if record.state == BatchState::Queued {
             record.state = BatchState::Cancelled;
+            cancelled_ids.push(id);
         }
     }
+    guard.cache.flush();
+    drop(guard);
+    if let Some(dir) = state_dir {
+        for id in cancelled_ids {
+            remove_manifest(dir, id);
+        }
+    }
+}
+
+/// On-disk checkpoint of one batch — `batch-<id>.json` in the state
+/// directory. Written atomically (tmp + rename) when the batch is
+/// submitted and rewritten at every chunk boundary; removed when the
+/// batch reaches a terminal state. A manifest still on disk at startup
+/// is therefore exactly an interrupted batch, and [`ReplayService::new`]
+/// re-queues it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct BatchManifest {
+    /// The batch id (also in the file name; the file wins for discovery,
+    /// this field for integrity).
+    id: u64,
+    /// The full job list — resume needs the specs, not just digests.
+    jobs: Vec<JobSpec>,
+    /// First digest lane per job (`0` for an undigestable spec).
+    digest_a: Vec<u64>,
+    /// Second digest lane per job.
+    digest_b: Vec<u64>,
+    /// Indices of jobs whose successful outcome was journaled by the
+    /// last checkpoint — what a resume may skip.
+    completed: Vec<u64>,
+}
+
+impl BatchManifest {
+    /// The submission-time manifest: nothing completed yet.
+    fn new(id: u64, jobs: &[JobSpec]) -> BatchManifest {
+        let digests: Vec<Option<(u64, u64)>> = jobs.iter().map(|j| job_digest(j).ok()).collect();
+        BatchManifest {
+            id,
+            jobs: jobs.to_vec(),
+            digest_a: digests.iter().map(|d| d.map_or(0, |d| d.0)).collect(),
+            digest_b: digests.iter().map(|d| d.map_or(0, |d| d.1)).collect(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// A chunk-boundary checkpoint: `completed` lists every job whose
+    /// successful outcome is in the journal right now.
+    fn checkpoint(id: u64, record: &BatchRecord, digests: &[Option<(u64, u64)>]) -> BatchManifest {
+        BatchManifest {
+            id,
+            jobs: record.jobs.clone(),
+            digest_a: digests.iter().map(|d| d.map_or(0, |d| d.0)).collect(),
+            digest_b: digests.iter().map(|d| d.map_or(0, |d| d.1)).collect(),
+            completed: record
+                .results
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| matches!(r, Some(Ok(_))))
+                .map(|(i, _)| i as u64)
+                .collect(),
+        }
+    }
+}
+
+fn manifest_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("batch-{id}.json"))
+}
+
+/// Writes `batch-<id>.json` atomically. Persistence failures are logged,
+/// not fatal: the service keeps serving from memory and the operator
+/// sees why resume would be incomplete.
+fn write_manifest(dir: &Path, manifest: &BatchManifest) {
+    let path = manifest_path(dir, manifest.id);
+    let tmp = path.with_extension("json.tmp");
+    let json = match serde_json::to_string(manifest) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!(
+                "osp: warning: cannot encode manifest for batch {}: {e}",
+                manifest.id
+            );
+            return;
+        }
+    };
+    let write = std::fs::write(&tmp, json).and_then(|()| std::fs::rename(&tmp, &path));
+    if let Err(e) = write {
+        eprintln!("osp: warning: cannot checkpoint batch {}: {e}", manifest.id);
+    }
+}
+
+fn remove_manifest(dir: &Path, id: u64) {
+    let _ = std::fs::remove_file(manifest_path(dir, id));
+}
+
+/// Scans a state directory for `batch-<id>.json` manifests, id order.
+/// Unreadable or undecodable manifests are skipped with a warning —
+/// recovery salvages what it can, like the journal scan.
+fn load_manifests(dir: &Path) -> Vec<BatchManifest> {
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return found;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(id_text) = name
+            .strip_prefix("batch-")
+            .and_then(|rest| rest.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        let Ok(id) = id_text.parse::<u64>() else {
+            continue;
+        };
+        let path = entry.path();
+        let decoded = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|json| {
+                serde_json::from_str::<BatchManifest>(&json).map_err(|e| e.to_string())
+            });
+        match decoded {
+            Ok(manifest) if manifest.id == id => found.push(manifest),
+            Ok(manifest) => eprintln!(
+                "osp: warning: skipping manifest {}: file says batch {id}, body says {}",
+                path.display(),
+                manifest.id
+            ),
+            Err(e) => eprintln!(
+                "osp: warning: skipping unreadable manifest {}: {e}",
+                path.display()
+            ),
+        }
+    }
+    found.sort_by_key(|m| m.id);
+    found
 }
 
 /// One client → service message. Same tagged-map wire idiom as
@@ -591,8 +941,55 @@ pub enum ServeRequest {
     Fetch(u64),
     /// Cancel a batch; answered with [`ServeReply::Cancelled`].
     Cancel(u64),
+    /// A fleet-supervision command; answered with [`ServeReply::Fleet`]
+    /// (or [`ServeReply::Error`] on a non-socket backend).
+    Fleet(FleetCommand),
     /// Stop the whole server; answered with [`ServeReply::Bye`].
     Shutdown,
+}
+
+/// The `fleet` admin verb's sub-commands (protocol v3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetCommand {
+    /// Report membership and rejoin counters; mutates nothing.
+    Status,
+    /// Add a worker address (parsed like `OSP_WORKERS`) to the fleet; a
+    /// duplicate address is a no-op.
+    Add(String),
+    /// Remove a worker address from the fleet. Removing a non-member or
+    /// the last lane is refused.
+    Remove(String),
+    /// Probe every excluded lane now, ignoring its backoff deadline.
+    Probe,
+}
+
+impl Serialize for FleetCommand {
+    fn to_value(&self) -> serde::Value {
+        let (key, value) = match self {
+            FleetCommand::Status => ("status", serde::Value::Bool(true)),
+            FleetCommand::Add(addr) => ("add", serde::Value::Str(addr.clone())),
+            FleetCommand::Remove(addr) => ("remove", serde::Value::Str(addr.clone())),
+            FleetCommand::Probe => ("probe", serde::Value::Bool(true)),
+        };
+        serde::Value::Map(vec![(key.to_string(), value)])
+    }
+}
+
+impl Deserialize for FleetCommand {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        if let Ok(addr) = serde::get_field(value, "add") {
+            return Ok(FleetCommand::Add(String::from_value(addr)?));
+        }
+        if let Ok(addr) = serde::get_field(value, "remove") {
+            return Ok(FleetCommand::Remove(String::from_value(addr)?));
+        }
+        if let Ok(probe) = serde::get_field(value, "probe") {
+            bool::from_value(probe)?;
+            return Ok(FleetCommand::Probe);
+        }
+        bool::from_value(serde::get_field(value, "status")?)?;
+        Ok(FleetCommand::Status)
+    }
 }
 
 impl Serialize for ServeRequest {
@@ -602,6 +999,7 @@ impl Serialize for ServeRequest {
             ServeRequest::Status(id) => ("status", serde::Value::U64(*id)),
             ServeRequest::Fetch(id) => ("fetch", serde::Value::U64(*id)),
             ServeRequest::Cancel(id) => ("cancel", serde::Value::U64(*id)),
+            ServeRequest::Fleet(command) => ("fleet", command.to_value()),
             ServeRequest::Shutdown => ("shutdown", serde::Value::Bool(true)),
         };
         serde::Value::Map(vec![(key.to_string(), value)])
@@ -622,6 +1020,9 @@ impl Deserialize for ServeRequest {
         if let Ok(id) = serde::get_field(value, "cancel") {
             return Ok(ServeRequest::Cancel(u64::from_value(id)?));
         }
+        if let Ok(command) = serde::get_field(value, "fleet") {
+            return Ok(ServeRequest::Fleet(FleetCommand::from_value(command)?));
+        }
         bool::from_value(serde::get_field(value, "shutdown")?)?;
         Ok(ServeRequest::Shutdown)
     }
@@ -638,6 +1039,8 @@ pub enum ServeReply {
     Results(Vec<JobResult>),
     /// Whether the cancel request took hold.
     Cancelled(bool),
+    /// The fleet report after a [`ServeRequest::Fleet`] command.
+    Fleet(FleetReport),
     /// Acknowledges [`ServeRequest::Shutdown`].
     Bye,
     /// Back-pressure: queue full or shutting down; resubmit later.
@@ -653,6 +1056,7 @@ impl Serialize for ServeReply {
             ServeReply::Report(status) => ("report", status.to_value()),
             ServeReply::Results(results) => ("results", results.to_value()),
             ServeReply::Cancelled(took) => ("cancelled", serde::Value::Bool(*took)),
+            ServeReply::Fleet(report) => ("fleet", report.to_value()),
             ServeReply::Bye => ("bye", serde::Value::Bool(true)),
             ServeReply::Busy(why) => ("busy", serde::Value::Str(why.clone())),
             ServeReply::Error(why) => ("error", serde::Value::Str(why.clone())),
@@ -675,6 +1079,9 @@ impl Deserialize for ServeReply {
         if let Ok(took) = serde::get_field(value, "cancelled") {
             return Ok(ServeReply::Cancelled(bool::from_value(took)?));
         }
+        if let Ok(report) = serde::get_field(value, "fleet") {
+            return Ok(ServeReply::Fleet(FleetReport::from_value(report)?));
+        }
         if let Ok(why) = serde::get_field(value, "busy") {
             return Ok(ServeReply::Busy(String::from_value(why)?));
         }
@@ -689,7 +1096,7 @@ impl Deserialize for ServeReply {
 /// The verbs a serve front door answers — its [`Hello`] roster, so a
 /// probing client can tell a service endpoint from a worker endpoint.
 fn serve_roster() -> Vec<String> {
-    ["submit", "status", "fetch", "cancel", "shutdown"]
+    ["submit", "status", "fetch", "cancel", "fleet", "shutdown"]
         .iter()
         .map(|s| (*s).to_string())
         .collect()
@@ -823,6 +1230,10 @@ fn serve_connection(
                 None => ServeReply::Error(format!("unknown batch id {id}")),
             },
             ServeRequest::Cancel(id) => ServeReply::Cancelled(service.cancel(id)),
+            ServeRequest::Fleet(command) => match service.fleet(command) {
+                Ok(report) => ServeReply::Fleet(report),
+                Err(e) => ServeReply::Error(e.to_string()),
+            },
             ServeRequest::Shutdown => {
                 shutdown_requested.store(true, Ordering::SeqCst);
                 ServeReply::Bye
@@ -953,6 +1364,22 @@ impl ServeClient {
         }
     }
 
+    /// Runs a fleet-supervision command (see [`ReplayService::fleet`]),
+    /// returning the post-command [`FleetReport`].
+    ///
+    /// # Errors
+    ///
+    /// [`WorkerError::Remote`] when the service refuses the command
+    /// (non-socket backend, bad address, last lane), [`Error::Worker`]
+    /// for transport failures.
+    pub fn fleet(&mut self, command: FleetCommand) -> Result<FleetReport, Error> {
+        match self.call(&ServeRequest::Fleet(command))? {
+            ServeReply::Fleet(report) => Ok(report),
+            ServeReply::Error(why) => Err(Error::Worker(WorkerError::Remote(why))),
+            other => Err(self.unexpected(&other)),
+        }
+    }
+
     /// Asks the whole server to shut down (acknowledged before the
     /// server's hosting binary acts on it).
     ///
@@ -1001,7 +1428,7 @@ impl ServeClient {
 mod tests {
     use super::*;
     use crate::engine::batch::ReplayPool;
-    use crate::engine::dispatch::{derived_jobs, SpecPool};
+    use crate::engine::dispatch::{derived_jobs, LaneReport, SpecPool};
     use crate::gen::RandomInstanceConfig;
     use crate::spec::{run_spec, AlgorithmSpec, CoreResolver, ScenarioSpec};
 
@@ -1020,8 +1447,10 @@ mod tests {
             ServiceConfig {
                 queue_capacity: 4,
                 chunk: 3,
+                ..ServiceConfig::default()
             },
         )
+        .expect("in-memory service never fails to start")
     }
 
     fn wait_terminal(service: &ReplayService, id: u64) -> BatchStatus {
@@ -1134,6 +1563,133 @@ mod tests {
         assert!(matches!(err, Error::Unavailable(_)), "got {err:?}");
     }
 
+    fn temp_state_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("osp-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn persistent_service(dir: &Path) -> ReplayService {
+        ReplayService::new(
+            Box::new(SpecPool::new(ReplayPool::new(2), CoreResolver)),
+            ServiceConfig {
+                queue_capacity: 4,
+                chunk: 2,
+                state_dir: Some(dir.to_path_buf()),
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("persistent service opens")
+    }
+
+    #[test]
+    fn journaled_results_survive_a_restart_and_serve_as_cache_hits() {
+        let dir = temp_state_dir("restart");
+        let batch = jobs(5);
+        let want: Vec<Outcome> = batch
+            .iter()
+            .map(|j| run_spec(j, &CoreResolver).unwrap())
+            .collect();
+        {
+            let service = persistent_service(&dir);
+            let id = service.submit(batch.clone()).unwrap();
+            let status = wait_terminal(&service, id);
+            assert_eq!(status.state, "done");
+            assert_eq!(status.cached, 0);
+            service.shutdown();
+        }
+        let service = persistent_service(&dir);
+        let id = service.submit(batch).unwrap();
+        let status = wait_terminal(&service, id);
+        assert_eq!(status.state, "done");
+        assert_eq!(status.cached, 5, "a restart must reload the journal");
+        let results = service.fetch(id).unwrap();
+        for (result, want) in results.iter().zip(&want) {
+            match result {
+                JobResult::Ok(got) => {
+                    assert_eq!(got, want, "journal round trip must be bit-identical")
+                }
+                other => panic!("expected an outcome, got {other:?}"),
+            }
+        }
+        service.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_interrupted_manifest_resumes_computing_only_missing_jobs() {
+        let dir = temp_state_dir("resume");
+        let batch = jobs(4);
+        let want: Vec<Outcome> = batch
+            .iter()
+            .map(|j| run_spec(j, &CoreResolver).unwrap())
+            .collect();
+        // Forge the post-crash state by hand: the journal holds the first
+        // two outcomes, and a manifest says batch 9 never finished.
+        {
+            let mut store = JournalStore::open(&dir, StoreLimits::default()).unwrap();
+            for (job, outcome) in batch.iter().zip(&want).take(2) {
+                store.put(job_digest(job).unwrap(), outcome);
+            }
+            store.flush();
+        }
+        write_manifest(&dir, &BatchManifest::new(9, &batch));
+
+        let service = persistent_service(&dir);
+        let status = wait_terminal(&service, 9);
+        assert_eq!(status.state, "done");
+        assert_eq!(status.cached, 2, "journaled jobs must not recompute");
+        assert_eq!(status.cache_misses, 2);
+        let results = service.fetch(9).unwrap();
+        for (result, want) in results.iter().zip(&want) {
+            match result {
+                JobResult::Ok(got) => assert_eq!(got, want, "resume must be bit-identical"),
+                other => panic!("expected an outcome, got {other:?}"),
+            }
+        }
+        // Fresh ids continue after the resumed one, and a finished batch
+        // leaves no manifest to resume again.
+        let next = service.submit(jobs(1)).unwrap();
+        assert_eq!(next, 10);
+        wait_terminal(&service, next);
+        service.shutdown();
+        assert!(
+            !manifest_path(&dir, 9).exists(),
+            "terminal batches drop their manifest"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_bounded_cache_evicts_and_reports_it() {
+        let service = ReplayService::new(
+            Box::new(SpecPool::new(ReplayPool::new(2), CoreResolver)),
+            ServiceConfig {
+                queue_capacity: 4,
+                chunk: 3,
+                cache_entries: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("bounded service starts");
+        let id = service.submit(jobs(5)).unwrap();
+        let status = wait_terminal(&service, id);
+        assert_eq!(status.state, "done");
+        assert!(
+            status.cache_evictions >= 3,
+            "five results through a two-entry cache must evict; status: {status:?}"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn fleet_commands_are_refused_off_the_socket_backend() {
+        let service = service();
+        let err = service.fleet(FleetCommand::Status).unwrap_err();
+        assert!(matches!(err, Error::Unavailable(_)), "got {err:?}");
+        service.shutdown();
+    }
+
     #[test]
     fn serve_frames_round_trip() {
         let requests = vec![
@@ -1141,6 +1697,10 @@ mod tests {
             ServeRequest::Status(7),
             ServeRequest::Fetch(8),
             ServeRequest::Cancel(9),
+            ServeRequest::Fleet(FleetCommand::Status),
+            ServeRequest::Fleet(FleetCommand::Add("127.0.0.1:7411".into())),
+            ServeRequest::Fleet(FleetCommand::Remove("uds:/tmp/w0.sock".into())),
+            ServeRequest::Fleet(FleetCommand::Probe),
             ServeRequest::Shutdown,
         ];
         let mut buf = Vec::new();
@@ -1166,7 +1726,10 @@ mod tests {
                 jobs: vec!["cached".into(), "pending".into()],
                 cache_hits: 4,
                 cache_misses: 2,
+                cache_evictions: 1,
                 excluded: vec!["127.0.0.1:9: boom".into()],
+                workers_rejoined: 1,
+                worker_probes: 3,
             }),
             ServeReply::Results(vec![
                 JobResult::Ok(outcome),
@@ -1174,6 +1737,24 @@ mod tests {
                 JobResult::Pending,
             ]),
             ServeReply::Cancelled(true),
+            ServeReply::Fleet(FleetReport {
+                lanes: vec![
+                    LaneReport {
+                        addr: "127.0.0.1:7411".into(),
+                        state: "up".into(),
+                        failures: 0,
+                        cause: String::new(),
+                    },
+                    LaneReport {
+                        addr: "127.0.0.1:7412".into(),
+                        state: "excluded".into(),
+                        failures: 2,
+                        cause: "connect refused".into(),
+                    },
+                ],
+                rejoined: 1,
+                probes: 4,
+            }),
             ServeReply::Bye,
             ServeReply::Busy("queue full".into()),
             ServeReply::Error("unknown batch".into()),

@@ -62,17 +62,24 @@ use crate::spec::{run_spec_with_scratch, JobSpec, SpecResolver};
 
 /// Version of the framed protocol this build speaks. `v2` added the
 /// service front door ([`serve`](crate::serve): submit/status/fetch/
-/// cancel frames); the worker job/ping session is unchanged since `v1`,
-/// so clients accept any [`Hello`] version in
+/// cancel frames); `v3` added the `fleet` admin verb (inspect/adjust the
+/// supervised socket fleet at runtime). The worker job/ping session is
+/// unchanged since `v1`, so clients accept any [`Hello`] version in
 /// `MIN_WIRE_VERSION..=WIRE_VERSION` and fail the handshake
 /// ([`WorkerError::Handshake`](crate::error::WorkerError::Handshake))
 /// outside that range — mixed-build fleets must fail loudly at connect
 /// time, never by misinterpreting frames mid-batch.
-pub const WIRE_VERSION: u32 = 2;
+pub const WIRE_VERSION: u32 = 3;
 
 /// Oldest protocol version this build still interoperates with (the
 /// worker session has not changed since `v1`).
 pub const MIN_WIRE_VERSION: u32 = 1;
+
+/// Process exit status for a [`FaultPlan`]-injected death — both
+/// `osp-worker` (`die:<n>`) and `osp-serve` (`die-after-chunk:<n>`) die
+/// with this code, so harnesses can tell an injected crash from a real
+/// one.
+pub const FAULT_EXIT: u8 = 86;
 
 /// Hard upper bound on a frame payload (64 MiB). Real messages are far
 /// smaller; the cap is what turns a garbage length prefix into a clean
@@ -407,6 +414,11 @@ pub struct FaultPlan {
     pub die_after: Option<u64>,
     /// Sleep before answering one chosen job.
     pub stall: Option<Stall>,
+    /// Serve-side only: `osp-serve` exits (hard, like `kill -9`) after
+    /// its executor finishes this many dispatch chunks — the
+    /// deterministic crash for `tests/crash_recovery.rs` and the CI
+    /// `chaos-recovery` job. Workers reject plans carrying this clause.
+    pub die_after_chunk: Option<u64>,
 }
 
 /// The stall clause of a [`FaultPlan`].
@@ -423,6 +435,7 @@ impl FaultPlan {
     pub const NONE: FaultPlan = FaultPlan {
         die_after: None,
         stall: None,
+        die_after_chunk: None,
     };
 
     /// Whether this plan injects anything.
@@ -430,8 +443,9 @@ impl FaultPlan {
         *self == FaultPlan::NONE
     }
 
-    /// Parses a plan string: comma-separated `die:<n>` / `stall:<job>:<millis>`
-    /// clauses. Empty input is [`FaultPlan::NONE`].
+    /// Parses a plan string: comma-separated `die:<n>` /
+    /// `stall:<job>:<millis>` / `die-after-chunk:<n>` clauses. Empty
+    /// input is [`FaultPlan::NONE`].
     ///
     /// # Errors
     ///
@@ -441,7 +455,13 @@ impl FaultPlan {
     pub fn parse(plan: &str) -> Result<FaultPlan, String> {
         let mut out = FaultPlan::NONE;
         for clause in plan.split(',').map(str::trim).filter(|c| !c.is_empty()) {
-            if let Some(n) = clause.strip_prefix("die:") {
+            if let Some(n) = clause.strip_prefix("die-after-chunk:") {
+                out.die_after_chunk = Some(
+                    n.trim()
+                        .parse()
+                        .map_err(|e| format!("bad die-after-chunk clause `{clause}`: {e}"))?,
+                );
+            } else if let Some(n) = clause.strip_prefix("die:") {
                 out.die_after = Some(
                     n.trim()
                         .parse()
@@ -463,7 +483,8 @@ impl FaultPlan {
                 });
             } else {
                 return Err(format!(
-                    "unknown fault clause `{clause}` (want die:<n> or stall:<job>:<ms>)"
+                    "unknown fault clause `{clause}` (want die:<n>, stall:<job>:<ms>, \
+                     or die-after-chunk:<n>)"
                 ));
             }
         }
@@ -833,7 +854,7 @@ mod tests {
             FaultPlan::parse("die:5").unwrap(),
             FaultPlan {
                 die_after: Some(5),
-                stall: None
+                ..FaultPlan::NONE
             }
         );
         assert_eq!(
@@ -843,11 +864,20 @@ mod tests {
                 stall: Some(Stall {
                     job: 2,
                     millis: 750
-                })
+                }),
+                ..FaultPlan::NONE
+            }
+        );
+        assert_eq!(
+            FaultPlan::parse("die-after-chunk:3").unwrap(),
+            FaultPlan {
+                die_after_chunk: Some(3),
+                ..FaultPlan::NONE
             }
         );
         assert!(FaultPlan::parse("die:lots").is_err());
         assert!(FaultPlan::parse("stall:2").is_err());
+        assert!(FaultPlan::parse("die-after-chunk:soon").is_err());
         assert!(FaultPlan::parse("explode:now").is_err());
     }
 

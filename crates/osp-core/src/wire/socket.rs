@@ -355,6 +355,15 @@ impl Listener {
                 Ok((Listener::Tcp(listener), WorkerAddr::Tcp(local.to_string())))
             }
             WorkerAddr::Uds(path) => {
+                // A crashed server (SIGKILL, fault-kill) leaves its
+                // socket file behind, and a Unix bind on an existing
+                // path fails — so a crash-restart cycle on the same
+                // address would wedge. If the path holds a *dead* socket
+                // (nothing accepts a probe connect), clear it; a live
+                // listener still refuses the double-bind.
+                if path.exists() && UnixStream::connect(path).is_err() {
+                    let _ = std::fs::remove_file(path);
+                }
                 let listener = UnixListener::bind(path).map_err(|e| {
                     WorkerError::Spawn(format!("binding uds:{}: {e}", path.display()))
                 })?;
@@ -594,6 +603,25 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let addr = WorkerAddr::Uds(path.clone());
         let server = SocketServer::bind(&addr, CoreResolver, FaultPlan::NONE).unwrap();
+        assert!(ping(&addr, Duration::from_secs(5)).is_ok());
+        server.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_uds_path_left_by_a_crash_is_cleared_on_rebind() {
+        let dir = std::env::temp_dir().join(format!("osp-uds-stale-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("worker.sock");
+        let _ = std::fs::remove_file(&path);
+        // A listener that "crashes": dropped without unlinking its path,
+        // exactly what SIGKILL leaves behind.
+        drop(UnixListener::bind(&path).unwrap());
+        assert!(path.exists(), "the stale socket file survives the crash");
+        // The restart must bind over it instead of failing.
+        let addr = WorkerAddr::Uds(path.clone());
+        let server = SocketServer::bind(&addr, CoreResolver, FaultPlan::NONE)
+            .expect("rebinding over a stale socket path");
         assert!(ping(&addr, Duration::from_secs(5)).is_ok());
         server.stop();
         let _ = std::fs::remove_dir_all(&dir);

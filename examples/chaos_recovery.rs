@@ -1,0 +1,157 @@
+//! Crash safety, end to end in one process: journal a batch of outcomes,
+//! tear the journal the way a power cut would, flip a bit the way a bad
+//! disk would — and watch recovery salvage every intact record, then a
+//! restarted replay service answer the whole batch from disk without
+//! recomputing a job.
+//!
+//! ```text
+//! cargo run --release --example chaos_recovery
+//! ```
+//!
+//! Four acts:
+//!
+//! 1. **Journal** — a [`ReplayService`] with a `state_dir` computes a
+//!    batch; every outcome lands in `journal.osp` as it is produced.
+//! 2. **Corrupt** — with the service gone, the journal's tail is
+//!    truncated mid-record (a torn write) and one byte of an intact
+//!    record is flipped (rot). Both are different failures: a torn tail
+//!    is expected on crash and silently healed; a checksum mismatch is
+//!    damage and reported.
+//! 3. **Recover** — a fresh service on the same directory salvages every
+//!    record that still checks out and resubmits the batch: the salvaged
+//!    outcomes are cache hits, bit-identical to sequential [`run_spec`];
+//!    only the torn/rotten ones recompute.
+//! 4. **Bound** — the same store under a tiny entry cap, to show the LRU
+//!    keeping a long-running server's memory flat (watch `evictions`).
+//!
+//! The real crash drills — `kill -9` on `osp-serve` mid-batch, a worker
+//! fleet losing and re-admitting a member — run against the actual
+//! binaries in `tests/crash_recovery.rs` and the CI `chaos-recovery`
+//! job; this example is the same machinery at arm's length.
+
+use std::fs::OpenOptions;
+use std::time::Duration;
+
+use osp::core::engine::batch::ReplayPool;
+use osp::core::gen::RandomInstanceConfig;
+use osp::core::prelude::*;
+use osp::core::serve::{BatchStatus, JobResult, ReplayService, ServiceConfig};
+use osp::core::spec::run_spec;
+use osp::core::SpecPool;
+use osp::net::NetResolver;
+
+fn service(dir: &std::path::Path, cache_entries: usize) -> Result<ReplayService, Error> {
+    ReplayService::new(
+        Box::new(SpecPool::new(ReplayPool::new(2), NetResolver)),
+        ServiceConfig {
+            queue_capacity: 8,
+            chunk: 4,
+            cache_entries,
+            state_dir: Some(dir.to_path_buf()),
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+fn wait_done(service: &ReplayService, id: u64) -> BatchStatus {
+    loop {
+        let status = service.status(id).expect("batch exists");
+        if matches!(status.state.as_str(), "done" | "failed" | "cancelled") {
+            return status;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("osp-chaos-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The work-list and its sequential reference.
+    let jobs = osp::core::derived_jobs(
+        &ScenarioSpec::Uniform(RandomInstanceConfig::unweighted(60, 400, 4)),
+        &AlgorithmSpec::RandPr,
+        4242,
+        12,
+    );
+    let want: Vec<Outcome> = jobs
+        .iter()
+        .map(|j| run_spec(j, &NetResolver))
+        .collect::<Result<_, _>>()?;
+
+    // Act 1: compute once, journaling every outcome.
+    {
+        let service = service(&dir, 0)?;
+        let id = service.submit(jobs.clone())?;
+        let status = wait_done(&service, id);
+        println!(
+            "act 1  journaled: batch {} {} ({} jobs, {} cache misses)",
+            id, status.state, status.total, status.cache_misses
+        );
+        service.shutdown();
+    }
+    let journal = dir.join("journal.osp");
+    let healthy_len = std::fs::metadata(&journal)?.len();
+    println!("        journal.osp is {healthy_len} bytes");
+
+    // Act 2: hurt the journal. Tear the tail mid-record, then flip one
+    // byte deep inside an earlier record's payload.
+    let torn_len = healthy_len - 7;
+    OpenOptions::new()
+        .write(true)
+        .open(&journal)?
+        .set_len(torn_len)?;
+    let mut bytes = std::fs::read(&journal)?;
+    let victim = bytes.len() / 2;
+    bytes[victim] ^= 0x40;
+    std::fs::write(&journal, &bytes)?;
+    println!("act 2  corrupted: tail torn to {torn_len} bytes, bit flipped at offset {victim}");
+
+    // Act 3: recover and resubmit. The torn record and the rotten record
+    // are gone; everything else is served from disk, bit for bit.
+    {
+        let service = service(&dir, 0)?;
+        let id = service.submit(jobs.clone())?;
+        let status = wait_done(&service, id);
+        println!(
+            "act 3  recovered: {} of {} jobs from the journal, {} recomputed",
+            status.cached, status.total, status.cache_misses
+        );
+        assert!(status.cached > 0, "recovery salvaged nothing");
+        assert!(
+            status.cached < status.total,
+            "corruption went unnoticed — the drill proved nothing"
+        );
+        let results = service.fetch(id).expect("batch exists");
+        for (index, (want, got)) in want.iter().zip(&results).enumerate() {
+            match got {
+                JobResult::Ok(got) => assert_eq!(want, got, "job {index} diverged"),
+                other => panic!("job {index}: expected an outcome, got {other:?}"),
+            }
+        }
+        println!(
+            "        all {} outcomes bit-identical to sequential run_spec",
+            results.len()
+        );
+        service.shutdown();
+    }
+
+    // Act 4: the same batch through a 3-entry cache — the LRU evicts to
+    // stay bounded, and the counter says so.
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let service = service(&dir, 3)?;
+        let id = service.submit(jobs)?;
+        let status = wait_done(&service, id);
+        println!(
+            "act 4  bounded: {} jobs through a 3-entry cache, {} evictions",
+            status.total, status.cache_evictions
+        );
+        assert!(status.cache_evictions > 0, "a 3-entry cache must evict");
+        service.shutdown();
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("chaos recovery example: OK");
+    Ok(())
+}

@@ -14,7 +14,10 @@
 //! socket fleet whose first member carries a `die:5` [`FaultPlan`], so
 //! the service rides a mid-batch worker death while serving. With
 //! `OSP_SERVE_ADDR` set it talks to your already-running `osp-serve`
-//! instead (CI's `serve-smoke` job drives it this way).
+//! instead (CI's `serve-smoke` job drives it this way), and
+//! `OSP_EXAMPLE_SEED` swaps the work-list's seed base so a rerun can
+//! submit jobs the server has never cached (CI's `chaos-recovery` job
+//! leans on this to force fresh dispatch after a fleet change).
 //!
 //! Either way the claim being demonstrated is the serve contract: the
 //! submit → status → fetch flow returns outcomes **bit-identical** to
@@ -60,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             let addrs = workers.iter().map(|w| w.local_addr().clone()).collect();
             let service =
-                ReplayService::new(Box::new(SocketPool::new(addrs)), ServiceConfig::default());
+                ReplayService::new(Box::new(SocketPool::new(addrs)), ServiceConfig::default())?;
             let server = ServeServer::bind(&loopback, service)?;
             let addr = server.local_addr().clone();
             println!(
@@ -73,10 +76,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // One mixed work-list, and the sequential bits it must reproduce.
+    // `OSP_EXAMPLE_SEED` swaps the seed base so repeated runs against a
+    // long-lived server can submit *fresh* jobs (the CI chaos-recovery
+    // job uses this to force real dispatch rounds after a fleet change
+    // instead of pure cache hits).
+    let seed_base: u64 = std::env::var("OSP_EXAMPLE_SEED")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(73);
     let uniform = ScenarioSpec::Uniform(RandomInstanceConfig::unweighted(120, 1_200, 5));
     let mut jobs: Vec<JobSpec> = Vec::new();
     for trial in 0..6u64 {
-        let seed = derive_seed(73, trial);
+        let seed = derive_seed(seed_base, trial);
         for algorithm in [
             AlgorithmSpec::RandPr,
             AlgorithmSpec::HashRandPr { independence: 8 },

@@ -49,8 +49,8 @@ use osp::net::NetResolver;
 
 /// Exit code of a worker killed by its own [`FaultPlan`] — distinct from
 /// success (0) and crash (1) so fleet harnesses can assert the kill was
-/// the injected one.
-const FAULT_EXIT: u8 = 86;
+/// the injected one. Shared with `osp-serve`'s `die-after-chunk` drill.
+const FAULT_EXIT: u8 = osp::core::wire::FAULT_EXIT;
 
 /// Exit code for a malformed `OSP_FAULT` value (the conventional
 /// `EX_USAGE`). A typo'd plan must kill the worker at startup, loudly —
@@ -110,6 +110,13 @@ fn socket_worker(addr: &WorkerAddr) -> ExitCode {
             return ExitCode::from(USAGE_EXIT);
         }
     };
+    if fault.die_after_chunk.is_some() {
+        // Same discipline as a malformed plan: a serve-side clause in a
+        // worker's environment means the harness wired its faults to the
+        // wrong process — refuse to run rather than silently ignore it.
+        eprintln!("osp-worker: OSP_FAULT die-after-chunk is a serve-side fault (use osp-serve)");
+        return ExitCode::from(USAGE_EXIT);
+    }
     let server = match SocketServer::bind(addr, NetResolver, fault) {
         Ok(server) => server,
         Err(e) => {

@@ -85,8 +85,10 @@ fn assert_serve_conformance(label: &str, dispatcher: Box<dyn Dispatcher + Send>)
         ServiceConfig {
             queue_capacity: 8,
             chunk: 5,
+            ..ServiceConfig::default()
         },
-    );
+    )
+    .expect("service starts");
     let server =
         ServeServer::bind(&WorkerAddr::parse("127.0.0.1:0").unwrap(), service).expect("serve bind");
     let mut client =
@@ -249,8 +251,10 @@ fn full_submission_queue_answers_unavailable_without_enqueueing() {
         ServiceConfig {
             queue_capacity: 1,
             chunk: 64,
+            ..ServiceConfig::default()
         },
-    );
+    )
+    .expect("service starts");
     let jobs = derived_jobs(
         &ScenarioSpec::Uniform(RandomInstanceConfig::unweighted(15, 40, 3)),
         &AlgorithmSpec::RandPr,
@@ -299,8 +303,10 @@ fn cancel_stops_at_a_chunk_boundary_and_keeps_computed_answers() {
         ServiceConfig {
             queue_capacity: 4,
             chunk: 1,
+            ..ServiceConfig::default()
         },
-    );
+    )
+    .expect("service starts");
     let jobs = derived_jobs(
         &ScenarioSpec::Uniform(RandomInstanceConfig::unweighted(15, 40, 3)),
         &AlgorithmSpec::RandPr,

@@ -240,7 +240,7 @@ fn injected_mid_batch_kill_re_dispatches_bit_identically() {
 
     let doomed = worker(FaultPlan {
         die_after: Some(5),
-        stall: None,
+        ..FaultPlan::NONE
     });
     let survivors = fleet(2);
     let mut servers = vec![doomed];
@@ -327,11 +327,11 @@ fn stalled_worker_times_out_and_survivor_finishes_the_batch() {
     // chunk re-dispatched — every job still answered, bit-identically,
     // well before the stall resolves.
     let stalled = worker(FaultPlan {
-        die_after: None,
         stall: Some(Stall {
             job: 0,
             millis: 2_000,
         }),
+        ..FaultPlan::NONE
     });
     let healthy = worker(FaultPlan::default());
     let addrs = vec![stalled.local_addr().clone(), healthy.local_addr().clone()];
