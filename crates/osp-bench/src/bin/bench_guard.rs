@@ -7,9 +7,11 @@
 //! ```
 //!
 //! See [`osp_bench::guard`] for the exact rules: boolean identity columns
-//! must read `true` in every run, and the machine-portable algorithmic
-//! speedups (`poly_hash_eval`, `weighted sampling`; committed value ≥ 2×)
-//! must stay at ≥ 0.9× their committed value in the best run.
+//! must read `true` in every run, required sections (`distributed`,
+//! `socket`, `kernel`) must be present with rows, and the machine-portable
+//! algorithmic speedups (`poly_hash_eval`, `weighted sampling`, `kernel`;
+//! committed value ≥ 2×) must stay at ≥ 0.9× their committed value in the
+//! best run.
 
 use std::process::ExitCode;
 

@@ -9,13 +9,15 @@
 //!    osp-worker processes ≡ threads) and must never regress, on any
 //!    machine. Sections that carry such claims and could be skipped
 //!    silently (`REQUIRED_TABLES`: the `distributed` section, which
-//!    needs the `osp-worker` binary built, and the `socket` section,
-//!    which needs a loopback worker fleet) must additionally be *present
-//!    with rows* in every candidate once the baseline has them — an
-//!    absent table would otherwise pass vacuously.
+//!    needs the `osp-worker` binary built, the `socket` section,
+//!    which needs a loopback worker fleet, and the `kernel` section,
+//!    which carries the batched-kernel and prologue identity claims)
+//!    must additionally be *present with rows* in every candidate once
+//!    the baseline has them — an absent table would otherwise pass
+//!    vacuously.
 //! 2. **Algorithmic speedups** — for tables whose comparison is
 //!    single-threaded and machine-portable (`poly_hash_eval`,
-//!    `weighted sampling`, `streaming`), each `speedup` / `mem ratio`
+//!    `weighted sampling`, `streaming`, `kernel`), each `speedup` / `mem ratio`
 //!    cell must stay at ≥ [`SPEEDUP_FLOOR`] × its committed value,
 //!    matched by table title and row identity (the first column). The
 //!    `streaming` table's `mem ratio` (materialized instance bytes over
@@ -51,8 +53,12 @@ pub const RATIO_GUARD_MIN: f64 = 2.0;
 
 /// Table-title prefixes whose ratio columns are machine-portable
 /// (single-threaded algorithmic ratios, or deterministic memory ratios)
-/// and therefore ratio-guarded.
-const RATIO_GUARDED_TABLES: [&str; 3] = ["poly_hash_eval", "weighted sampling", "streaming"];
+/// and therefore ratio-guarded. The `kernel` table's `speedup` column is
+/// the single-threaded eval_batch-over-scalar ratio (guarded); its
+/// `begin speedup` column measures the prologue's thread fan-out, which
+/// is a machine property — exempt by header name, like `wall speedup`.
+const RATIO_GUARDED_TABLES: [&str; 4] =
+    ["poly_hash_eval", "weighted sampling", "streaming", "kernel"];
 
 /// Table-title prefixes that must be *present with rows* in every
 /// candidate whenever the committed baseline has them. The `distributed`
@@ -64,8 +70,11 @@ const RATIO_GUARDED_TABLES: [&str; 3] = ["poly_hash_eval", "weighted sampling", 
 /// not built or the fleet failed to come up — would otherwise pass
 /// rule 1 vacuously. Their wall-clock columns stay unguarded (the
 /// thread/worker counts are machine properties); only presence and the
-/// identity booleans are enforced.
-const REQUIRED_TABLES: [&str; 2] = ["distributed", "socket"];
+/// identity booleans are enforced. The `kernel` section is required too:
+/// it carries the batched-kernel ≡ scalar and sharded-prologue ≡ serial
+/// identity claims plus the ratio-guarded eval_batch speedup, so a run
+/// that dropped the table would quietly un-guard all three.
+const REQUIRED_TABLES: [&str; 3] = ["distributed", "socket", "kernel"];
 
 /// Headers holding boolean identity verdicts.
 const IDENTITY_HEADERS: [&str; 2] = ["bit-identical", "agree"];
@@ -355,6 +364,53 @@ mod tests {
         let v = check(&mk("true"), &absent);
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("required section 'socket'"));
+        // Baselines without the section require nothing.
+        assert!(check(&absent, &absent.clone()).is_empty());
+    }
+
+    #[test]
+    fn kernel_speedup_guarded_but_begin_speedup_exempt() {
+        let mk = |speedup: &str, begin: &str, identical: &str| {
+            report_with(
+                "kernel: transposed eval_batch vs scalar eval; sharded prologue vs serial begin",
+                &["m", "speedup", "begin speedup", "bit-identical"],
+                vec![vec!["1000000", speedup, begin, identical]],
+            )
+        };
+        // The eval_batch-over-scalar ratio is single-threaded and guarded:
+        // a collapse below the floor fails…
+        let v = check(&mk("2.20×", "1.00×", "true"), &mk("1.10×", "1.00×", "true"));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("speedup"));
+        // …jitter within the floor passes…
+        assert!(check(&mk("2.20×", "1.00×", "true"), &mk("2.05×", "1.00×", "true")).is_empty());
+        // …the prologue's wall ratio is machine-bound: even a committed
+        // multi-core 4.00× may read ~0.9× on a 1-core runner without
+        // failing (exempt by the `begin speedup` header name)…
+        assert!(check(&mk("2.20×", "4.00×", "true"), &mk("2.20×", "0.90×", "true")).is_empty());
+        // …and the identity cell (batch ≡ scalar AND serial ≡ sharded
+        // tables) is rule-1 enforced regardless of the ratios.
+        let v = check(
+            &mk("2.20×", "1.00×", "true"),
+            &mk("2.20×", "1.00×", "false"),
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("bit-identical"));
+    }
+
+    #[test]
+    fn kernel_section_is_required_once_the_baseline_has_it() {
+        let base = report_with(
+            "kernel: transposed eval_batch vs scalar eval; sharded prologue vs serial begin",
+            &["m", "speedup", "bit-identical"],
+            vec![vec!["10000", "2.50×", "true"]],
+        );
+        // A candidate that dropped the section would silently un-guard
+        // the kernel identity and speedup claims — presence is required.
+        let absent = report_with("engine_run: x", &["workload", "bit-identical"], vec![]);
+        let v = check(&base, &absent);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("required section 'kernel'"));
         // Baselines without the section require nothing.
         assert!(check(&absent, &absent.clone()).is_empty());
     }

