@@ -2,7 +2,7 @@
 //!
 //! Not a paper theorem: this is the harness measuring itself, so replay
 //! throughput (the resource every other experiment spends) is tracked
-//! PR-over-PR via `BENCH_replay.json`. Eight comparisons:
+//! PR-over-PR via `BENCH_replay.json`. Nine comparisons:
 //!
 //! 1. **engine_run** — sequential `engine::run` trials vs the same trials
 //!    fanned across [`ReplayPool`] shards, asserting bit-identical
@@ -46,7 +46,17 @@
 //!    vs through the `OSP_PROLOGUE_THREADS` prologue seam (machine-bound
 //!    wall ratio, so the `begin speedup` column is informational); the
 //!    `bit-identical` cell asserts batch ≡ scalar key-for-key *and*
-//!    serial ≡ sharded table slot-for-slot.
+//!    serial ≡ sharded table slot-for-slot;
+//! 9. **pipeline** — ONE huge streamed replay three ways: sequential
+//!    `run_source`, the pipelined session (`run_source_parallel_with`,
+//!    producer thread + chunk ring) with the sharded decision kernel
+//!    pinned off, and the full pipelined + sharded-decide path. Narrow
+//!    rows stream n ∈ {10⁶, 10⁷, 10⁸} arrivals; a wide-σ row crosses
+//!    `SHARDED_DECIDE_MIN` so the sharded kernel actually runs. Every
+//!    parallel leg must be bit-identical to its sequential leg (the
+//!    guarded cells); thread count follows the `OSP_REPLAY_THREADS`
+//!    policy, so walls are machine-bound (1 thread ⇒ the exact serial
+//!    fallback, 1 core ⇒ ~1×) and the speedup column is informational.
 //!
 //! Wall-clock numbers vary with the machine; the *identity* columns must
 //! read `true` everywhere (CI's `bench_guard` enforces this, and holds the
@@ -917,6 +927,165 @@ pub fn run(scale: Scale, seed: u64) -> Report {
          on a 1-core runner), so only its bit-identical cell is guarded.",
     );
 
+    // --- 9: pipeline — one huge streamed replay, serial vs pipelined vs
+    // pipelined + sharded decide. ---
+    let mut pipe_table = NamedTable::new(
+        "pipeline: one streamed replay — serial vs pipelined session vs pipelined + sharded decide",
+        &[
+            "workload × algorithm",
+            "arrivals",
+            "serial s",
+            "pipelined s",
+            "pipe+shard s",
+            "serial arrivals/s",
+            "pipelined arrivals/s",
+            "speedup",
+            "threads",
+            "bit-identical",
+        ],
+    );
+    /// Pins the sharded decision kernel off (`set_decision_threads` stays
+    /// the default no-op), isolating the pipelined-session leg from the
+    /// sharded-decide leg on the same workload.
+    struct NoShard<A>(A);
+    impl<A: OnlineAlgorithm> OnlineAlgorithm for NoShard<A> {
+        fn name(&self) -> String {
+            self.0.name()
+        }
+        fn begin(&mut self, sets: &[osp_core::SetMeta]) {
+            self.0.begin(sets);
+        }
+        fn decide_into(
+            &mut self,
+            arrival: &osp_core::Arrival<'_>,
+            view: &osp_core::EngineView<'_>,
+            out: &mut Vec<SetId>,
+        ) {
+            self.0.decide_into(arrival, view, out);
+        }
+    }
+    let replay_threads = osp_core::engine::parallel::threads_from_env();
+    let pipe_config = osp_core::ParallelConfig::with_threads(replay_threads);
+    let mut all_pipeline_identical = true;
+    {
+        use osp_core::engine::parallel::run_source_parallel_with;
+        use osp_core::ReplayScratch;
+        // Narrow streamed rows: σ-wide arrivals stay far below
+        // SHARDED_DECIDE_MIN, so the pipelined and pipe+shard legs take
+        // the same decision path and the columns isolate the session
+        // pipelining itself. randPr is the paper's algorithm and the
+        // table-lookup (scoring-light) extreme.
+        let narrow: &[usize] = scale.pick(
+            &[200_000usize][..],
+            &[1_000_000, 10_000_000, 100_000_000][..],
+        );
+        // The wide row: every arrival lists ~4–6k of the 8192 sets, so
+        // the sharded kernel genuinely dispatches; lazy hashPr at the
+        // paper-realistic independence 64 is the scoring-bound case the
+        // SHARDED_DECIDE_MIN threshold was measured for.
+        let wide_n: usize = scale.pick(800, 5_000);
+        enum PipeRow {
+            Narrow(usize),
+            Wide(usize),
+        }
+        let rows: Vec<PipeRow> = narrow
+            .iter()
+            .map(|&n| PipeRow::Narrow(n))
+            .chain(std::iter::once(PipeRow::Wide(wide_n)))
+            .collect();
+        let pipe_seed = seeds.next_seed();
+        let mut scratch = ReplayScratch::new();
+        for row in rows {
+            let (label, n, cfg, lazy) = match row {
+                PipeRow::Narrow(n) => (
+                    format!("m=500 n={n} σ=4 × randPr"),
+                    n,
+                    RandomInstanceConfig::unweighted(500, n, 4),
+                    false,
+                ),
+                PipeRow::Wide(n) => (
+                    format!("m=8192 n={n} σ∈[4096,6144] × hashPr64-lazy"),
+                    n,
+                    RandomInstanceConfig {
+                        num_sets: 8192,
+                        num_elements: n,
+                        load: osp_core::gen::LoadModel::Uniform { lo: 4096, hi: 6144 },
+                        weights: osp_core::gen::WeightModel::Uniform { lo: 0.5, hi: 4.0 },
+                        capacities: osp_core::gen::CapacityModel::Uniform { lo: 1, hi: 3 },
+                    },
+                    true,
+                ),
+            };
+            let alg = |lazy: bool| -> Box<dyn OnlineAlgorithm> {
+                if lazy {
+                    Box::new(HashRandPr::new_lazy(64, pipe_seed))
+                } else {
+                    Box::new(RandPr::from_seed(pipe_seed))
+                }
+            };
+            // The 10⁸ row replays 3 × 10⁸ arrivals per round; one round
+            // keeps the full regeneration inside its time budget (the
+            // wall columns are informational, not ratio-guarded).
+            let rounds: usize = if n >= 50_000_000 { 1 } else { scale.pick(2, 2) };
+            let mut t_serial = f64::INFINITY;
+            let mut t_pipe = f64::INFINITY;
+            let mut t_shard = f64::INFINITY;
+            let mut identical = true;
+            for _ in 0..rounds {
+                let (t, serial) = timed(|| {
+                    let mut src = UniformSource::new(&cfg, pipe_seed).unwrap();
+                    run_source(&mut src, alg(lazy).as_mut()).unwrap()
+                });
+                t_serial = t_serial.min(t);
+                {
+                    let (t, pipelined) = timed(|| {
+                        let mut src = UniformSource::new(&cfg, pipe_seed).unwrap();
+                        let mut a = NoShard(alg(lazy));
+                        run_source_parallel_with(&mut src, &mut a, &pipe_config, &mut scratch)
+                            .unwrap()
+                    });
+                    t_pipe = t_pipe.min(t);
+                    identical &= pipelined == serial;
+                }
+                {
+                    let (t, sharded) = timed(|| {
+                        let mut src = UniformSource::new(&cfg, pipe_seed).unwrap();
+                        let mut a = alg(lazy);
+                        run_source_parallel_with(&mut src, a.as_mut(), &pipe_config, &mut scratch)
+                            .unwrap()
+                    });
+                    t_shard = t_shard.min(t);
+                    identical &= sharded == serial;
+                }
+            }
+            all_pipeline_identical &= identical;
+            pipe_table.row(vec![
+                label,
+                n.to_string(),
+                format!("{t_serial:.3}"),
+                format!("{t_pipe:.3}"),
+                format!("{t_shard:.3}"),
+                arrivals_per_sec(1, n, t_serial),
+                arrivals_per_sec(1, n, t_shard),
+                format!("{:.2}×", t_serial / t_shard.max(1e-9)),
+                replay_threads.to_string(),
+                identical.to_string(),
+            ]);
+        }
+    }
+    report.table(pipe_table);
+    report.note(format!(
+        "pipeline: intra-replay parallelism on ONE instance — a producer thread drains the \
+         source into a recycled chunk ring while the consumer steps the session \
+         (run_source_parallel_with), and arrivals wider than SHARDED_DECIDE_MIN fan their \
+         candidate scoring across {replay_threads} thread(s) before the unchanged serial \
+         selection. Survivors are bit-identical to sequential run_source at any thread \
+         count (the guarded cells; tests/parallel_replay.rs pins the full grid). Thread \
+         count follows the OSP_REPLAY_THREADS policy — 1 selects the exact serial \
+         fallback, and on a 1-core runner the wall columns read ~1× by construction, so \
+         like `distributed` only the identity booleans are guarded."
+    ));
+
     report.note(format!(
         "Replay pool: {} shards (override with OSP_REPLAY_SHARDS; outcomes are \
          shard-count-invariant by construction, see tests/batch_equivalence.rs).{}",
@@ -950,18 +1119,21 @@ pub fn run(scale: Scale, seed: u64) -> Report {
             && all_dist_identical
             && all_socket_identical
             && all_kernel_identical
+            && all_pipeline_identical
         {
             "Verdict: batch replay is bit-identical to sequential replay, fused streaming \
              is bit-identical to materialize-then-replay, distributed (process) replay and \
              the socket worker fleet — surviving an injected mid-batch kill — are \
              bit-identical to both, the hash fast path agrees with the naive \
-             reference, and the batched kernel and sharded prologue agree with their \
-             scalar/serial references; timings above are the tracked baseline."
+             reference, the batched kernel and sharded prologue agree with their \
+             scalar/serial references, and the pipelined session and sharded decision \
+             kernel are bit-identical to sequential run_source; timings above are the \
+             tracked baseline."
                 .to_string()
         } else {
             "Verdict: an identity check FAILED — the batch engine, the streaming pipeline, \
-             the distributed dispatch layer, the socket fleet, the hash fast path or the \
-             batched kernel/prologue diverged."
+             the distributed dispatch layer, the socket fleet, the hash fast path, the \
+             batched kernel/prologue or the pipelined/sharded replay diverged."
                 .to_string()
         },
     );

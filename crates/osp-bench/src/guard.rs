@@ -10,11 +10,12 @@
 //!    machine. Sections that carry such claims and could be skipped
 //!    silently (`REQUIRED_TABLES`: the `distributed` section, which
 //!    needs the `osp-worker` binary built, the `socket` section,
-//!    which needs a loopback worker fleet, and the `kernel` section,
-//!    which carries the batched-kernel and prologue identity claims)
-//!    must additionally be *present with rows* in every candidate once
-//!    the baseline has them — an absent table would otherwise pass
-//!    vacuously.
+//!    which needs a loopback worker fleet, the `kernel` section,
+//!    which carries the batched-kernel and prologue identity claims,
+//!    and the `pipeline` section, which carries the pipelined-session
+//!    and sharded-decide identity claims) must additionally be
+//!    *present with rows* in every candidate once the baseline has
+//!    them — an absent table would otherwise pass vacuously.
 //! 2. **Algorithmic speedups** — for tables whose comparison is
 //!    single-threaded and machine-portable (`poly_hash_eval`,
 //!    `weighted sampling`, `streaming`, `kernel`), each `speedup` / `mem ratio`
@@ -73,8 +74,13 @@ const RATIO_GUARDED_TABLES: [&str; 4] =
 /// identity booleans are enforced. The `kernel` section is required too:
 /// it carries the batched-kernel ≡ scalar and sharded-prologue ≡ serial
 /// identity claims plus the ratio-guarded eval_batch speedup, so a run
-/// that dropped the table would quietly un-guard all three.
-const REQUIRED_TABLES: [&str; 3] = ["distributed", "socket", "kernel"];
+/// that dropped the table would quietly un-guard all three. The
+/// `pipeline` section is required for the same reason: its rows claim
+/// the pipelined session and the sharded decision kernel are
+/// bit-identical to sequential `run_source` (walls stay unguarded —
+/// the thread count is a machine property, and `OSP_REPLAY_THREADS=1`
+/// legitimately selects the serial fallback).
+const REQUIRED_TABLES: [&str; 4] = ["distributed", "socket", "kernel", "pipeline"];
 
 /// Headers holding boolean identity verdicts.
 const IDENTITY_HEADERS: [&str; 2] = ["bit-identical", "agree"];
@@ -411,6 +417,45 @@ mod tests {
         let v = check(&base, &absent);
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("required section 'kernel'"));
+        // Baselines without the section require nothing.
+        assert!(check(&absent, &absent.clone()).is_empty());
+    }
+
+    #[test]
+    fn pipeline_section_identity_enforced_presence_required_walls_unguarded() {
+        let mk = |speedup: &str, identical: &str| {
+            report_with(
+                "pipeline: one streamed replay — serial vs pipelined session vs pipelined + \
+                 sharded decide",
+                &[
+                    "workload × algorithm",
+                    "speedup",
+                    "threads",
+                    "bit-identical",
+                ],
+                vec![vec![
+                    "m=500 n=1000000 σ=4 × randPr",
+                    speedup,
+                    "8",
+                    identical,
+                ]],
+            )
+        };
+        // A pipelined or sharded outcome diverging from sequential
+        // run_source is a rule-1 violation…
+        let v = check(&mk("1.80×", "true"), &mk("1.80×", "false"));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("bit-identical"));
+        // …the wall speedup is machine-bound (1-core runners and the
+        // OSP_REPLAY_THREADS=1 serial-fallback lane both read ~1×) and
+        // deliberately unguarded…
+        assert!(check(&mk("1.80×", "true"), &mk("0.40×", "true")).is_empty());
+        // …and a candidate that silently dropped the section fails the
+        // presence rule rather than passing vacuously.
+        let absent = report_with("engine_run: x", &["workload", "bit-identical"], vec![]);
+        let v = check(&mk("1.80×", "true"), &absent);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("required section 'pipeline'"));
         // Baselines without the section require nothing.
         assert!(check(&absent, &absent.clone()).is_empty());
     }

@@ -91,6 +91,16 @@ pub trait OnlineAlgorithm {
         self.decide_into(arrival, view, &mut out);
         out
     }
+
+    /// Announces how many threads the algorithm may fan candidate
+    /// *scoring* across inside one decision (the sharded decision kernel
+    /// of [`engine::parallel`](crate::engine::parallel)). Implementations
+    /// that honor it must keep decisions bit-identical at every thread
+    /// count — the built-ins do so by sharding only the score *fill* and
+    /// running the selection over the full scored buffer with the exact
+    /// serial comparator sequence. The default ignores the hint (serial
+    /// decisions), so existing implementations are unaffected.
+    fn set_decision_threads(&mut self, _threads: usize) {}
 }
 
 impl<T: OnlineAlgorithm + ?Sized> OnlineAlgorithm for Box<T> {
@@ -108,5 +118,9 @@ impl<T: OnlineAlgorithm + ?Sized> OnlineAlgorithm for Box<T> {
 
     fn decide(&mut self, arrival: &Arrival<'_>, view: &EngineView<'_>) -> Vec<SetId> {
         (**self).decide(arrival, view)
+    }
+
+    fn set_decision_threads(&mut self, threads: usize) {
+        (**self).set_decision_threads(threads);
     }
 }

@@ -7,10 +7,11 @@
 //! ties by ascending set id, so they are fully deterministic.
 
 use crate::algorithm::{EngineView, OnlineAlgorithm};
+use crate::engine::parallel::{fill_sharded, SHARDED_DECIDE_MIN};
 use crate::instance::{Arrival, SetMeta};
 use crate::SetId;
 
-use super::retain_top_b_by_key;
+use super::{retain_top_b_by_key, retain_top_b_scored};
 
 /// Ranking policy for [`GreedyOnline`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,12 +72,22 @@ impl TieBreak {
 #[derive(Debug, Clone)]
 pub struct GreedyOnline {
     policy: TieBreak,
+    /// Recycled candidate-scoring buffer for the sharded decision kernel
+    /// (grows to the widest sharded arrival once, then stays warm).
+    scored: Vec<((u64, u32), SetId)>,
+    /// Sharded-decide fan-out announced by the pipelined replay
+    /// ([`OnlineAlgorithm::set_decision_threads`]); 1 = serial scoring.
+    decide_threads: usize,
 }
 
 impl GreedyOnline {
     /// Creates the greedy baseline with the given ranking policy.
     pub fn new(policy: TieBreak) -> Self {
-        GreedyOnline { policy }
+        GreedyOnline {
+            policy,
+            scored: Vec::new(),
+            decide_threads: 1,
+        }
     }
 
     /// The ranking policy in use.
@@ -114,9 +125,36 @@ impl OnlineAlgorithm for GreedyOnline {
                 .copied()
                 .filter(|&s| view.is_active(s)),
         );
-        retain_top_b_by_key(out, arrival.capacity() as usize, |s| {
-            rank(self.policy, s, view)
-        });
+        let b = arrival.capacity() as usize;
+        if self.decide_threads > 1 && out.len() >= SHARDED_DECIDE_MIN {
+            // Sharded decide: rank the staged candidates into
+            // position-aligned scored pairs across scoped threads, then
+            // select with the exact serial comparator sequence —
+            // bit-identical to the ranked lookup below (the rank of a
+            // candidate is a pure function of the pre-decision view).
+            let policy = self.policy;
+            let threads = self.decide_threads;
+            retain_top_b_scored(out, b, &mut self.scored, |candidates, scored| {
+                fill_sharded(
+                    scored,
+                    candidates.len(),
+                    ((0, 0), SetId(0)),
+                    threads,
+                    &|start, slots| {
+                        for (j, slot) in slots.iter_mut().enumerate() {
+                            let s = candidates[start + j];
+                            *slot = (rank(policy, s, view), s);
+                        }
+                    },
+                );
+            });
+        } else {
+            retain_top_b_by_key(out, b, |s| rank(self.policy, s, view));
+        }
+    }
+
+    fn set_decision_threads(&mut self, threads: usize) {
+        self.decide_threads = threads.max(1);
     }
 }
 

@@ -17,6 +17,7 @@
 use osp_gf::hash::{PolyHash, MERSENNE_61};
 
 use crate::algorithm::{EngineView, OnlineAlgorithm};
+use crate::engine::parallel::{fill_sharded, SHARDED_DECIDE_MIN};
 use crate::engine::prologue;
 use crate::instance::{Arrival, SetMeta};
 use crate::priority::{Priority, Rw};
@@ -73,9 +74,13 @@ pub struct HashRandPr {
     /// Lazy mode: skip the O(m) `begin`-time table and score each
     /// arrival's candidates on the fly with `eval_batch`.
     lazy: bool,
-    /// Recycled candidate-scoring buffer for the lazy path (grows to the
-    /// widest arrival once, then the hot path stays allocation-free).
+    /// Recycled candidate-scoring buffer for the lazy path and the
+    /// sharded decision kernel (grows to the widest arrival once, then
+    /// the hot path stays allocation-free).
     scored: Vec<(Priority, SetId)>,
+    /// Sharded-decide fan-out announced by the pipelined replay
+    /// ([`OnlineAlgorithm::set_decision_threads`]); 1 = serial scoring.
+    decide_threads: usize,
 }
 
 impl HashRandPr {
@@ -93,6 +98,7 @@ impl HashRandPr {
             priorities: Vec::new(),
             lazy: false,
             scored: Vec::new(),
+            decide_threads: 1,
         }
     }
 
@@ -181,32 +187,78 @@ impl OnlineAlgorithm for HashRandPr {
     fn decide_into(&mut self, arrival: &Arrival<'_>, view: &EngineView<'_>, out: &mut Vec<SetId>) {
         out.extend_from_slice(arrival.members());
         let b = arrival.capacity() as usize;
+        let threads = if out.len() >= SHARDED_DECIDE_MIN {
+            self.decide_threads
+        } else {
+            1
+        };
         if !self.lazy {
-            retain_top_b_by_key(out, b, |s| self.priorities[s.index()]);
+            if threads > 1 {
+                // Sharded decide: fill the position-aligned scored pairs
+                // from the table across scoped threads, then select with
+                // the exact serial comparator sequence — bit-identical to
+                // the lookup path below.
+                let priorities = &self.priorities;
+                retain_top_b_scored(out, b, &mut self.scored, |candidates, scored| {
+                    fill_sharded(
+                        scored,
+                        candidates.len(),
+                        (Priority::zero(), SetId(0)),
+                        threads,
+                        &|start, slots| {
+                            for (j, slot) in slots.iter_mut().enumerate() {
+                                let s = candidates[start + j];
+                                *slot = (priorities[s.index()], s);
+                            }
+                        },
+                    );
+                });
+            } else {
+                retain_top_b_by_key(out, b, |s| self.priorities[s.index()]);
+            }
             return;
         }
         // Table-free path: hash the staged candidates in eval_batch
-        // chunks through stack buffers into the recycled `scored` pairs,
-        // then retain the top b. `retain_top_b_scored` runs the same
-        // selection over the same comparator results as the table path's
-        // `retain_top_b_by_key`, so the survivors (and their order) are
-        // bit-identical.
+        // chunks through stack buffers into the recycled `scored` pairs
+        // (serially, or in disjoint contiguous ranges across scoped
+        // threads once the candidate count crosses the sharding
+        // threshold — each range runs the same chunked kernel, so the
+        // buffer contents are identical), then retain the top b.
+        // `retain_top_b_scored` runs the same selection over the same
+        // comparator results as the table path's `retain_top_b_by_key`,
+        // so the survivors (and their order) are bit-identical.
         let hash = &self.hash;
         let scored = &mut self.scored;
         retain_top_b_scored(out, b, scored, |candidates, scored| {
-            let mut keys = [0u64; BATCH_CHUNK];
-            let mut raws = [0u64; BATCH_CHUNK];
-            for chunk in candidates.chunks(BATCH_CHUNK) {
-                let k = chunk.len();
-                for (j, s) in chunk.iter().enumerate() {
-                    keys[j] = s.index() as u64;
+            let score_range = |start: usize, slots: &mut [(Priority, SetId)]| {
+                let mut keys = [0u64; BATCH_CHUNK];
+                let mut raws = [0u64; BATCH_CHUNK];
+                let mut i = start;
+                for chunk in slots.chunks_mut(BATCH_CHUNK) {
+                    let k = chunk.len();
+                    for (j, key) in keys[..k].iter_mut().enumerate() {
+                        *key = candidates[i + j].index() as u64;
+                    }
+                    hash.eval_batch(&keys[..k], &mut raws[..k]);
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        let s = candidates[i + j];
+                        *slot = (priority_from_raw(raws[j], view.set(s).weight()), s);
+                    }
+                    i += k;
                 }
-                hash.eval_batch(&keys[..k], &mut raws[..k]);
-                for (j, &s) in chunk.iter().enumerate() {
-                    scored.push((priority_from_raw(raws[j], view.set(s).weight()), s));
-                }
-            }
+            };
+            fill_sharded(
+                scored,
+                candidates.len(),
+                (Priority::zero(), SetId(0)),
+                threads,
+                &score_range,
+            );
         });
+    }
+
+    fn set_decision_threads(&mut self, threads: usize) {
+        self.decide_threads = threads.max(1);
     }
 }
 

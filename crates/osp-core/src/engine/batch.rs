@@ -82,15 +82,23 @@ fn machine_parallelism() -> usize {
         .unwrap_or(1)
 }
 
-/// The one environment-sizing policy shared by every pool
-/// ([`ReplayPool::from_env`], the process pool's worker count): reads the
-/// named variable and applies, deterministically,
+/// The one environment-sizing policy every thread-count variable in the
+/// workspace routes through — `OSP_REPLAY_SHARDS`
+/// ([`ReplayPool::from_env`]), `OSP_WORKERS` (the process pool's worker
+/// count), `OSP_PROLOGUE_THREADS`
+/// ([`prologue::threads_from_env`](super::prologue::threads_from_env))
+/// and `OSP_REPLAY_THREADS`
+/// ([`parallel::threads_from_env`](super::parallel::threads_from_env)).
+/// Reads the named variable and applies, deterministically,
 ///
 /// * unset / empty / non-numeric / out-of-range → the machine default
 ///   (`available_parallelism`, 1 if unknown) — malformed values are
 ///   *rejected*, never partially honored;
 /// * `0` → clamped to 1 (a zero-lane pool cannot make progress);
 /// * any other number → used as-is (whitespace tolerated).
+///
+/// The clamp/junk/zero policy is pinned by the `parse_parallelism` unit
+/// tests below; call sites must not re-implement it.
 pub fn env_parallelism(var: &str) -> usize {
     parse_parallelism(std::env::var(var).ok().as_deref(), machine_parallelism())
 }
@@ -324,6 +332,37 @@ impl ReplayPool {
             let mut source = sources(job.source, job.seed);
             let mut alg = algorithms(job.algorithm, job.seed);
             run_source_with_scratch(&mut source, alg.as_mut(), scratch)
+        })
+    }
+
+    /// The composed lane: batch fan-out × intra-replay parallelism. Every
+    /// [`SourceJob`] replays through the pipelined session
+    /// ([`run_source_parallel_with`](super::parallel::run_source_parallel_with))
+    /// with `config` threads, while this pool still shards the *job list*
+    /// — `OSP_REPLAY_SHARDS` jobs in flight, each overlapping its arrival
+    /// generation with its decision loop on `OSP_REPLAY_THREADS` threads.
+    /// Outcomes are bit-identical to [`run_sources`](Self::run_sources)
+    /// (and therefore to sequential [`run_source`](super::run_source)) at
+    /// every shard × thread combination, because both axes preserve the
+    /// bit-identity contract independently.
+    ///
+    /// Sources must be `Send`: each job's source crosses into that job's
+    /// producer thread.
+    pub fn run_sources_pipelined<'a, SF, AF>(
+        &self,
+        jobs: &[SourceJob],
+        sources: &SF,
+        algorithms: &AF,
+        config: &super::parallel::ParallelConfig,
+    ) -> Vec<Result<Outcome, Error>>
+    where
+        SF: Fn(usize, u64) -> Box<dyn ArrivalSource + Send + 'a> + Sync,
+        AF: Fn(usize, u64) -> Box<dyn OnlineAlgorithm> + Sync,
+    {
+        self.shard_map(jobs, ReplayScratch::new, |scratch, _, job| {
+            let mut source = sources(job.source, job.seed);
+            let mut alg = algorithms(job.algorithm, job.seed);
+            super::parallel::run_source_parallel_with(&mut source, alg.as_mut(), config, scratch)
         })
     }
 

@@ -1,6 +1,6 @@
 //! The online execution engine.
 //!
-//! Eight entry points:
+//! Nine entry points:
 //!
 //! * [`run_source`] drives an [`OnlineAlgorithm`] over any
 //!   [`ArrivalSource`] — the primary ingestion path. Sources stream
@@ -16,6 +16,15 @@
 //!   pre-built instance, which is what adaptive adversaries (Theorem 3)
 //!   need: they decide the next element only after seeing the algorithm's
 //!   previous choice. [`Session::drain_source`] feeds it from a source.
+//! * [`run_source_parallel`] (and its instance twin [`run_parallel`])
+//!   replay **one** huge stream with intra-replay parallelism
+//!   ([`parallel`]): a producer thread drains the source into a
+//!   double-buffered chunk ring while the consumer runs the same
+//!   [`Session::step`] loop, and arrivals whose candidate count crosses
+//!   [`parallel::SHARDED_DECIDE_MIN`] shard their score fill across
+//!   scoped threads ([`parallel::fill_sharded`]). Thread count from
+//!   `OSP_REPLAY_THREADS` ([`batch::env_parallelism`] policy; 1 = the
+//!   serial path), bit-identical to [`run_source`] at any count.
 //! * [`batch`] fans a work-list across threads ([`batch::ReplayPool`])
 //!   with per-shard reusable [`batch::ReplayScratch`] buffers — both the
 //!   `(instance × seed × algorithm)` lane ([`batch::ReplayPool::run_jobs`])
@@ -68,18 +77,21 @@
 //!   `fleet` verb ([`dispatch::FleetHandle`]). Pinned by
 //!   `tests/crash_recovery.rs` against the real binaries.
 //!
-//! Alongside the eight entry points sits the [`prologue`] seam — the
-//! first rung of parallelism *within* one replay rather than across
-//! jobs. Every built-in algorithm's `begin()` builds an O(m) per-set
-//! table whose slot `i` is a pure function of `(seed, i)` (§3.1's
-//! system-wide hash for `hashPr`; counter-based SplitMix64 jump-ahead
-//! for `randPr`), so [`prologue::build_table`] shards disjoint index
-//! ranges across scoped threads (`OSP_PROLOGUE_THREADS`, same
-//! [`batch::env_parallelism`] policy; 1 = the serial path) and any
-//! shard count writes exactly the same bytes. The arrival loop itself
-//! stays sequential — decisions are order-dependent — but the table
-//! fill, the dominant `begin()` cost at large m, scales with cores
-//! while every golden outcome stays bit-identical.
+//! Alongside the entry points sit two intra-replay seams. The
+//! [`prologue`] seam parallelizes `begin()`: every built-in algorithm
+//! builds an O(m) per-set table whose slot `i` is a pure function of
+//! `(seed, i)` (§3.1's system-wide hash for `hashPr`; counter-based
+//! SplitMix64 jump-ahead for `randPr`), so [`prologue::build_table`]
+//! shards disjoint index ranges across scoped threads
+//! (`OSP_PROLOGUE_THREADS`, same [`batch::env_parallelism`] policy;
+//! 1 = the serial path) and any shard count writes exactly the same
+//! bytes. The [`parallel`] seam extends the discipline to the replay
+//! itself: the arrival loop stays sequential — decisions are
+//! order-dependent — but arrival *generation* overlaps it (the
+//! pipelined session) and wide decisions shard their score fill
+//! ([`parallel::fill_sharded`]) while the selection keeps the exact
+//! serial comparator sequence, so every golden outcome stays
+//! bit-identical.
 //!
 //! All paths enforce the model's rules (§2): each decision must pick at
 //! most `b(u)` distinct sets from `C(u)`. A set is **completed** iff it was
@@ -96,6 +108,7 @@
 
 pub mod batch;
 pub mod dispatch;
+pub mod parallel;
 pub mod prologue;
 
 use crate::algorithm::{EngineView, OnlineAlgorithm};
@@ -105,6 +118,7 @@ use crate::instance::{Arrival, Instance, SetMeta};
 use crate::source::ArrivalSource;
 
 pub use batch::{derive_seed, ReplayPool, ReplayScratch};
+pub use parallel::{run_parallel, run_source_parallel, ParallelConfig};
 
 /// A flat record of every decision of a run: one CSR arena (offsets +
 /// data) instead of a `Vec<SetId>` per arrival, so logging a decision is

@@ -12,7 +12,8 @@ pub use crate::algorithms::{
 pub use crate::engine::batch::{derive_seed, ReplayJob, ReplayPool, SourceJob};
 pub use crate::engine::dispatch::{derived_jobs, Dispatcher, ProcessPool, SpecPool};
 pub use crate::engine::{
-    run, run_source, run_source_with_scratch, run_with_scratch, DecisionLog, Outcome, Session,
+    run, run_parallel, run_source, run_source_parallel, run_source_with_scratch, run_with_scratch,
+    DecisionLog, Outcome, ParallelConfig, Session,
 };
 pub use crate::error::Error;
 pub use crate::ids::{ElementId, SetId};

@@ -232,6 +232,13 @@ impl PolyHash {
     /// self.eval(xs[i])` — bit-identical to the scalar path for every key,
     /// measurably more than 2× faster at 64-wise independence.
     ///
+    /// This is the kernel entry every bulk-scoring path rides: hashPr's
+    /// `begin`-time table fill, the table-free lazy scoring mode, and the
+    /// sharded decision kernel's per-range fills (osp-core
+    /// `engine::parallel`), which call it from several scoped threads at
+    /// once over disjoint key ranges — `&self` and stack-resident lane
+    /// state keep it trivially reentrant.
+    ///
     /// Keys are processed in transposed lanes of 8 (then 4, then a scalar
     /// tail), each lane running its own Horner recurrence one *shared*
     /// coefficient at a time. The cross-key lanes supply the
